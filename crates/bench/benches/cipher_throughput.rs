@@ -1,0 +1,87 @@
+//! Criterion bench for the cipher substrate itself: GIFT-64/128 bitwise
+//! versus table-driven throughput, and the countermeasure overhead the
+//! paper's §IV-C mentions (the extra output-nibble select of the wide-line
+//! S-box).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gift_cipher::countermeasure::{FullScanGift64, PreloadGift64, WideLineGift64};
+use gift_cipher::{Gift128, Gift64, Key, NullObserver, TableGift64, TableLayout};
+
+fn bench_ciphers(c: &mut Criterion) {
+    let key = Key::from_u128(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210);
+    let mut group = c.benchmark_group("cipher_throughput");
+    group.throughput(Throughput::Bytes(8));
+
+    let bitwise = Gift64::new(key);
+    group.bench_function("gift64_bitwise_encrypt", |b| {
+        let mut pt = 0u64;
+        b.iter(|| {
+            pt = pt.wrapping_add(1);
+            bitwise.encrypt(pt)
+        })
+    });
+    group.bench_function("gift64_bitwise_decrypt", |b| {
+        let mut ct = 0u64;
+        b.iter(|| {
+            ct = ct.wrapping_add(1);
+            bitwise.decrypt(ct)
+        })
+    });
+
+    let table = TableGift64::new(key, TableLayout::default());
+    group.bench_function("gift64_table_encrypt", |b| {
+        let mut obs = NullObserver;
+        let mut pt = 0u64;
+        b.iter(|| {
+            pt = pt.wrapping_add(1);
+            table.encrypt_with(pt, &mut obs)
+        })
+    });
+
+    let wide = WideLineGift64::new(key, TableLayout::new(0x400));
+    group.bench_function("gift64_wide_line_encrypt", |b| {
+        let mut obs = NullObserver;
+        let mut pt = 0u64;
+        b.iter(|| {
+            pt = pt.wrapping_add(1);
+            wide.encrypt_with(pt, &mut obs)
+        })
+    });
+
+    // Classic software mitigations: the full scan pays ~16x table reads,
+    // the preload one extra table sweep per round.
+    let scan = FullScanGift64::new(key, TableLayout::new(0x400));
+    group.bench_function("gift64_full_scan_encrypt", |b| {
+        let mut obs = NullObserver;
+        let mut pt = 0u64;
+        b.iter(|| {
+            pt = pt.wrapping_add(1);
+            scan.encrypt_with(pt, &mut obs)
+        })
+    });
+    let preload = PreloadGift64::new(key, TableLayout::new(0x400));
+    group.bench_function("gift64_preload_encrypt", |b| {
+        let mut obs = NullObserver;
+        let mut pt = 0u64;
+        b.iter(|| {
+            pt = pt.wrapping_add(1);
+            preload.encrypt_with(pt, &mut obs)
+        })
+    });
+    group.finish();
+
+    let mut group128 = c.benchmark_group("gift128_throughput");
+    group128.throughput(Throughput::Bytes(16));
+    let g128 = Gift128::new(key);
+    group128.bench_function("gift128_bitwise_encrypt", |b| {
+        let mut pt = 0u128;
+        b.iter(|| {
+            pt = pt.wrapping_add(1);
+            g128.encrypt(pt)
+        })
+    });
+    group128.finish();
+}
+
+criterion_group!(benches, bench_ciphers);
+criterion_main!(benches);

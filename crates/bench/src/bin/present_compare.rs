@@ -1,0 +1,31 @@
+//! GIFT-vs-PRESENT leakage comparison: key bits recovered per encryption
+//! through the same table-lookup cache channel.
+//!
+//! ```text
+//! cargo run -p grinch-bench --release --bin present_compare
+//! ```
+
+use grinch::experiments::present_compare::run;
+use grinch_bench::group_thousands;
+
+fn main() {
+    println!("Cache-leakage rate comparison (earliest clean probe)\n");
+    println!(
+        "{:>12} {:>10} {:>18} {:>14} {:>12}",
+        "cipher", "key bits", "first leaky round", "encryptions", "bits/enc"
+    );
+    for row in run(0xc0fe) {
+        println!(
+            "{:>12} {:>10} {:>18} {:>14} {:>12.3}",
+            row.cipher,
+            row.key_bits,
+            row.first_leaky_round,
+            group_thousands(row.encryptions),
+            row.key_bits as f64 / row.encryptions as f64
+        );
+    }
+    println!("\nPRESENT XORs a full 64-bit round key before SubCells, so round 1");
+    println!("already leaks four key bits per segment; GIFT's interleaved 2-bit");
+    println!("AddRoundKey after the S-box delays and halves the leakage — the");
+    println!("structural reason GRINCH needs crafted inputs and four stages.");
+}

@@ -1,0 +1,66 @@
+//! # grinch-bench
+//!
+//! Experiment harness for the GRINCH reproduction: binaries that regenerate
+//! each table and figure of the paper (`fig3`, `table1`, `table2`,
+//! `countermeasures`) plus shared formatting helpers, and Criterion benches
+//! timing the attack primitives.
+
+use grinch::experiments::CellResult;
+
+/// Formats an encryption-count cell the way the paper prints it: plain
+/// numbers with thousands separators, `>cap` for drop-outs.
+pub fn format_cell(result: &CellResult) -> String {
+    match result {
+        CellResult::Recovered(n) => group_thousands(*n),
+        CellResult::DropOut(cap) => format!(">{}", group_thousands(*cap)),
+    }
+}
+
+/// Inserts `,` thousands separators.
+pub fn group_thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Renders a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands(0), "0");
+        assert_eq!(group_thousands(999), "999");
+        assert_eq!(group_thousands(1_000), "1,000");
+        assert_eq!(group_thousands(188_536), "188,536");
+        assert_eq!(group_thousands(1_000_000), "1,000,000");
+    }
+
+    #[test]
+    fn cell_formatting_matches_paper_style() {
+        assert_eq!(format_cell(&CellResult::Recovered(96)), "96");
+        assert_eq!(format_cell(&CellResult::DropOut(1_000_000)), ">1,000,000");
+    }
+
+    #[test]
+    fn rows_are_right_aligned() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

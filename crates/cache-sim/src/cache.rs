@@ -1,0 +1,306 @@
+//! The set-associative cache model.
+
+use crate::config::CacheConfig;
+use crate::replacement::ReplacementState;
+use crate::stats::CacheStats;
+
+/// The outcome of a single cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit in the cache.
+    pub hit: bool,
+    /// Cycles the access took (hit or miss latency from the config).
+    pub latency: u64,
+    /// Line address (`addr / line_bytes`) of an evicted line, if the fill
+    /// displaced one.
+    pub evicted_line: Option<u64>,
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    pub fn is_hit(&self) -> bool {
+        self.hit
+    }
+
+    /// Whether the access missed.
+    pub fn is_miss(&self) -> bool {
+        !self.hit
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Way {
+    /// Tag of the resident line, or `None` when invalid.
+    tag: Option<u64>,
+    /// Replacement metadata (LRU timestamp / FIFO counter).
+    meta: u64,
+}
+
+#[derive(Clone, Debug)]
+struct CacheSet {
+    ways: Vec<Way>,
+    replacement: ReplacementState,
+}
+
+/// A set-associative cache.
+///
+/// Addresses are byte addresses; the line, set and tag decomposition comes
+/// from the [`CacheConfig`]. The cache is a *presence* model: it tracks which
+/// lines are resident, not their data.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache with all lines invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`CacheConfig::validate`]).
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate().expect("invalid cache configuration");
+        let sets = (0..config.num_sets)
+            .map(|s| CacheSet {
+                ways: (0..config.ways)
+                    .map(|_| Way { tag: None, meta: 0 })
+                    .collect(),
+                replacement: ReplacementState::new(config.replacement, s as u64 + 0x9e37),
+            })
+            .collect();
+        Self {
+            config,
+            sets,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters without touching cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Performs a read access at `addr`, filling the line on a miss.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        let set_idx = self.config.set_of(addr);
+        let tag = self.config.tag_of(addr);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(way) = set.ways.iter_mut().find(|w| w.tag == Some(tag)) {
+            way.meta = set.replacement.on_hit(way.meta);
+            self.stats.hits += 1;
+            return AccessOutcome {
+                hit: true,
+                latency: self.config.hit_latency,
+                evicted_line: None,
+            };
+        }
+
+        // Miss: fill an invalid way if one exists, otherwise evict.
+        self.stats.misses += 1;
+        let fill_meta = set.replacement.on_fill();
+        let (way_idx, evicted_line) =
+            if let Some(idx) = set.ways.iter().position(|w| w.tag.is_none()) {
+                (idx, None)
+            } else {
+                let meta: Vec<u64> = set.ways.iter().map(|w| w.meta).collect();
+                let victim = set.replacement.choose_victim(&meta);
+                let old_tag = set.ways[victim].tag.expect("full set has valid tags");
+                self.stats.evictions += 1;
+                (
+                    victim,
+                    Some(old_tag * self.config.num_sets as u64 + set_idx as u64),
+                )
+            };
+        set.ways[way_idx] = Way {
+            tag: Some(tag),
+            meta: fill_meta,
+        };
+        AccessOutcome {
+            hit: false,
+            latency: self.config.miss_latency,
+            evicted_line,
+        }
+    }
+
+    /// Returns whether the line containing `addr` is resident, without
+    /// perturbing replacement state or statistics.
+    pub fn contains(&self, addr: u64) -> bool {
+        let set = &self.sets[self.config.set_of(addr)];
+        let tag = self.config.tag_of(addr);
+        set.ways.iter().any(|w| w.tag == Some(tag))
+    }
+
+    /// Invalidates the line containing `addr` if resident (`clflush`-style).
+    /// Returns whether a line was actually flushed.
+    pub fn flush_line(&mut self, addr: u64) -> bool {
+        let set_idx = self.config.set_of(addr);
+        let tag = self.config.tag_of(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.ways.iter_mut().find(|w| w.tag == Some(tag)) {
+            way.tag = None;
+            self.stats.flushes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates the entire cache.
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            for way in &mut set.ways {
+                way.tag = None;
+            }
+        }
+        self.stats.full_flushes += 1;
+    }
+
+    /// Number of currently valid lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.ways.iter().filter(|w| w.tag.is_some()).count())
+            .sum()
+    }
+
+    /// Line addresses of every resident line (unordered).
+    pub fn resident_line_addrs(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (set_idx, set) in self.sets.iter().enumerate() {
+            for way in &set.ways {
+                if let Some(tag) = way.tag {
+                    out.push(tag * self.config.num_sets as u64 + set_idx as u64);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::ReplacementPolicy;
+
+    fn small_config() -> CacheConfig {
+        CacheConfig {
+            line_bytes: 4,
+            num_sets: 4,
+            ways: 2,
+            hit_latency: 1,
+            miss_latency: 10,
+            replacement: ReplacementPolicy::Lru,
+        }
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut cache = Cache::new(small_config());
+        let a = cache.access(0x100);
+        assert!(a.is_miss());
+        assert_eq!(a.latency, 10);
+        let b = cache.access(0x100);
+        assert!(b.is_hit());
+        assert_eq!(b.latency, 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_line_different_byte_hits() {
+        let mut cache = Cache::new(small_config());
+        cache.access(0x100);
+        assert!(cache.access(0x103).is_hit());
+        assert!(cache.access(0x104).is_miss());
+    }
+
+    #[test]
+    fn lru_eviction_in_a_full_set() {
+        let mut cache = Cache::new(small_config());
+        // Set 0 with 4-byte lines and 4 sets: line addresses ≡ 0 (mod 4),
+        // i.e. byte addresses 0x00, 0x40, 0x80 (stride 16 lines * 4 bytes).
+        let stride = 4 * 4; // num_sets * line_bytes
+        cache.access(0);
+        cache.access(stride);
+        cache.access(0); // make line 0 most recently used
+        let outcome = cache.access(2 * stride); // evicts line at `stride`
+        assert!(outcome.is_miss());
+        assert_eq!(outcome.evicted_line, Some(stride as u64 / 4));
+        assert!(cache.contains(0));
+        assert!(!cache.contains(stride as u64));
+        assert!(cache.contains(2 * stride as u64));
+    }
+
+    #[test]
+    fn flush_line_only_touches_target() {
+        let mut cache = Cache::new(small_config());
+        cache.access(0x10);
+        cache.access(0x20);
+        assert!(cache.flush_line(0x10));
+        assert!(!cache.flush_line(0x10), "double flush is a no-op");
+        assert!(!cache.contains(0x10));
+        assert!(cache.contains(0x20));
+    }
+
+    #[test]
+    fn flush_all_empties_cache() {
+        let mut cache = Cache::new(small_config());
+        for a in 0..8u64 {
+            cache.access(a * 4);
+        }
+        assert!(cache.resident_lines() > 0);
+        cache.flush_all();
+        assert_eq!(cache.resident_lines(), 0);
+        assert!(cache.resident_line_addrs().is_empty());
+    }
+
+    #[test]
+    fn contains_does_not_perturb_lru() {
+        let mut cache = Cache::new(small_config());
+        let stride = 16u64;
+        cache.access(0);
+        cache.access(stride);
+        // Peeking at line 0 must NOT refresh it.
+        assert!(cache.contains(0));
+        cache.access(2 * stride); // line 0 is LRU and must be evicted
+        assert!(!cache.contains(0));
+    }
+
+    #[test]
+    fn resident_line_addrs_match_accessed_lines() {
+        let mut cache = Cache::new(small_config());
+        cache.access(0x100);
+        cache.access(0x204);
+        let mut lines = cache.resident_line_addrs();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0x100 / 4, 0x204 / 4]);
+    }
+
+    #[test]
+    fn grinch_default_holds_entire_sbox() {
+        // With 1-byte lines the 16-byte S-box occupies 16 distinct lines in
+        // 16 distinct sets — the paper's observation that a completed
+        // encryption leaves the whole table resident.
+        let mut cache = Cache::new(CacheConfig::grinch_default());
+        for i in 0..16u64 {
+            cache.access(0x400 + i);
+        }
+        assert_eq!(cache.resident_lines(), 16);
+        for i in 0..16u64 {
+            assert!(cache.contains(0x400 + i));
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Cache geometry and latency configuration.
+
+use core::fmt;
+
+/// Errors produced while validating a [`CacheConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `line_bytes` was zero or not a power of two.
+    BadLineSize(usize),
+    /// `num_sets` was zero or not a power of two.
+    BadSetCount(usize),
+    /// `ways` was zero.
+    BadWays,
+    /// `miss_latency` did not exceed `hit_latency`, making timing probes
+    /// unable to distinguish hits from misses.
+    LatencyNotDistinguishable,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadLineSize(n) => write!(f, "line size {n} is not a nonzero power of two"),
+            Self::BadSetCount(n) => write!(f, "set count {n} is not a nonzero power of two"),
+            Self::BadWays => write!(f, "associativity must be at least 1"),
+            Self::LatencyNotDistinguishable => {
+                write!(f, "miss latency must exceed hit latency")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Geometry and latency parameters of a simulated cache.
+///
+/// The GRINCH platforms use an 8-bit memory word, so `line_bytes` equals the
+/// paper's "words per cache line". [`CacheConfig::grinch_default`] is the
+/// paper's base configuration; [`CacheConfig::with_words_per_line`] produces
+/// the Table I sweep points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Bytes per cache line (must be a power of two).
+    pub line_bytes: usize,
+    /// Number of sets (must be a power of two).
+    pub num_sets: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Cycles for an access that hits.
+    pub hit_latency: u64,
+    /// Cycles for an access that misses and fills from the next level.
+    pub miss_latency: u64,
+    /// Replacement policy within a set.
+    pub replacement: crate::ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// The shared L1 of the GRINCH paper: 16-way set-associative, 1024
+    /// lines, one 8-bit word per line.
+    pub fn grinch_default() -> Self {
+        Self {
+            line_bytes: 1,
+            num_sets: 1024 / 16,
+            ways: 16,
+            hit_latency: 1,
+            miss_latency: 20,
+            replacement: crate::ReplacementPolicy::Lru,
+        }
+    }
+
+    /// Returns a copy with the line size set to `words` 8-bit words (the
+    /// Table I sweep parameter), keeping the total capacity of 1024 words by
+    /// shrinking the set count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero, not a power of two, or exceeds the number
+    /// of lines per way.
+    pub fn with_words_per_line(mut self, words: usize) -> Self {
+        assert!(words.is_power_of_two(), "words per line must be a power of two");
+        let total_words = self.line_bytes * self.num_sets * self.ways;
+        self.line_bytes = words;
+        assert!(
+            total_words >= words * self.ways,
+            "cache too small for {words}-word lines"
+        );
+        self.num_sets = (total_words / (words * self.ways)).max(1);
+        self
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.line_bytes * self.num_sets * self.ways
+    }
+
+    /// Total number of lines.
+    pub fn total_lines(&self) -> usize {
+        self.num_sets * self.ways
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::BadLineSize(self.line_bytes));
+        }
+        if self.num_sets == 0 || !self.num_sets.is_power_of_two() {
+            return Err(ConfigError::BadSetCount(self.num_sets));
+        }
+        if self.ways == 0 {
+            return Err(ConfigError::BadWays);
+        }
+        if self.miss_latency <= self.hit_latency {
+            return Err(ConfigError::LatencyNotDistinguishable);
+        }
+        Ok(())
+    }
+
+    /// Line-aligned base address of the line containing `addr`.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line_bytes as u64
+    }
+
+    /// Set index for `addr`.
+    #[inline]
+    pub fn set_of(&self, addr: u64) -> usize {
+        (self.line_of(addr) % self.num_sets as u64) as usize
+    }
+
+    /// Tag for `addr` (line address with the set bits stripped).
+    #[inline]
+    pub fn tag_of(&self, addr: u64) -> u64 {
+        self.line_of(addr) / self.num_sets as u64
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::grinch_default()
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sets x {} ways x {}B lines ({}B, {:?})",
+            self.num_sets,
+            self.ways,
+            self.line_bytes,
+            self.capacity_bytes(),
+            self.replacement
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grinch_default_matches_paper_geometry() {
+        let cfg = CacheConfig::grinch_default();
+        assert_eq!(cfg.ways, 16);
+        assert_eq!(cfg.total_lines(), 1024);
+        assert_eq!(cfg.line_bytes, 1);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn words_per_line_sweep_preserves_capacity() {
+        let base = CacheConfig::grinch_default();
+        for words in [1usize, 2, 4, 8] {
+            let cfg = base.with_words_per_line(words);
+            assert_eq!(cfg.capacity_bytes(), base.capacity_bytes());
+            assert_eq!(cfg.line_bytes, words);
+            assert!(cfg.validate().is_ok(), "words {words}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        let mut cfg = CacheConfig::grinch_default();
+        cfg.line_bytes = 3;
+        assert_eq!(cfg.validate(), Err(ConfigError::BadLineSize(3)));
+        cfg = CacheConfig::grinch_default();
+        cfg.num_sets = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::BadSetCount(0)));
+        cfg = CacheConfig::grinch_default();
+        cfg.ways = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::BadWays));
+        cfg = CacheConfig::grinch_default();
+        cfg.miss_latency = cfg.hit_latency;
+        assert_eq!(cfg.validate(), Err(ConfigError::LatencyNotDistinguishable));
+    }
+
+    #[test]
+    fn address_decomposition_round_trips() {
+        let cfg = CacheConfig::grinch_default().with_words_per_line(4);
+        for addr in [0u64, 3, 4, 1023, 0x1234, u32::MAX as u64] {
+            let line = cfg.line_of(addr);
+            assert_eq!(
+                line,
+                cfg.tag_of(addr) * cfg.num_sets as u64 + cfg.set_of(addr) as u64
+            );
+            assert_eq!(line * cfg.line_bytes as u64 / cfg.line_bytes as u64, line);
+        }
+    }
+
+    #[test]
+    fn same_line_addresses_share_set_and_tag() {
+        let cfg = CacheConfig::grinch_default().with_words_per_line(8);
+        assert_eq!(cfg.set_of(0x100), cfg.set_of(0x107));
+        assert_eq!(cfg.tag_of(0x100), cfg.tag_of(0x107));
+        assert_ne!(cfg.line_of(0x100), cfg.line_of(0x108));
+    }
+}

@@ -1,0 +1,129 @@
+//! A minimal memory hierarchy: one cache level backed by main memory.
+//!
+//! The GRINCH threat model only needs the attacker to tell a cache hit from
+//! a miss by timing. [`MemoryHierarchy`] charges the L1 latency on a hit and
+//! L1-miss + memory latency on a miss, giving timed loads the bimodal
+//! distribution real Flush+Reload exploits.
+
+use crate::cache::{AccessOutcome, Cache};
+use crate::config::CacheConfig;
+use crate::trace::AccessTrace;
+
+/// An L1 cache backed by a fixed-latency main memory (the paper's platforms
+/// look up DRAM on an L1 miss).
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    l1: Cache,
+    /// Additional cycles an access pays when it must go to memory.
+    memory_latency: u64,
+    /// Running simulation time advanced by every timed access.
+    now: u64,
+    trace: AccessTrace,
+    tracing: bool,
+}
+
+impl MemoryHierarchy {
+    /// Creates a hierarchy with the given L1 configuration and extra main
+    /// memory latency on a miss.
+    pub fn new(l1_config: CacheConfig, memory_latency: u64) -> Self {
+        Self {
+            l1: Cache::new(l1_config),
+            memory_latency,
+            now: 0,
+            trace: AccessTrace::new(),
+            tracing: false,
+        }
+    }
+
+    /// Enables trace capture for subsequent accesses.
+    pub fn enable_tracing(&mut self) {
+        self.tracing = true;
+    }
+
+    /// The captured access trace.
+    pub fn trace(&self) -> &AccessTrace {
+        &self.trace
+    }
+
+    /// The L1 cache.
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// Mutable access to the L1 cache (e.g. for attacker flushes).
+    pub fn l1_mut(&mut self) -> &mut Cache {
+        &mut self.l1
+    }
+
+    /// Current simulation time in cycles.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Performs a timed read: returns the total latency the requester
+    /// observes and advances simulation time by it.
+    pub fn timed_read(&mut self, addr: u64) -> u64 {
+        let outcome = self.l1.access(addr);
+        let latency = Self::total_latency(&outcome, self.memory_latency);
+        if self.tracing {
+            self.trace.record(self.now, addr, &outcome);
+        }
+        self.now += latency;
+        latency
+    }
+
+    /// The latency threshold separating hits from misses for this
+    /// hierarchy: a timed read below the threshold was a hit.
+    pub fn hit_threshold(&self) -> u64 {
+        self.l1.config().miss_latency + self.memory_latency
+    }
+
+    fn total_latency(outcome: &AccessOutcome, memory_latency: u64) -> u64 {
+        if outcome.hit {
+            outcome.latency
+        } else {
+            outcome.latency + memory_latency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_bimodal_and_classifiable() {
+        let mut mem = MemoryHierarchy::new(CacheConfig::grinch_default(), 80);
+        let miss = mem.timed_read(0x123);
+        let hit = mem.timed_read(0x123);
+        assert!(miss >= mem.hit_threshold());
+        assert!(hit < mem.hit_threshold());
+    }
+
+    #[test]
+    fn time_advances_with_each_access() {
+        let mut mem = MemoryHierarchy::new(CacheConfig::grinch_default(), 80);
+        assert_eq!(mem.now(), 0);
+        let l1 = mem.timed_read(0);
+        let l2 = mem.timed_read(0);
+        assert_eq!(mem.now(), l1 + l2);
+    }
+
+    #[test]
+    fn tracing_captures_only_when_enabled() {
+        let mut mem = MemoryHierarchy::new(CacheConfig::grinch_default(), 10);
+        mem.timed_read(1);
+        assert!(mem.trace().is_empty());
+        mem.enable_tracing();
+        mem.timed_read(2);
+        assert_eq!(mem.trace().len(), 1);
+    }
+
+    #[test]
+    fn flush_via_l1_mut_forces_next_read_to_memory() {
+        let mut mem = MemoryHierarchy::new(CacheConfig::grinch_default(), 50);
+        mem.timed_read(0x77);
+        mem.l1_mut().flush_line(0x77);
+        assert!(mem.timed_read(0x77) >= mem.hit_threshold());
+    }
+}

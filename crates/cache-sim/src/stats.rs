@@ -1,0 +1,71 @@
+//! Cache statistics counters.
+
+use core::fmt;
+
+/// Counters accumulated by a [`crate::Cache`] over its lifetime (or since
+/// the last [`crate::Cache::reset_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Misses that displaced a valid line.
+    pub evictions: u64,
+    /// Successful per-line flushes.
+    pub flushes: u64,
+    /// Whole-cache flushes.
+    pub full_flushes: u64,
+}
+
+impl CacheStats {
+    /// Total number of accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; `0` when no accesses happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses ({} hits, {} misses, {:.1}% hit rate), {} evictions, {} flushes",
+            self.accesses(),
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.evictions,
+            self.flushes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_and_nonzero() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.accesses(), 4);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!CacheStats::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Access traces: time-ordered logs of cache activity.
+//!
+//! Traces serve two purposes in the reproduction: tests assert on exact
+//! access sequences, and the trace-driven flavour of cache attacks (which
+//! the paper cites as related work) consumes hit/miss sequences directly.
+
+use crate::cache::AccessOutcome;
+use core::fmt;
+
+/// One entry of an [`AccessTrace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulation time (cycles) at which the access was issued.
+    pub time: u64,
+    /// Byte address accessed.
+    pub addr: u64,
+    /// Whether it hit.
+    pub hit: bool,
+    /// Latency charged.
+    pub latency: u64,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={} addr={:#x} {}",
+            self.time,
+            self.addr,
+            if self.hit { "hit" } else { "MISS" }
+        )
+    }
+}
+
+/// A time-ordered log of cache accesses.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl AccessTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an access outcome observed at `time` for `addr`.
+    pub fn record(&mut self, time: u64, addr: u64, outcome: &AccessOutcome) {
+        self.entries.push(TraceEntry {
+            time,
+            addr,
+            hit: outcome.hit,
+            latency: outcome.latency,
+        });
+    }
+
+    /// The recorded entries, oldest first.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The hit/miss sequence (the signal of a trace-driven attack).
+    pub fn hit_miss_sequence(&self) -> Vec<bool> {
+        self.entries.iter().map(|e| e.hit).collect()
+    }
+
+    /// Total latency of all recorded accesses (the signal of a time-driven
+    /// attack).
+    pub fn total_latency(&self) -> u64 {
+        self.entries.iter().map(|e| e.latency).sum()
+    }
+
+    /// Clears the trace.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl Extend<TraceEntry> for AccessTrace {
+    fn extend<T: IntoIterator<Item = TraceEntry>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+impl FromIterator<TraceEntry> for AccessTrace {
+    fn from_iter<T: IntoIterator<Item = TraceEntry>>(iter: T) -> Self {
+        Self {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cache, CacheConfig};
+
+    #[test]
+    fn trace_records_outcomes_in_order() {
+        let mut cache = Cache::new(CacheConfig::grinch_default());
+        let mut trace = AccessTrace::new();
+        for (t, addr) in [(0u64, 0x10u64), (5, 0x10), (9, 0x20)] {
+            let outcome = cache.access(addr);
+            trace.record(t, addr, &outcome);
+        }
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.hit_miss_sequence(), vec![false, true, false]);
+        assert_eq!(trace.total_latency(), 20 + 1 + 20);
+        assert!(!trace.is_empty());
+        trace.clear();
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn trace_collects_from_iterator() {
+        let entries = vec![
+            TraceEntry { time: 0, addr: 1, hit: false, latency: 20 },
+            TraceEntry { time: 1, addr: 1, hit: true, latency: 1 },
+        ];
+        let trace: AccessTrace = entries.iter().copied().collect();
+        assert_eq!(trace.entries(), entries.as_slice());
+    }
+}

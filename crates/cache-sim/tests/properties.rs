@@ -1,0 +1,142 @@
+//! Property-based tests of the cache simulator.
+
+use cache_sim::{Cache, CacheConfig, ReplacementPolicy};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16)],
+        0u32..5,
+        1usize..8,
+        prop_oneof![
+            Just(ReplacementPolicy::Lru),
+            Just(ReplacementPolicy::Fifo),
+            Just(ReplacementPolicy::Random),
+        ],
+    )
+        .prop_map(|(line_bytes, sets_log2, ways, replacement)| CacheConfig {
+            line_bytes,
+            num_sets: 1 << sets_log2,
+            ways,
+            hit_latency: 1,
+            miss_latency: 20,
+            replacement,
+        })
+}
+
+/// An operation to replay against the cache.
+#[derive(Clone, Debug)]
+enum Op {
+    Access(u64),
+    FlushLine(u64),
+    FlushAll,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..4096).prop_map(Op::Access),
+            (0u64..4096).prop_map(Op::FlushLine),
+            Just(Op::FlushAll),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn resident_lines_never_exceed_capacity(cfg in arb_config(), ops in arb_ops()) {
+        let mut cache = Cache::new(cfg);
+        for op in ops {
+            match op {
+                Op::Access(a) => { cache.access(a); }
+                Op::FlushLine(a) => { cache.flush_line(a); }
+                Op::FlushAll => cache.flush_all(),
+            }
+            prop_assert!(cache.resident_lines() <= cfg.total_lines());
+        }
+    }
+
+    #[test]
+    fn access_after_access_to_same_line_hits(cfg in arb_config(), addr in 0u64..4096) {
+        let mut cache = Cache::new(cfg);
+        cache.access(addr);
+        prop_assert!(cache.contains(addr));
+        prop_assert!(cache.access(addr).is_hit());
+    }
+
+    #[test]
+    fn flush_line_removes_exactly_that_line(cfg in arb_config(), addr in 0u64..4096) {
+        let mut cache = Cache::new(cfg);
+        cache.access(addr);
+        cache.flush_line(addr);
+        prop_assert!(!cache.contains(addr));
+        prop_assert!(cache.access(addr).is_miss());
+    }
+
+    #[test]
+    fn contains_matches_access_hit_outcome(cfg in arb_config(), ops in arb_ops(), probe in 0u64..4096) {
+        let mut cache = Cache::new(cfg);
+        for op in ops {
+            match op {
+                Op::Access(a) => { cache.access(a); }
+                Op::FlushLine(a) => { cache.flush_line(a); }
+                Op::FlushAll => cache.flush_all(),
+            }
+        }
+        let predicted = cache.contains(probe);
+        prop_assert_eq!(cache.access(probe).is_hit(), predicted);
+    }
+
+    #[test]
+    fn stats_accesses_equal_operations(cfg in arb_config(), addrs in prop::collection::vec(0u64..4096, 0..100)) {
+        let mut cache = Cache::new(cfg);
+        for &a in &addrs {
+            cache.access(a);
+        }
+        prop_assert_eq!(cache.stats().accesses(), addrs.len() as u64);
+        prop_assert_eq!(
+            cache.stats().hits + cache.stats().misses,
+            addrs.len() as u64
+        );
+    }
+
+    #[test]
+    fn same_line_addresses_are_indistinguishable(cfg in arb_config(), addr in 0u64..4096, off in 0u64..16) {
+        let line_bytes = cfg.line_bytes as u64;
+        let base = (addr / line_bytes) * line_bytes;
+        let sibling = base + off % line_bytes;
+        let mut cache = Cache::new(cfg);
+        cache.access(base);
+        prop_assert!(cache.contains(sibling));
+        prop_assert!(cache.access(sibling).is_hit());
+    }
+
+    #[test]
+    fn full_flush_always_empties(cfg in arb_config(), addrs in prop::collection::vec(0u64..4096, 0..100)) {
+        let mut cache = Cache::new(cfg);
+        for &a in &addrs {
+            cache.access(a);
+        }
+        cache.flush_all();
+        prop_assert_eq!(cache.resident_lines(), 0);
+        for &a in &addrs {
+            prop_assert!(!cache.contains(a));
+        }
+    }
+
+    #[test]
+    fn eviction_only_happens_when_set_is_full(cfg in arb_config(), addrs in prop::collection::vec(0u64..4096, 0..100)) {
+        let mut cache = Cache::new(cfg);
+        let mut distinct_per_set = std::collections::HashMap::<usize, std::collections::HashSet<u64>>::new();
+        for &a in &addrs {
+            let outcome = cache.access(a);
+            let set = cfg.set_of(a);
+            let lines = distinct_per_set.entry(set).or_default();
+            if outcome.evicted_line.is_some() {
+                prop_assert!(lines.len() >= cfg.ways, "evicted from a non-full set");
+            }
+            lines.insert(cfg.line_of(a));
+        }
+    }
+}

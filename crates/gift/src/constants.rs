@@ -1,0 +1,111 @@
+//! GIFT round constants.
+//!
+//! The round constant is a 6-bit value produced by the LFSR
+//! `(c5,c4,c3,c2,c1,c0) ← (c4,c3,c2,c1,c0, c5 ⊕ c4 ⊕ 1)`, initialised to zero
+//! and clocked once *before* each round. In `AddRoundKey` the six constant
+//! bits are XORed into state bits 23, 19, 15, 11, 7 and 3 (c5 high), and a
+//! fixed `1` is XORed into the state's most significant bit.
+
+/// Maximum number of rounds any GIFT variant uses.
+pub const MAX_ROUNDS: usize = 48;
+
+/// Clocks the 6-bit round-constant LFSR once.
+#[inline]
+pub const fn lfsr_step(c: u8) -> u8 {
+    let c5 = (c >> 5) & 1;
+    let c4 = (c >> 4) & 1;
+    ((c << 1) & 0x3f) | (c5 ^ c4 ^ 1)
+}
+
+const fn build_round_constants() -> [u8; MAX_ROUNDS] {
+    let mut out = [0u8; MAX_ROUNDS];
+    let mut c = 0u8;
+    let mut i = 0;
+    while i < MAX_ROUNDS {
+        c = lfsr_step(c);
+        out[i] = c;
+        i += 1;
+    }
+    out
+}
+
+/// `ROUND_CONSTANTS[r]` is the constant used in round `r` (0-based).
+pub const ROUND_CONSTANTS: [u8; MAX_ROUNDS] = build_round_constants();
+
+/// XORs round constant `rc` into a GIFT-64 state (including the fixed `1`
+/// into bit 63).
+#[inline]
+pub fn add_constant_64(state: u64, rc: u8) -> u64 {
+    let mut s = state ^ (1u64 << 63);
+    let mut b = 0;
+    while b < 6 {
+        s ^= u64::from((rc >> b) & 1) << (4 * b + 3);
+        b += 1;
+    }
+    s
+}
+
+/// XORs round constant `rc` into a GIFT-128 state (including the fixed `1`
+/// into bit 127).
+#[inline]
+pub fn add_constant_128(state: u128, rc: u8) -> u128 {
+    let mut s = state ^ (1u128 << 127);
+    let mut b = 0;
+    while b < 6 {
+        s ^= u128::from((rc >> b) & 1) << (4 * b + 3);
+        b += 1;
+    }
+    s
+}
+
+/// Returns the state-bit positions a round constant touches in GIFT-64.
+///
+/// GRINCH's plaintext-crafting stage must account for these bits: they flip
+/// deterministically, so the attacker folds them into the expected S-box
+/// index of the next round.
+pub fn constant_bit_positions_64() -> [usize; 7] {
+    [3, 7, 11, 15, 19, 23, 63]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_constants_match_specification() {
+        // Leading sequence published in the GIFT specification.
+        let expected = [
+            0x01, 0x03, 0x07, 0x0F, 0x1F, 0x3E, 0x3D, 0x3B, 0x37, 0x2F, 0x1E, 0x3C, 0x39, 0x33,
+            0x27, 0x0E, 0x1D, 0x3A, 0x35, 0x2B, 0x16, 0x2C, 0x18, 0x30, 0x21, 0x02, 0x05, 0x0B,
+        ];
+        assert_eq!(&ROUND_CONSTANTS[..expected.len()], &expected);
+    }
+
+    #[test]
+    fn constants_never_repeat_within_gift128_rounds() {
+        let mut seen = std::collections::HashSet::new();
+        for &c in ROUND_CONSTANTS.iter().take(40) {
+            assert!(seen.insert(c), "constant {c:#04x} repeated");
+        }
+    }
+
+    #[test]
+    fn add_constant_64_is_an_involution() {
+        let s = 0x0123_4567_89ab_cdefu64;
+        for r in 0..28 {
+            let rc = ROUND_CONSTANTS[r];
+            assert_eq!(add_constant_64(add_constant_64(s, rc), rc), s);
+        }
+    }
+
+    #[test]
+    fn add_constant_touches_only_documented_bits() {
+        let rc = 0x3f;
+        let flipped = add_constant_64(0, rc);
+        let mut expected = 0u64;
+        for p in constant_bit_positions_64() {
+            expected |= 1 << p;
+        }
+        assert_eq!(flipped, expected);
+    }
+}

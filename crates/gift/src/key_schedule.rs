@@ -1,0 +1,255 @@
+//! The 128-bit GIFT key, key state and key schedule.
+//!
+//! The key state consists of eight 16-bit words `k7‖k6‖…‖k0` (`k7` most
+//! significant). Each round extracts a round key and then rotates the whole
+//! state 32 bits to the right while locally rotating the two consumed words:
+//!
+//! ```text
+//! (k7, k6, …, k1, k0) ← (k1 ⋙ 2, k0 ⋙ 12, k7, k6, k5, k4, k3, k2)
+//! ```
+//!
+//! GIFT-64 extracts `U = k1`, `V = k0` (32 key bits per round); GIFT-128
+//! extracts `U = k5‖k4`, `V = k1‖k0` (64 key bits per round).
+
+use core::fmt;
+
+/// A 128-bit GIFT master key.
+///
+/// Stored as eight 16-bit words with `words()[0] = k0` (least significant).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Key {
+    words: [u16; 8],
+}
+
+impl Key {
+    /// Creates a key from eight 16-bit words, `k0` first.
+    pub fn from_words(words: [u16; 8]) -> Self {
+        Self { words }
+    }
+
+    /// Creates a key from a 128-bit integer, interpreting bit `i` of the
+    /// integer as key bit `i` (so `k0` is the low 16 bits).
+    pub fn from_u128(value: u128) -> Self {
+        let mut words = [0u16; 8];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = ((value >> (16 * i)) & 0xffff) as u16;
+        }
+        Self { words }
+    }
+
+    /// Creates a key from 16 big-endian bytes (`bytes[0]` holds key bits
+    /// 127..120), the byte order conventionally used in GIFT test vectors.
+    pub fn from_be_bytes(bytes: [u8; 16]) -> Self {
+        Self::from_u128(u128::from_be_bytes(bytes))
+    }
+
+    /// Returns the key as a 128-bit integer (inverse of [`Key::from_u128`]).
+    pub fn to_u128(self) -> u128 {
+        self.words
+            .iter()
+            .enumerate()
+            .fold(0u128, |acc, (i, &w)| acc | (u128::from(w) << (16 * i)))
+    }
+
+    /// The eight 16-bit key words, `k0` first.
+    pub fn words(&self) -> [u16; 8] {
+        self.words
+    }
+
+    /// Returns bit `i` of the key (0 ≤ i < 128).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 128`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < 128, "key bit index out of range");
+        (self.words[i / 16] >> (i % 16)) & 1 == 1
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({:032x})", self.to_u128())
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.to_u128())
+    }
+}
+
+impl From<u128> for Key {
+    fn from(value: u128) -> Self {
+        Self::from_u128(value)
+    }
+}
+
+/// The round key extracted for one GIFT-64 round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct RoundKey64 {
+    /// `U = k1`: XORed into state bits `4i + 1`.
+    pub u: u16,
+    /// `V = k0`: XORed into state bits `4i`.
+    pub v: u16,
+}
+
+/// The round key extracted for one GIFT-128 round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct RoundKey128 {
+    /// `U = k5‖k4`: XORed into state bits `4i + 2`.
+    pub u: u32,
+    /// `V = k1‖k0`: XORed into state bits `4i + 1`.
+    pub v: u32,
+}
+
+/// The evolving key state of the GIFT key schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct KeyState {
+    words: [u16; 8],
+}
+
+impl KeyState {
+    /// Initialises the key state from a master key.
+    pub fn new(key: Key) -> Self {
+        Self {
+            words: key.words(),
+        }
+    }
+
+    /// The current eight words, position 0 first (the word a GIFT-64 round
+    /// uses as `V`).
+    pub fn words(&self) -> [u16; 8] {
+        self.words
+    }
+
+    /// The round key a GIFT-64 round would extract from the current state.
+    pub fn round_key_64(&self) -> RoundKey64 {
+        RoundKey64 {
+            u: self.words[1],
+            v: self.words[0],
+        }
+    }
+
+    /// The round key a GIFT-128 round would extract from the current state.
+    pub fn round_key_128(&self) -> RoundKey128 {
+        RoundKey128 {
+            u: (u32::from(self.words[5]) << 16) | u32::from(self.words[4]),
+            v: (u32::from(self.words[1]) << 16) | u32::from(self.words[0]),
+        }
+    }
+
+    /// Advances the key state by one round (`UpdateKey`).
+    pub fn advance(&mut self) {
+        let k0 = self.words[0];
+        let k1 = self.words[1];
+        let mut next = [0u16; 8];
+        next[7] = k1.rotate_right(2);
+        next[6] = k0.rotate_right(12);
+        next[..6].copy_from_slice(&self.words[2..8]);
+        self.words = next;
+    }
+
+    /// Rewinds the key state by one round (inverse of [`KeyState::advance`]).
+    pub fn retreat(&mut self) {
+        let mut prev = [0u16; 8];
+        prev[1] = self.words[7].rotate_left(2);
+        prev[0] = self.words[6].rotate_left(12);
+        prev[2..8].copy_from_slice(&self.words[..6]);
+        self.words = prev;
+    }
+}
+
+impl From<Key> for KeyState {
+    fn from(key: Key) -> Self {
+        Self::new(key)
+    }
+}
+
+/// Expands a master key into the per-round GIFT-64 round keys.
+pub fn expand_64(key: Key, rounds: usize) -> Vec<RoundKey64> {
+    let mut state = KeyState::new(key);
+    (0..rounds)
+        .map(|_| {
+            let rk = state.round_key_64();
+            state.advance();
+            rk
+        })
+        .collect()
+}
+
+/// Expands a master key into the per-round GIFT-128 round keys.
+pub fn expand_128(key: Key, rounds: usize) -> Vec<RoundKey128> {
+    let mut state = KeyState::new(key);
+    (0..rounds)
+        .map(|_| {
+            let rk = state.round_key_128();
+            state.advance();
+            rk
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_and_integer_views_agree() {
+        let key = Key::from_u128(0x0f0e_0d0c_0b0a_0908_0706_0504_0302_0100);
+        assert_eq!(key.words()[0], 0x0100);
+        assert_eq!(key.words()[7], 0x0f0e);
+        assert_eq!(Key::from_words(key.words()), key);
+        assert_eq!(key.to_u128(), 0x0f0e_0d0c_0b0a_0908_0706_0504_0302_0100);
+    }
+
+    #[test]
+    fn bit_accessor_matches_integer_bits() {
+        let value = 0x8000_0000_0000_0001_dead_beef_cafe_f00du128;
+        let key = Key::from_u128(value);
+        for i in 0..128 {
+            assert_eq!(key.bit(i), (value >> i) & 1 == 1, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn advance_then_retreat_is_identity() {
+        let mut state = KeyState::new(Key::from_u128(0x0123_4567_89ab_cdef_1122_3344_5566_7788));
+        let original = state;
+        for _ in 0..40 {
+            state.advance();
+        }
+        for _ in 0..40 {
+            state.retreat();
+        }
+        assert_eq!(state, original);
+    }
+
+    #[test]
+    fn first_four_rounds_consume_fresh_words() {
+        // Rounds 1..4 use (k1,k0), (k3,k2), (k5,k4), (k7,k6): the property
+        // GRINCH exploits to recover 32 fresh key bits per attacked round.
+        let key = Key::from_words([10, 11, 12, 13, 14, 15, 16, 17]);
+        let rks = expand_64(key, 4);
+        assert_eq!((rks[0].v, rks[0].u), (10, 11));
+        assert_eq!((rks[1].v, rks[1].u), (12, 13));
+        assert_eq!((rks[2].v, rks[2].u), (14, 15));
+        assert_eq!((rks[3].v, rks[3].u), (16, 17));
+    }
+
+    #[test]
+    fn round_five_reuses_rotated_first_words() {
+        let key = Key::from_words([0x1234, 0x5678, 0, 0, 0, 0, 0, 0]);
+        let rks = expand_64(key, 5);
+        assert_eq!(rks[4].v, 0x1234u16.rotate_right(12));
+        assert_eq!(rks[4].u, 0x5678u16.rotate_right(2));
+    }
+
+    #[test]
+    fn gift128_round_key_packs_expected_words() {
+        let key = Key::from_words([0x0001, 0x0203, 0x0405, 0x0607, 0x0809, 0x0a0b, 0x0c0d, 0x0e0f]);
+        let rk = KeyState::new(key).round_key_128();
+        assert_eq!(rk.v, 0x0203_0001);
+        assert_eq!(rk.u, 0x0a0b_0809);
+    }
+}

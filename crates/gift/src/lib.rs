@@ -1,0 +1,61 @@
+//! # gift-cipher
+//!
+//! A from-scratch implementation of the **GIFT** family of lightweight block
+//! ciphers (Banik et al., *GIFT: A Small PRESENT*, CHES 2017), built as the
+//! victim substrate for the GRINCH cache-attack reproduction (Reinbrecht et
+//! al., DATE 2021).
+//!
+//! Two independent implementations of each cipher are provided:
+//!
+//! * [`Gift64`] / [`Gift128`] — **bitwise reference** implementations that
+//!   never index memory with secret data (the bitsliced S-box from the GIFT
+//!   paper). These serve as ground truth.
+//! * [`TableGift64`] / [`TableGift128`] — **table-driven** implementations in
+//!   the style of the public C code the paper attacks: `SubCells` is a
+//!   16-entry byte lookup indexed by the secret nibble, and `PermBits` uses a
+//!   position lookup table. Every table read is reported through a
+//!   [`MemoryObserver`], so a cache simulator can watch the access stream
+//!   exactly the way a shared L1 would.
+//!
+//! The crate also contains the two countermeasures proposed in §IV-C of the
+//! GRINCH paper ([`countermeasure`]): the 8×8-bit reshaped S-box that fits a
+//! single 8-byte cache line, and a masked key schedule that pre-mixes
+//! not-yet-used key material into the first rounds' subkeys.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gift_cipher::{Gift64, Key};
+//!
+//! let key = Key::from_u128(0x000102030405060708090a0b0c0d0e0f);
+//! let cipher = Gift64::new(key);
+//! let ct = cipher.encrypt(0x0123_4567_89ab_cdef);
+//! assert_eq!(cipher.decrypt(ct), 0x0123_4567_89ab_cdef);
+//! ```
+
+pub mod aead;
+pub mod bitwise;
+pub mod constants;
+pub mod countermeasure;
+pub mod key_schedule;
+pub mod observer;
+pub mod permutation;
+pub mod present;
+pub mod sbox;
+pub mod state;
+pub mod table;
+pub mod vectors;
+
+pub use bitwise::{Gift128, Gift64};
+pub use key_schedule::{Key, KeyState, RoundKey128, RoundKey64};
+pub use observer::{MemoryObserver, NullObserver, RecordingObserver, TableLayout};
+pub use table::{Gift64Encryption, TableGift128, TableGift64};
+
+/// Number of rounds of GIFT-64.
+pub const GIFT64_ROUNDS: usize = 28;
+/// Number of rounds of GIFT-128.
+pub const GIFT128_ROUNDS: usize = 40;
+/// Number of 4-bit segments (nibbles) in the GIFT-64 state.
+pub const GIFT64_SEGMENTS: usize = 16;
+/// Number of 4-bit segments (nibbles) in the GIFT-128 state.
+pub const GIFT128_SEGMENTS: usize = 32;

@@ -1,0 +1,116 @@
+//! Nibble- and bit-level helpers on GIFT states.
+//!
+//! GIFT organises its state in 4-bit *segments* (nibbles): segment `i` of a
+//! 64-bit state occupies bits `4i..4i+4`. The attack literature (and the
+//! GRINCH paper) reasons about states almost exclusively in terms of segments
+//! and individual bits, so these helpers are used throughout the workspace.
+
+/// Extracts segment (nibble) `i` from a 64-bit state.
+///
+/// # Panics
+///
+/// Panics if `i >= 16`.
+#[inline]
+pub fn segment_64(state: u64, i: usize) -> u8 {
+    assert!(i < 16, "GIFT-64 has 16 segments");
+    ((state >> (4 * i)) & 0xf) as u8
+}
+
+/// Returns `state` with segment `i` replaced by `value`.
+///
+/// # Panics
+///
+/// Panics if `i >= 16` or `value >= 16`.
+#[inline]
+pub fn with_segment_64(state: u64, i: usize, value: u8) -> u64 {
+    assert!(i < 16, "GIFT-64 has 16 segments");
+    assert!(value < 16, "segment value must be a nibble");
+    (state & !(0xfu64 << (4 * i))) | (u64::from(value) << (4 * i))
+}
+
+/// Extracts segment (nibble) `i` from a 128-bit state.
+///
+/// # Panics
+///
+/// Panics if `i >= 32`.
+#[inline]
+pub fn segment_128(state: u128, i: usize) -> u8 {
+    assert!(i < 32, "GIFT-128 has 32 segments");
+    ((state >> (4 * i)) & 0xf) as u8
+}
+
+/// Returns `state` with segment `i` replaced by `value`.
+///
+/// # Panics
+///
+/// Panics if `i >= 32` or `value >= 16`.
+#[inline]
+pub fn with_segment_128(state: u128, i: usize, value: u8) -> u128 {
+    assert!(i < 32, "GIFT-128 has 32 segments");
+    assert!(value < 16, "segment value must be a nibble");
+    (state & !(0xfu128 << (4 * i))) | (u128::from(value) << (4 * i))
+}
+
+/// Returns bit `i` of a 64-bit state.
+#[inline]
+pub fn bit_64(state: u64, i: usize) -> bool {
+    debug_assert!(i < 64);
+    (state >> i) & 1 == 1
+}
+
+/// Returns `state` with bit `i` set to `value`.
+#[inline]
+pub fn with_bit_64(state: u64, i: usize, value: bool) -> u64 {
+    debug_assert!(i < 64);
+    (state & !(1u64 << i)) | (u64::from(value) << i)
+}
+
+/// Iterates over all 16 segments of a 64-bit state, least significant first.
+pub fn segments_64(state: u64) -> impl Iterator<Item = u8> {
+    (0..16).map(move |i| segment_64(state, i))
+}
+
+/// Iterates over all 32 segments of a 128-bit state, least significant first.
+pub fn segments_128(state: u128) -> impl Iterator<Item = u8> {
+    (0..32).map(move |i| segment_128(state, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_round_trips() {
+        let s = 0xfedc_ba98_7654_3210u64;
+        for i in 0..16 {
+            assert_eq!(segment_64(s, i), i as u8);
+            assert_eq!(with_segment_64(s, i, segment_64(s, i)), s);
+        }
+    }
+
+    #[test]
+    fn with_segment_only_touches_target() {
+        let s = 0u64;
+        let t = with_segment_64(s, 5, 0xf);
+        assert_eq!(t, 0xf << 20);
+        assert_eq!(with_segment_64(t, 5, 0), 0);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let s = 0xa5a5_a5a5_5a5a_5a5au64;
+        for i in 0..64 {
+            assert_eq!(with_bit_64(s, i, bit_64(s, i)), s);
+            assert_ne!(with_bit_64(s, i, !bit_64(s, i)), s);
+        }
+    }
+
+    #[test]
+    fn segment_iterators_cover_whole_state() {
+        let s = 0xfedc_ba98_7654_3210u64;
+        let collected: Vec<u8> = segments_64(s).collect();
+        assert_eq!(collected, (0..16).map(|i| i as u8).collect::<Vec<_>>());
+        let s128 = u128::from(s) | (u128::from(s) << 64);
+        assert_eq!(segments_128(s128).count(), 32);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the AEAD mode and the PRESENT comparison
+//! cipher.
+
+use gift_cipher::aead::{GiftCofb, Tag};
+use gift_cipher::present::{expand_present, Present, PresentKey, TablePresent};
+use gift_cipher::{Key, NullObserver, TableLayout};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aead_round_trips_arbitrary_inputs(
+        key in any::<u128>(),
+        nonce in any::<u128>(),
+        aad in prop::collection::vec(any::<u8>(), 0..64),
+        msg in prop::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let aead = GiftCofb::new(Key::from_u128(key));
+        let (ct, tag) = aead.seal(nonce, &aad, &msg);
+        prop_assert_eq!(ct.len(), msg.len());
+        let pt = aead.open(nonce, &aad, &ct, tag).expect("authentic");
+        prop_assert_eq!(pt, msg);
+    }
+
+    #[test]
+    fn aead_rejects_any_single_byte_tamper(
+        key in any::<u128>(),
+        nonce in any::<u128>(),
+        msg in prop::collection::vec(any::<u8>(), 1..64),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let aead = GiftCofb::new(Key::from_u128(key));
+        let (mut ct, tag) = aead.seal(nonce, b"hdr", &msg);
+        let idx = flip_at.index(ct.len());
+        ct[idx] ^= 1 << flip_bit;
+        prop_assert!(aead.open(nonce, b"hdr", &ct, tag).is_err());
+    }
+
+    #[test]
+    fn aead_rejects_wrong_tag(
+        key in any::<u128>(),
+        nonce in any::<u128>(),
+        msg in prop::collection::vec(any::<u8>(), 0..48),
+        tag_delta in 1u64..,
+    ) {
+        let aead = GiftCofb::new(Key::from_u128(key));
+        let (ct, tag) = aead.seal(nonce, b"", &msg);
+        prop_assert!(aead.open(nonce, b"", &ct, Tag(tag.0 ^ tag_delta)).is_err());
+    }
+
+    #[test]
+    fn present_encrypt_decrypt_round_trips(key in any::<u128>(), pt in any::<u64>()) {
+        let k80 = Present::new(PresentKey::K80(key & ((1 << 80) - 1)));
+        prop_assert_eq!(k80.decrypt(k80.encrypt(pt)), pt);
+        let k128 = Present::new(PresentKey::K128(key));
+        prop_assert_eq!(k128.decrypt(k128.encrypt(pt)), pt);
+    }
+
+    #[test]
+    fn present_table_matches_reference(key in any::<u128>(), pt in any::<u64>()) {
+        let k = PresentKey::K80(key & ((1 << 80) - 1));
+        let table = TablePresent::new(k, TableLayout::new(0x700));
+        let reference = Present::new(k);
+        let mut obs = NullObserver;
+        prop_assert_eq!(table.encrypt_with(pt, &mut obs), reference.encrypt(pt));
+    }
+
+    #[test]
+    fn present_schedule_prefix_determines_the_key(key in any::<u128>()) {
+        // The inversion the cache attack relies on: rk1 + rk2 ⇒ full key.
+        let k = key & ((1 << 80) - 1);
+        let rks = expand_present(PresentKey::K80(k));
+        let recovered =
+            grinch_free_present_invert(rks[0], rks[1]);
+        prop_assert_eq!(recovered, k);
+    }
+}
+
+/// Local copy of the schedule inversion (the attack-side version lives in
+/// the `grinch` crate; duplicating three lines here avoids a dev-dependency
+/// cycle while still property-testing the algebra at the cipher layer).
+fn grinch_free_present_invert(rk1: u64, rk2: u64) -> u128 {
+    let low15 = (rk2 >> 45) & 0x7fff;
+    let top = ((rk2 >> 60) & 0xf) as usize;
+    let bit15 = u64::from(gift_cipher::present::PRESENT_SBOX_INV[top]) & 1;
+    (u128::from(rk1) << 16) | u128::from((bit15 << 15) | low15)
+}

@@ -1,0 +1,256 @@
+//! Baseline cache-attack classes, for comparison with GRINCH.
+//!
+//! The paper's introduction distinguishes three classes of logical cache
+//! attacks: **time-driven** (observe total execution time, Bernstein-style),
+//! **access-driven** (observe which lines were touched — GRINCH's class),
+//! and **trace-driven** (observe the hit/miss sequence of the victim's own
+//! accesses). This module implements the two non-GRINCH classes against the
+//! same table-driven GIFT victim, quantifying *why* the access-driven
+//! attack is the effective one for GIFT:
+//!
+//! * [`time_driven`]: with a 16-entry S-box, every encryption touches
+//!   (essentially) the whole table, so total time carries almost no
+//!   key-dependent component — the classical timing attack starves.
+//! * [`trace_driven`]: the hit/miss sequence of one round reveals the
+//!   *collision pattern* of its S-box indices (access `i` hits iff its
+//!   index appeared among accesses `0..i`). That is real leakage — but it
+//!   only constrains key bits through equalities between segments, far
+//!   weaker per encryption than GRINCH's pinned-index channel.
+
+use cache_sim::{CacheConfig, MemoryHierarchy};
+use gift_cipher::{Key, MemoryObserver, TableGift64, TableLayout};
+
+/// The time-driven observation: total latency of one encryption through a
+/// timed memory hierarchy (cold cache per call, as a remote attacker
+/// triggering one encryption would see).
+pub mod time_driven {
+    use super::*;
+
+    /// Observer that routes cipher reads through a timed hierarchy.
+    struct TimedObserver<'a> {
+        mem: &'a mut MemoryHierarchy,
+        total_ns: u64,
+    }
+
+    impl MemoryObserver for TimedObserver<'_> {
+        fn on_read(&mut self, access: gift_cipher::observer::Access) {
+            self.total_ns += self.mem.timed_read(access.addr);
+        }
+    }
+
+    /// Total memory latency of one cold-cache encryption of `plaintext`.
+    pub fn encryption_latency(key: Key, plaintext: u64) -> u64 {
+        let layout = TableLayout::default();
+        let cipher = TableGift64::new(key, layout);
+        let mut mem = MemoryHierarchy::new(CacheConfig::grinch_default(), 80);
+        let mut obs = TimedObserver {
+            mem: &mut mem,
+            total_ns: 0,
+        };
+        cipher.encrypt_with(plaintext, &mut obs);
+        obs.total_ns
+    }
+
+    /// The spread (max − min) of encryption latencies over `samples`
+    /// plaintexts, normalised by the mean — the signal a Bernstein-style
+    /// attack needs to correlate against key hypotheses.
+    pub fn relative_latency_spread(key: Key, samples: u64) -> f64 {
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        for i in 0..samples {
+            let pt = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let t = encryption_latency(key, pt);
+            min = min.min(t);
+            max = max.max(t);
+            sum += t;
+        }
+        let mean = sum as f64 / samples as f64;
+        (max - min) as f64 / mean
+    }
+}
+
+/// The trace-driven observation: the hit/miss pattern of the victim's own
+/// S-box accesses within one round.
+pub mod trace_driven {
+    use super::*;
+    use cache_sim::{Cache, CacheObserver};
+    use gift_cipher::state::segment_64;
+    use gift_cipher::Gift64;
+
+    /// The hit/miss sequence of round `round` (1-based) of an encryption,
+    /// starting from a flushed cache — the trace-driven channel.
+    pub fn round_trace(key: Key, plaintext: u64, round: usize) -> Vec<bool> {
+        let layout = TableLayout::default();
+        let cipher = TableGift64::new(key, layout);
+        let mut cache = Cache::new(CacheConfig::grinch_default());
+        let mut state = plaintext;
+        for r in 0..round {
+            if r == round - 1 {
+                cache.flush_all();
+                // Record hits/misses of this round only.
+                struct TraceObs<'a> {
+                    cache: &'a mut Cache,
+                    hits: Vec<bool>,
+                }
+                impl MemoryObserver for TraceObs<'_> {
+                    fn on_read(&mut self, access: gift_cipher::observer::Access) {
+                        self.hits.push(self.cache.access(access.addr).is_hit());
+                    }
+                }
+                let mut obs = TraceObs {
+                    cache: &mut cache,
+                    hits: Vec::new(),
+                };
+                cipher.run_single_round(state, r, &mut obs);
+                return obs.hits;
+            }
+            let mut obs = CacheObserver::new(&mut cache);
+            state = cipher.run_single_round(state, r, &mut obs);
+        }
+        unreachable!("round must be >= 1");
+    }
+
+    /// The *collision partition* a trace reveals: `partition[i]` is the
+    /// index of the earliest segment whose S-box index equals segment
+    /// `i`'s (with one-word lines, access `i` hits exactly when its index
+    /// already occurred).
+    ///
+    /// This is the complete information content of a one-round trace — an
+    /// equality pattern over the 16 secret indices, never their values.
+    pub fn collision_partition(trace: &[bool], key: Key, plaintext: u64, round: usize) -> Vec<usize> {
+        // Derive ground truth to label the partition (a real attacker
+        // reconstructs the same partition incrementally from hits alone;
+        // we verify that claim in tests).
+        let reference = Gift64::new(key);
+        let input = reference.encrypt_rounds(plaintext, round - 1);
+        let mut first_of_value = [usize::MAX; 16];
+        let mut partition = Vec::with_capacity(16);
+        for i in 0..16 {
+            let v = segment_64(input, i) as usize;
+            if first_of_value[v] == usize::MAX {
+                first_of_value[v] = i;
+                debug_assert!(!trace[i], "first occurrence must miss");
+            } else {
+                debug_assert!(trace[i], "repeat must hit");
+            }
+            partition.push(first_of_value[v]);
+        }
+        partition
+    }
+
+    /// Shannon entropy (bits) of the distribution of a round's collision
+    /// partitions over `samples` random plaintexts — an upper bound on the
+    /// per-encryption information the trace-driven channel carries.
+    pub fn partition_entropy_bits(key: Key, round: usize, samples: u64) -> f64 {
+        use std::collections::HashMap;
+        let mut counts: HashMap<Vec<usize>, u64> = HashMap::new();
+        for i in 0..samples {
+            let pt = i.wrapping_mul(0x517c_c1b7_2722_0a95) ^ 0x1234;
+            let trace = round_trace(key, pt, round);
+            let partition = collision_partition(&trace, key, pt, round);
+            *counts.entry(partition).or_default() += 1;
+        }
+        counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / samples as f64;
+                -p * p.log2()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> Key {
+        Key::from_u128(0x0f1e_2d3c_4b5a_6978_8796_a5b4_c3d2_e1f0)
+    }
+
+    #[test]
+    fn time_driven_signal_is_tiny_for_gift() {
+        // The 16-entry table gets (essentially) fully cached within the
+        // first rounds; after that everything hits, so total latency is
+        // nearly constant: the Bernstein channel carries almost nothing.
+        let spread = time_driven::relative_latency_spread(key(), 64);
+        assert!(
+            spread < 0.05,
+            "GIFT's tiny S-box should flatten timing: spread {spread}"
+        );
+    }
+
+    #[test]
+    fn time_driven_latency_is_key_insensitive() {
+        let pt = 0x0123_4567_89ab_cdef;
+        let a = time_driven::encryption_latency(Key::from_u128(1), pt);
+        let b = time_driven::encryption_latency(Key::from_u128(2), pt);
+        let rel = (a as f64 - b as f64).abs() / a as f64;
+        assert!(rel < 0.05, "keys should be near-indistinguishable: {rel}");
+    }
+
+    #[test]
+    fn trace_has_sixteen_events_and_first_access_misses() {
+        let trace = trace_driven::round_trace(key(), 42, 2);
+        assert_eq!(trace.len(), 16);
+        assert!(!trace[0], "first access of a flushed round must miss");
+    }
+
+    #[test]
+    fn trace_miss_count_equals_distinct_indices() {
+        use gift_cipher::state::segment_64;
+        use gift_cipher::Gift64;
+        let pt = 0xdead_beef_1234_5678;
+        for round in 1..=3 {
+            let trace = trace_driven::round_trace(key(), pt, round);
+            let input = Gift64::new(key()).encrypt_rounds(pt, round - 1);
+            let mut distinct: Vec<u8> = (0..16).map(|s| segment_64(input, s)).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let misses = trace.iter().filter(|&&h| !h).count();
+            assert_eq!(misses, distinct.len(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn partition_is_consistent_with_trace() {
+        let pt = 0x1111_2222_3333_4444;
+        let trace = trace_driven::round_trace(key(), pt, 2);
+        let partition = trace_driven::collision_partition(&trace, key(), pt, 2);
+        assert_eq!(partition.len(), 16);
+        // Segment i's representative is at most i, and exactly i iff the
+        // access missed (first occurrence).
+        for (i, &rep) in partition.iter().enumerate() {
+            assert!(rep <= i);
+            assert_eq!(rep == i, !trace[i]);
+        }
+    }
+
+    #[test]
+    fn trace_channel_carries_less_information_than_grinch_needs() {
+        // GRINCH pins 8 key bits per crafted encryption (one batch). The
+        // trace partition over random plaintexts carries some entropy, but
+        // it is entropy about index *collisions*, not index values: verify
+        // that two different keys can produce identical partitions for the
+        // same plaintext (the channel cannot separate them).
+        let pt = 0x5555_aaaa_5555_aaaa;
+        let k1 = Key::from_u128(3);
+        // A key differing only in round-2+ material produces the same
+        // round-1 trace.
+        let k2 = Key::from_u128(3 | (1 << 127));
+        let t1 = trace_driven::round_trace(k1, pt, 1);
+        let t2 = trace_driven::round_trace(k2, pt, 1);
+        assert_eq!(t1, t2, "round-1 traces are key-independent");
+    }
+
+    #[test]
+    fn partition_entropy_is_bounded() {
+        let bits = trace_driven::partition_entropy_bits(key(), 2, 128);
+        // The Bell number B(16) bounds the partition space, but with 16
+        // near-uniform indices the observed entropy over 128 samples is a
+        // few bits — far below the 32 bits per round GRINCH extracts.
+        assert!(bits > 0.5, "channel should carry some information: {bits}");
+        assert!(bits < 10.0, "entropy estimate out of range: {bits}");
+    }
+}

@@ -1,0 +1,278 @@
+//! Plaintext generation — the paper's Algorithm 2 and Step 5.
+//!
+//! Given the source constraints of one or more targets (with disjoint source
+//! quads), [`craft_round_input`] builds a round-*t* input state whose
+//! constrained segments are drawn uniformly from their 8-element choice
+//! lists and whose other segments are uniformly random — exactly Algorithm 2
+//! generalised to four pinned bits per target.
+//!
+//! For stages beyond the first (Step 5 — "update plaintext generation") the
+//! crafted round-*t* input is inverted through rounds `t-1 .. 1` using the
+//! round keys recovered in earlier stages, yielding the plaintext to submit.
+
+use crate::target::TargetSpec;
+use gift_cipher::bitwise::invert_with_round_keys_64;
+use gift_cipher::key_schedule::RoundKey64;
+use gift_cipher::state::with_segment_64;
+use gift_cipher::GIFT64_SEGMENTS;
+use rand::Rng;
+
+/// Errors from plaintext crafting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CraftError {
+    /// Two targets constrain the same source segment; their campaigns
+    /// cannot share an encryption.
+    ConflictingSources {
+        /// The doubly-constrained segment.
+        segment: usize,
+    },
+    /// The number of known round keys does not match the stage being
+    /// attacked (stage `t` needs exactly `t - 1` round keys).
+    WrongKnownKeyCount {
+        /// Keys supplied.
+        have: usize,
+        /// Keys required.
+        need: usize,
+    },
+    /// Targets disagree on the stage round.
+    MixedStages,
+}
+
+impl core::fmt::Display for CraftError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::ConflictingSources { segment } => {
+                write!(f, "source segment {segment} constrained by two targets")
+            }
+            Self::WrongKnownKeyCount { have, need } => {
+                write!(f, "stage needs {need} known round keys, got {have}")
+            }
+            Self::MixedStages => write!(f, "targets span different stage rounds"),
+        }
+    }
+}
+
+impl std::error::Error for CraftError {}
+
+/// Builds a round-*t* input state satisfying every target's source
+/// constraints, with all unconstrained segments uniformly random.
+///
+/// # Errors
+///
+/// Returns [`CraftError::ConflictingSources`] if two targets share a source
+/// segment (use [`crate::target::disjoint_batches`] to group targets), or
+/// [`CraftError::MixedStages`] if the targets disagree on `stage_round`.
+pub fn craft_round_input<R: Rng + ?Sized>(
+    targets: &[TargetSpec],
+    rng: &mut R,
+) -> Result<u64, CraftError> {
+    if let Some(first) = targets.first() {
+        if targets.iter().any(|t| t.stage_round != first.stage_round) {
+            return Err(CraftError::MixedStages);
+        }
+    }
+    let mut state: u64 = rng.gen();
+    let mut constrained = [false; GIFT64_SEGMENTS];
+    for target in targets {
+        for c in target.source_constraints() {
+            if constrained[c.segment] {
+                return Err(CraftError::ConflictingSources { segment: c.segment });
+            }
+            constrained[c.segment] = true;
+            let value = c.choices[rng.gen_range(0..c.choices.len())];
+            state = with_segment_64(state, c.segment, value);
+        }
+    }
+    Ok(state)
+}
+
+/// Crafts a plaintext for the given targets at stage `t`, inverting the
+/// crafted round-*t* input through the `t - 1` known earlier rounds
+/// (Step 5; for stage 1 the crafted state *is* the plaintext).
+///
+/// # Errors
+///
+/// Propagates [`craft_round_input`] errors, and returns
+/// [`CraftError::WrongKnownKeyCount`] if `known_round_keys.len()` is not
+/// `stage_round - 1`.
+pub fn craft_plaintext<R: Rng + ?Sized>(
+    targets: &[TargetSpec],
+    known_round_keys: &[RoundKey64],
+    rng: &mut R,
+) -> Result<u64, CraftError> {
+    let stage = targets.first().map_or(1, |t| t.stage_round);
+    if known_round_keys.len() != stage - 1 {
+        return Err(CraftError::WrongKnownKeyCount {
+            have: known_round_keys.len(),
+            need: stage - 1,
+        });
+    }
+    let round_input = craft_round_input(targets, rng)?;
+    Ok(invert_with_round_keys_64(round_input, known_round_keys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::disjoint_batches;
+    use gift_cipher::bitwise::{apply_with_round_keys_64, Gift64};
+    use gift_cipher::key_schedule::{expand_64, Key};
+    use gift_cipher::state::segment_64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The round-(t+1) S-box index the victim actually uses for `segment`,
+    /// given the full cipher and a plaintext.
+    fn actual_index(cipher: &Gift64, pt: u64, stage: usize, segment: usize) -> u8 {
+        let input = cipher.encrypt_rounds(pt, stage);
+        segment_64(input, segment)
+    }
+
+    #[test]
+    fn stage1_crafted_index_is_constant_and_predicted() {
+        let key = Key::from_u128(0x0123_4567_89ab_cdef_1122_3344_5566_7788);
+        let cipher = Gift64::new(key);
+        let rk = cipher.round_keys()[0];
+        let mut rng = StdRng::seed_from_u64(7);
+        for segment in 0..16 {
+            let spec = TargetSpec::new(1, segment);
+            let v = (rk.v >> segment) & 1 == 1;
+            let u = (rk.u >> segment) & 1 == 1;
+            let expected = spec.expected_index(v, u);
+            for _ in 0..20 {
+                let pt = craft_plaintext(&[spec], &[], &mut rng).unwrap();
+                assert_eq!(
+                    actual_index(&cipher, pt, 1, segment),
+                    expected,
+                    "segment {segment}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stage1_crafted_index_respects_forced_patterns() {
+        let key = Key::from_u128(0xfeed_beef_1234_5678_9abc_def0_1357_9bdf);
+        let cipher = Gift64::new(key);
+        let rk = cipher.round_keys()[0];
+        let mut rng = StdRng::seed_from_u64(21);
+        let segment = 11;
+        for pattern in 0..16u8 {
+            let spec = TargetSpec::with_forced_pattern(1, segment, pattern);
+            let v = (rk.v >> segment) & 1 == 1;
+            let u = (rk.u >> segment) & 1 == 1;
+            let pt = craft_plaintext(&[spec], &[], &mut rng).unwrap();
+            assert_eq!(
+                actual_index(&cipher, pt, 1, segment),
+                spec.expected_index(v, u),
+                "pattern {pattern}"
+            );
+        }
+    }
+
+    #[test]
+    fn later_stage_crafting_inverts_known_rounds() {
+        let key = Key::from_u128(0x0bad_cafe_0bad_cafe_0bad_cafe_0bad_cafe);
+        let cipher = Gift64::new(key);
+        let mut rng = StdRng::seed_from_u64(99);
+        for stage in 2..=4usize {
+            let known = &cipher.round_keys()[..stage - 1];
+            let rk = cipher.round_keys()[stage - 1];
+            for segment in [0usize, 5, 15] {
+                let spec = TargetSpec::new(stage, segment);
+                let v = (rk.v >> segment) & 1 == 1;
+                let u = (rk.u >> segment) & 1 == 1;
+                let expected = spec.expected_index(v, u);
+                for _ in 0..10 {
+                    let pt = craft_plaintext(&[spec], known, &mut rng).unwrap();
+                    assert_eq!(
+                        actual_index(&cipher, pt, stage, segment),
+                        expected,
+                        "stage {stage} segment {segment}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_targets_pin_all_four_segments_at_once() {
+        let key = Key::from_u128(0x1111_2222_3333_4444_5555_6666_7777_8888);
+        let cipher = Gift64::new(key);
+        let rk = cipher.round_keys()[0];
+        let mut rng = StdRng::seed_from_u64(3);
+        let batch = disjoint_batches(1)[0];
+        let specs: Vec<TargetSpec> = batch.iter().map(|&s| TargetSpec::new(1, s)).collect();
+        let pt = craft_plaintext(&specs, &[], &mut rng).unwrap();
+        for &segment in &batch {
+            let spec = TargetSpec::new(1, segment);
+            let v = (rk.v >> segment) & 1 == 1;
+            let u = (rk.u >> segment) & 1 == 1;
+            assert_eq!(actual_index(&cipher, pt, 1, segment), spec.expected_index(v, u));
+        }
+    }
+
+    #[test]
+    fn conflicting_targets_are_rejected() {
+        // Quad partners share sources, so crafting them together must fail.
+        let spec = TargetSpec::new(1, 0);
+        let partner = spec.quad_partners()[1];
+        let conflicting = TargetSpec::new(1, partner);
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = craft_round_input(&[spec, conflicting], &mut rng).unwrap_err();
+        assert!(matches!(err, CraftError::ConflictingSources { .. }));
+    }
+
+    #[test]
+    fn wrong_known_key_count_is_rejected() {
+        let key = Key::from_u128(42);
+        let keys = expand_64(key, 3);
+        let spec = TargetSpec::new(2, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = craft_plaintext(&[spec], &keys, &mut rng).unwrap_err();
+        assert_eq!(err, CraftError::WrongKnownKeyCount { have: 3, need: 1 });
+    }
+
+    #[test]
+    fn mixed_stage_targets_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let err =
+            craft_round_input(&[TargetSpec::new(1, 0), TargetSpec::new(2, 1)], &mut rng)
+                .unwrap_err();
+        assert_eq!(err, CraftError::MixedStages);
+    }
+
+    #[test]
+    fn unconstrained_segments_vary_between_crafts() {
+        let spec = TargetSpec::new(1, 0);
+        let sources = spec.source_segments();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut varied = false;
+        let a = craft_round_input(&[spec], &mut rng).unwrap();
+        for _ in 0..8 {
+            let b = craft_round_input(&[spec], &mut rng).unwrap();
+            for seg in 0..16 {
+                if !sources.contains(&seg) && segment_64(a, seg) != segment_64(b, seg) {
+                    varied = true;
+                }
+            }
+        }
+        assert!(varied, "noise segments never varied");
+    }
+
+    #[test]
+    fn crafted_plaintext_round_trips_through_forward_application() {
+        let key = Key::from_u128(0x7777);
+        let keys = expand_64(key, 2);
+        let spec = TargetSpec::new(3, 4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let pt = craft_plaintext(&[spec], &keys, &mut rng).unwrap();
+        // Applying the two known rounds forward must land on a state whose
+        // constrained segments satisfy the constraints.
+        let state = apply_with_round_keys_64(pt, &keys);
+        for c in spec.source_constraints() {
+            let nib = segment_64(state, c.segment);
+            assert!(c.choices.contains(&nib));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Step 3 — candidate elimination.
+//!
+//! Each target segment has four round-key-bit hypotheses `(v, u)`. Every
+//! observation is a *soundness filter*: the line predicted by the true
+//! hypothesis is always present (the crafted access really happened), so a
+//! hypothesis whose predicted line is **absent** from an observation is
+//! definitively wrong. Noise (other segments, later rounds, missing flush)
+//! only ever adds presence, never absence — which is why elimination slows
+//! down but never mis-eliminates as the probing round and line size grow.
+
+use crate::oracle::{ObservedLines, VictimOracle};
+use crate::target::TargetSpec;
+
+/// The surviving `(v_bit, u_bit)` hypotheses for one target segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CandidateSet {
+    survivors: Vec<(bool, bool)>,
+}
+
+impl CandidateSet {
+    /// All four hypotheses, nothing eliminated yet.
+    pub fn full() -> Self {
+        Self {
+            survivors: vec![(false, false), (true, false), (false, true), (true, true)],
+        }
+    }
+
+    /// The surviving hypotheses.
+    pub fn survivors(&self) -> &[(bool, bool)] {
+        &self.survivors
+    }
+
+    /// Whether exactly one hypothesis survives.
+    pub fn is_resolved(&self) -> bool {
+        self.survivors.len() == 1
+    }
+
+    /// The unique survivor, if resolved.
+    pub fn resolved(&self) -> Option<(bool, bool)> {
+        if self.is_resolved() {
+            Some(self.survivors[0])
+        } else {
+            None
+        }
+    }
+
+    /// Number of surviving hypotheses.
+    pub fn len(&self) -> usize {
+        self.survivors.len()
+    }
+
+    /// Whether every hypothesis has been eliminated (indicates a broken
+    /// observation channel — cannot happen with a sound oracle).
+    pub fn is_empty(&self) -> bool {
+        self.survivors.is_empty()
+    }
+
+    /// Removes a specific hypothesis (used by callers that evaluate
+    /// consistency against their own channel model, e.g. the multi-level
+    /// hierarchy experiment). Returns whether it was present.
+    pub fn remove(&mut self, hypothesis: (bool, bool)) -> bool {
+        let before = self.survivors.len();
+        self.survivors.retain(|&h| h != hypothesis);
+        self.survivors.len() != before
+    }
+
+    /// Applies one observation under the campaign `spec`: eliminates every
+    /// hypothesis whose predicted line is absent. Returns how many
+    /// hypotheses were eliminated.
+    pub fn eliminate(
+        &mut self,
+        oracle: &VictimOracle,
+        spec: &TargetSpec,
+        observed: &ObservedLines,
+    ) -> usize {
+        let before = self.survivors.len();
+        self.survivors
+            .retain(|&(v, u)| oracle.hypothesis_consistent(spec, observed, v, u));
+        before - self.survivors.len()
+    }
+}
+
+impl Default for CandidateSet {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::craft::craft_plaintext;
+    use crate::oracle::ObservationConfig;
+    use gift_cipher::bitwise::Gift64;
+    use gift_cipher::Key;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_set_has_four_candidates() {
+        let set = CandidateSet::full();
+        assert_eq!(set.len(), 4);
+        assert!(!set.is_resolved());
+        assert!(!set.is_empty());
+        assert_eq!(set.resolved(), None);
+    }
+
+    #[test]
+    fn elimination_converges_to_true_key_bits() {
+        let key = Key::from_u128(0x1234_5678_9abc_def0_0fed_cba9_8765_4321);
+        let mut oracle = VictimOracle::new(key, ObservationConfig::ideal());
+        let segment = 9;
+        let spec = TargetSpec::new(1, segment);
+        let rk = Gift64::new(key).round_keys()[0];
+        let truth = ((rk.v >> segment) & 1 == 1, (rk.u >> segment) & 1 == 1);
+
+        let mut set = CandidateSet::full();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..64 {
+            let pt = craft_plaintext(&[spec], &[], &mut rng).unwrap();
+            let observed = oracle.observe(pt);
+            set.eliminate(&oracle, &spec, &observed);
+            assert!(
+                set.survivors().contains(&truth),
+                "true hypothesis must never be eliminated"
+            );
+            if set.is_resolved() {
+                break;
+            }
+        }
+        assert_eq!(set.resolved(), Some(truth));
+    }
+
+    #[test]
+    fn elimination_never_removes_truth_even_without_flush() {
+        let key = Key::from_u128(0xaaaa_bbbb_cccc_dddd_eeee_ffff_0000_1111);
+        let cfg = ObservationConfig::ideal().with_flush(false).with_probing_round(4);
+        let mut oracle = VictimOracle::new(key, cfg);
+        let segment = 3;
+        let spec = TargetSpec::new(1, segment);
+        let rk = Gift64::new(key).round_keys()[0];
+        let truth = ((rk.v >> segment) & 1 == 1, (rk.u >> segment) & 1 == 1);
+        let mut set = CandidateSet::full();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let pt = craft_plaintext(&[spec], &[], &mut rng).unwrap();
+            let observed = oracle.observe(pt);
+            set.eliminate(&oracle, &spec, &observed);
+        }
+        assert!(set.survivors().contains(&truth));
+    }
+}

@@ -1,0 +1,51 @@
+//! Experiment drivers regenerating every figure and table of the paper.
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Fig. 3 — encryptions to break the 1st round vs probing round, with/without flush | [`probing_round::run`] |
+//! | Table I — encryptions vs cache line size × probing round | [`line_size::run`] |
+//! | Table II — first probe-able round vs platform × clock | [`practical::run`] |
+//! | §IV-C countermeasures (ablation) | [`countermeasures::run`] |
+//!
+//! Each driver returns plain data rows so the `grinch-bench` binaries can
+//! print them in the paper's format and the Criterion benches can time them.
+
+pub mod countermeasures;
+pub mod hierarchy;
+pub mod line_size;
+pub mod noise;
+pub mod practical;
+pub mod present_compare;
+pub mod probing_round;
+
+/// Measurement outcome for a first-round (32-bit) recovery experiment cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellResult {
+    /// The 32 bits were recovered with this many encryptions.
+    Recovered(u64),
+    /// The encryption cap was hit first (the paper prints ">1M").
+    DropOut(u64),
+}
+
+impl CellResult {
+    /// Encryptions spent, whether or not recovery succeeded.
+    pub fn encryptions(&self) -> u64 {
+        match *self {
+            Self::Recovered(n) | Self::DropOut(n) => n,
+        }
+    }
+
+    /// Whether the cell recovered the round key.
+    pub fn is_recovered(&self) -> bool {
+        matches!(self, Self::Recovered(_))
+    }
+}
+
+impl core::fmt::Display for CellResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Recovered(n) => write!(f, "{n}"),
+            Self::DropOut(cap) => write!(f, ">{cap}"),
+        }
+    }
+}

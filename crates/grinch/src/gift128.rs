@@ -1,0 +1,568 @@
+//! GRINCH against **GIFT-128** — the natural extension of the paper's
+//! GIFT-64 attack to the larger variant (most NIST-LWC candidates built on
+//! GIFT, e.g. GIFT-COFB, use GIFT-128).
+//!
+//! The structure transfers directly, with two differences that make the
+//! attack *cheaper* per stage:
+//!
+//! * GIFT-128's `AddRoundKey` XORs 64 key bits per round — `V = k1‖k0` into
+//!   state bits `4i + 1` and `U = k5‖k4` into bits `4i + 2` — so each stage
+//!   recovers 64 bits across the 32 segments, and **two** stages recover
+//!   the full 128-bit key (rounds 1 and 2 consume `k5,k4,k1,k0` and
+//!   `k7,k6,k3,k2` respectively).
+//! * With 32 sources per round, one crafted plaintext can pin **eight**
+//!   disjoint-quad targets at once.
+//!
+//! The key-bit positions differ from GIFT-64 (bits 1 and 2 of each segment
+//! instead of 0 and 1), so the crafted-index algebra is re-derived here:
+//!
+//! ```text
+//! index = forced[0]                    (bit 0 — no key)
+//!       | forced[1] ⊕ V_t[s]           (bit 1)
+//!       | forced[2] ⊕ U_t[s]           (bit 2)
+//!       | forced[3] ⊕ rc_bit(t, s)     (bit 3)
+//! ```
+
+use crate::oracle::{ObservationConfig, ObservedLines};
+use cache_sim::{Cache, CacheObserver};
+use gift_cipher::bitwise::{invert_with_round_keys_128, Gift128};
+use gift_cipher::constants::ROUND_CONSTANTS;
+use gift_cipher::key_schedule::{Key, RoundKey128};
+use gift_cipher::permutation::P128_INV;
+use gift_cipher::sbox::inputs_with_output_bit;
+use gift_cipher::state::with_segment_128;
+use gift_cipher::{TableGift128, GIFT128_ROUNDS, GIFT128_SEGMENTS};
+use rand::Rng;
+
+/// One campaign target on GIFT-128: segment `segment` (0..32) of the
+/// round-`stage_round + 1` S-box layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TargetSpec128 {
+    /// 1-based round whose 64 round-key bits are being recovered
+    /// (`1..=2` covers the whole key).
+    pub stage_round: usize,
+    /// Target segment (0..32).
+    pub segment: usize,
+    /// Forced source output-bit values, index `b` for target index bit `b`.
+    pub forced: [bool; 4],
+}
+
+impl TargetSpec128 {
+    /// Creates a target with the all-ones forcing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment >= 32` or `stage_round == 0`.
+    pub fn new(stage_round: usize, segment: usize) -> Self {
+        Self::with_forced_pattern(stage_round, segment, 0b1111)
+    }
+
+    /// Creates a target with forced bits given as a nibble pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern >= 16`, `segment >= 32` or `stage_round == 0`.
+    pub fn with_forced_pattern(stage_round: usize, segment: usize, pattern: u8) -> Self {
+        assert!(stage_round >= 1, "stage rounds are 1-based");
+        assert!(segment < GIFT128_SEGMENTS, "GIFT-128 has 32 segments");
+        assert!(pattern < 16, "forced pattern is a nibble");
+        Self {
+            stage_round,
+            segment,
+            forced: [
+                pattern & 1 != 0,
+                pattern & 2 != 0,
+                pattern & 4 != 0,
+                pattern & 8 != 0,
+            ],
+        }
+    }
+
+    /// The four round-*t* input segments feeding this target (its quad).
+    pub fn source_segments(&self) -> [usize; 4] {
+        core::array::from_fn(|b| P128_INV[4 * self.segment + b] as usize / 4)
+    }
+
+    /// The round-constant bit XORed into this target's index bit 3.
+    pub fn round_constant_bit(&self) -> bool {
+        let rc = ROUND_CONSTANTS[self.stage_round - 1];
+        match self.segment {
+            s if s < 6 => (rc >> s) & 1 == 1,
+            31 => true, // fixed 1 into the state MSB (bit 127)
+            _ => false,
+        }
+    }
+
+    /// The S-box index this campaign produces under the round-key-bit
+    /// hypothesis `(v_bit, u_bit)` for this segment.
+    pub fn expected_index(&self, v_bit: bool, u_bit: bool) -> u8 {
+        let b0 = self.forced[0];
+        let b1 = self.forced[1] ^ v_bit;
+        let b2 = self.forced[2] ^ u_bit;
+        let b3 = self.forced[3] ^ self.round_constant_bit();
+        u8::from(b0) | (u8::from(b1) << 1) | (u8::from(b2) << 2) | (u8::from(b3) << 3)
+    }
+
+    /// Inverts an observed index into `(v_bit, u_bit)`.
+    pub fn key_bits_from_index(&self, index: u8) -> (bool, bool) {
+        let v = ((index >> 1) & 1 != 0) ^ self.forced[1];
+        let u = ((index >> 2) & 1 != 0) ^ self.forced[2];
+        (v, u)
+    }
+}
+
+/// Splits the 32 targets into four batches of eight with pairwise-disjoint
+/// source quads.
+pub fn disjoint_batches_128(stage_round: usize) -> [[usize; 8]; 4] {
+    let mut batches = [[0usize; 8]; 4];
+    let mut fill = [0usize; 4];
+    let mut used = [false; GIFT128_SEGMENTS];
+    for s in 0..GIFT128_SEGMENTS {
+        if used[s] {
+            continue;
+        }
+        // Collect the four targets sharing s's quad; they must land in
+        // different batches.
+        let mut quad_sources = TargetSpec128::new(stage_round, s).source_segments();
+        quad_sources.sort_unstable();
+        let mut partners = Vec::with_capacity(4);
+        for t in 0..GIFT128_SEGMENTS {
+            let mut other = TargetSpec128::new(stage_round, t).source_segments();
+            other.sort_unstable();
+            if other == quad_sources {
+                partners.push(t);
+            }
+        }
+        debug_assert_eq!(partners.len(), 4);
+        for (batch, &p) in partners.iter().enumerate() {
+            batches[batch][fill[batch]] = p;
+            fill[batch] += 1;
+            used[p] = true;
+        }
+    }
+    debug_assert!(fill.iter().all(|&f| f == 8));
+    batches
+}
+
+/// Crafts a plaintext pinning every target in `targets` (disjoint quads
+/// required) at stage `t`, inverting through the known earlier rounds.
+///
+/// # Panics
+///
+/// Panics if targets share a source segment, disagree on the stage, or
+/// `known_round_keys.len() != stage_round - 1`.
+pub fn craft_plaintext_128<R: Rng + ?Sized>(
+    targets: &[TargetSpec128],
+    known_round_keys: &[RoundKey128],
+    rng: &mut R,
+) -> u128 {
+    let stage = targets.first().map_or(1, |t| t.stage_round);
+    assert!(
+        targets.iter().all(|t| t.stage_round == stage),
+        "targets span different stages"
+    );
+    assert_eq!(
+        known_round_keys.len(),
+        stage - 1,
+        "stage {stage} needs {} known round keys",
+        stage - 1
+    );
+    let mut state: u128 = (u128::from(rng.gen::<u64>()) << 64) | u128::from(rng.gen::<u64>());
+    let mut constrained = [false; GIFT128_SEGMENTS];
+    for target in targets {
+        for (b, &src) in target.source_segments().iter().enumerate() {
+            assert!(!constrained[src], "source segment {src} doubly constrained");
+            constrained[src] = true;
+            let choices = inputs_with_output_bit(b as u8, target.forced[b]);
+            let value = choices[rng.gen_range(0..choices.len())];
+            state = with_segment_128(state, src, value);
+        }
+    }
+    invert_with_round_keys_128(state, known_round_keys)
+}
+
+/// The GIFT-128 victim oracle: Flush+Reload over the shared cache with the
+/// same probing-round convention as the GIFT-64 [`crate::oracle`].
+pub struct VictimOracle128 {
+    cipher: TableGift128,
+    cache: Cache,
+    config: ObservationConfig,
+    encryptions: u64,
+}
+
+impl VictimOracle128 {
+    /// Creates an oracle around a GIFT-128 victim keyed with `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid cache configuration or probing round.
+    pub fn new(key: Key, config: ObservationConfig) -> Self {
+        config.cache.validate().expect("invalid cache configuration");
+        assert!(
+            config.probing_round >= 1 && config.probing_round < GIFT128_ROUNDS,
+            "probing round must be in 1..40"
+        );
+        Self {
+            cipher: TableGift128::new(key, config.layout),
+            cache: Cache::new(config.cache),
+            config,
+            encryptions: 0,
+        }
+    }
+
+    /// The observation configuration.
+    pub fn config(&self) -> &ObservationConfig {
+        &self.config
+    }
+
+    /// Total victim encryptions triggered so far.
+    pub fn encryptions(&self) -> u64 {
+        self.encryptions
+    }
+
+    /// One chosen-plaintext encryption observed up to the probing moment of
+    /// a stage-`stage_round` campaign: the probe fires while the victim is
+    /// in round `stage_round + probing_round`, and the optional flush
+    /// happens right after round `stage_round` (see
+    /// [`crate::oracle::VictimOracle::observe_stage`]).
+    pub fn observe_stage(&mut self, plaintext: u128, stage_round: usize) -> ObservedLines {
+        self.encryptions += 1;
+        let probe_addrs = self.config.probe_line_addrs();
+        for &a in &probe_addrs {
+            self.cache.flush_line(a);
+        }
+        let rounds = (stage_round + self.config.probing_round).min(GIFT128_ROUNDS);
+        let mut state = plaintext;
+        for round in 0..rounds {
+            if round == stage_round && self.config.flush_after_round1 {
+                self.cache.flush_all();
+            }
+            let mut obs = CacheObserver::new(&mut self.cache);
+            state = self.cipher.run_single_round(state, round, &mut obs);
+        }
+        let mut observed = ObservedLines::new();
+        for &a in &probe_addrs {
+            if self.cache.access(a).is_hit() {
+                observed.insert(a);
+            }
+            self.cache.flush_line(a);
+        }
+        observed
+    }
+
+    /// One full encryption returning the ciphertext (verification pair).
+    pub fn known_pair(&mut self, plaintext: u128) -> u128 {
+        self.encryptions += 1;
+        let mut obs = gift_cipher::NullObserver;
+        self.cipher.encrypt_with(plaintext, &mut obs)
+    }
+
+    fn hypothesis_consistent(
+        &self,
+        spec: &TargetSpec128,
+        observed: &ObservedLines,
+        v_bit: bool,
+        u_bit: bool,
+    ) -> bool {
+        let idx = spec.expected_index(v_bit, u_bit);
+        observed.contains(&self.config.line_addr_of_index(idx))
+    }
+}
+
+/// Result of one GIFT-128 stage: 64 key bits across 32 segments.
+#[derive(Clone, Debug)]
+pub struct Stage128Result {
+    /// Per-segment surviving `(v, u)` hypotheses.
+    pub candidates: Vec<Vec<(bool, bool)>>,
+    /// Encryptions consumed.
+    pub encryptions: u64,
+    /// Whether the cap was hit.
+    pub capped: bool,
+}
+
+impl Stage128Result {
+    /// Whether every segment resolved uniquely.
+    pub fn is_resolved(&self) -> bool {
+        self.candidates.iter().all(|c| c.len() == 1)
+    }
+
+    /// The unique round key, if fully resolved.
+    pub fn round_key(&self) -> Option<RoundKey128> {
+        if !self.is_resolved() {
+            return None;
+        }
+        let mut v = 0u32;
+        let mut u = 0u32;
+        for (s, c) in self.candidates.iter().enumerate() {
+            let (vb, ub) = c[0];
+            v |= u32::from(vb) << s;
+            u |= u32::from(ub) << s;
+        }
+        Some(RoundKey128 { u, v })
+    }
+}
+
+/// Runs one GIFT-128 stage with the same batched pattern-sweep strategy as
+/// the GIFT-64 [`crate::stage::run_stage`].
+pub fn run_stage_128<R: Rng + ?Sized>(
+    oracle: &mut VictimOracle128,
+    known_round_keys: &[RoundKey128],
+    stage_round: usize,
+    max_encryptions: u64,
+    rng: &mut R,
+) -> Stage128Result {
+    assert_eq!(known_round_keys.len(), stage_round - 1);
+    let start = oracle.encryptions();
+    let all: Vec<(bool, bool)> =
+        vec![(false, false), (true, false), (false, true), (true, true)];
+    let mut candidates: Vec<Vec<(bool, bool)>> = vec![all; GIFT128_SEGMENTS];
+    let mut capped = false;
+
+    'batches: for batch in disjoint_batches_128(stage_round) {
+        let mut stall_limit = 24u64;
+        loop {
+            for rotation in 0..16usize {
+                if batch.iter().all(|&s| candidates[s].len() == 1) {
+                    break;
+                }
+                // All-ones first (the paper's forcing), randomised patterns
+                // afterwards: constant co-batched signals can permanently
+                // shadow a rival's predicted line under any fixed pattern
+                // schedule (see `crate::stage::run_stage`).
+                let specs: Vec<TargetSpec128> = batch
+                    .iter()
+                    .map(|&s| {
+                        let pattern = if rotation == 0 {
+                            0b1111
+                        } else {
+                            rng.gen_range(0..16u8)
+                        };
+                        TargetSpec128::with_forced_pattern(stage_round, s, pattern)
+                    })
+                    .collect();
+                let mut stall = 0u64;
+                while stall < stall_limit {
+                    if oracle.encryptions() - start >= max_encryptions {
+                        capped = true;
+                        break 'batches;
+                    }
+                    if batch.iter().all(|&s| candidates[s].len() == 1) {
+                        break;
+                    }
+                    let pt = craft_plaintext_128(&specs, known_round_keys, rng);
+                    let observed = oracle.observe_stage(pt, stage_round);
+                    let mut progressed = 0usize;
+                    for spec in &specs {
+                        let before = candidates[spec.segment].len();
+                        candidates[spec.segment].retain(|&(v, u)| {
+                            oracle.hypothesis_consistent(spec, &observed, v, u)
+                        });
+                        progressed += before - candidates[spec.segment].len();
+                    }
+                    if progressed == 0 {
+                        stall += 1;
+                    } else {
+                        stall = 0;
+                    }
+                    if batch.iter().any(|&s| candidates[s].is_empty()) {
+                        // Channel broken: every hypothesis refuted.
+                        capped = true;
+                        break 'batches;
+                    }
+                }
+            }
+            if batch.iter().all(|&s| candidates[s].len() == 1) {
+                break;
+            }
+            stall_limit = stall_limit.saturating_mul(8);
+        }
+    }
+
+    Stage128Result {
+        candidates,
+        encryptions: oracle.encryptions() - start,
+        capped,
+    }
+}
+
+/// The outcome of a GIFT-128 full-key recovery.
+#[derive(Clone, Debug)]
+pub struct Attack128Outcome {
+    /// The recovered, verified key.
+    pub key: Option<Key>,
+    /// Total encryptions consumed.
+    pub encryptions: u64,
+    /// Per-stage encryption counts.
+    pub stage_encryptions: Vec<u64>,
+}
+
+/// Reassembles the GIFT-128 master key from two recovered round keys.
+///
+/// Round 1 gives `V1 = k1‖k0`, `U1 = k5‖k4`; round 2 gives `V2 = k3‖k2`,
+/// `U2 = k7‖k6`.
+pub fn key_from_round_keys_128(r1: RoundKey128, r2: RoundKey128) -> Key {
+    Key::from_words([
+        (r1.v & 0xffff) as u16,
+        (r1.v >> 16) as u16,
+        (r2.v & 0xffff) as u16,
+        (r2.v >> 16) as u16,
+        (r1.u & 0xffff) as u16,
+        (r1.u >> 16) as u16,
+        (r2.u & 0xffff) as u16,
+        (r2.u >> 16) as u16,
+    ])
+}
+
+/// Runs the complete two-stage GRINCH attack against GIFT-128.
+pub fn recover_full_key_128<R: Rng + ?Sized>(
+    oracle: &mut VictimOracle128,
+    max_encryptions_per_stage: u64,
+    rng: &mut R,
+) -> Attack128Outcome {
+    let verify_pt = 0x0123_4567_89ab_cdef_0f1e_2d3c_4b5a_6978u128;
+    let verify_ct = oracle.known_pair(verify_pt);
+    let mut stage_encryptions = Vec::new();
+
+    let stage1 = run_stage_128(oracle, &[], 1, max_encryptions_per_stage, rng);
+    stage_encryptions.push(stage1.encryptions);
+    let Some(rk1) = stage1.round_key() else {
+        return Attack128Outcome {
+            key: None,
+            encryptions: oracle.encryptions(),
+            stage_encryptions,
+        };
+    };
+
+    let stage2 = run_stage_128(oracle, &[rk1], 2, max_encryptions_per_stage, rng);
+    stage_encryptions.push(stage2.encryptions);
+    let Some(rk2) = stage2.round_key() else {
+        return Attack128Outcome {
+            key: None,
+            encryptions: oracle.encryptions(),
+            stage_encryptions,
+        };
+    };
+
+    let candidate = key_from_round_keys_128(rk1, rk2);
+    let verified = Gift128::new(candidate).encrypt(verify_pt) == verify_ct;
+    Attack128Outcome {
+        key: verified.then_some(candidate),
+        encryptions: oracle.encryptions(),
+        stage_encryptions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gift_cipher::key_schedule::expand_128;
+    use gift_cipher::state::segment_128;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> Key {
+        Key::from_u128(0x0bad_c0de_1337_beef_2468_ace0_1357_9bdf)
+    }
+
+    #[test]
+    fn expected_index_and_key_bits_invert() {
+        for seg in 0..32 {
+            for pattern in 0..16u8 {
+                let spec = TargetSpec128::with_forced_pattern(1, seg, pattern);
+                for v in [false, true] {
+                    for u in [false, true] {
+                        assert_eq!(
+                            spec.key_bits_from_index(spec.expected_index(v, u)),
+                            (v, u)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn source_quads_are_distinct_and_partition() {
+        for seg in 0..32 {
+            let mut sources = TargetSpec128::new(1, seg).source_segments().to_vec();
+            sources.sort_unstable();
+            sources.dedup();
+            assert_eq!(sources.len(), 4, "target {seg}");
+        }
+        let batches = disjoint_batches_128(1);
+        let mut all: Vec<usize> = batches.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_crafting_pins_targets() {
+        let cipher = Gift128::new(key());
+        let rk = cipher.round_keys()[0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = disjoint_batches_128(1)[0];
+        let specs: Vec<TargetSpec128> =
+            batch.iter().map(|&s| TargetSpec128::new(1, s)).collect();
+        let pt = craft_plaintext_128(&specs, &[], &mut rng);
+        let round2_input = cipher.encrypt_rounds(pt, 1);
+        for spec in &specs {
+            let v = (rk.v >> spec.segment) & 1 == 1;
+            let u = (rk.u >> spec.segment) & 1 == 1;
+            assert_eq!(
+                segment_128(round2_input, spec.segment),
+                spec.expected_index(v, u),
+                "segment {}",
+                spec.segment
+            );
+        }
+    }
+
+    #[test]
+    fn stage2_crafting_inverts_round_one() {
+        let cipher = Gift128::new(key());
+        let known = &cipher.round_keys()[..1];
+        let rk = cipher.round_keys()[1];
+        let mut rng = StdRng::seed_from_u64(2);
+        for segment in [0usize, 13, 31] {
+            let spec = TargetSpec128::new(2, segment);
+            let pt = craft_plaintext_128(&[spec], known, &mut rng);
+            let round3_input = cipher.encrypt_rounds(pt, 2);
+            let v = (rk.v >> segment) & 1 == 1;
+            let u = (rk.u >> segment) & 1 == 1;
+            assert_eq!(
+                segment_128(round3_input, segment),
+                spec.expected_index(v, u)
+            );
+        }
+    }
+
+    #[test]
+    fn key_reassembly_inverts_schedule_prefix() {
+        let k = key();
+        let rks = expand_128(k, 2);
+        assert_eq!(key_from_round_keys_128(rks[0], rks[1]), k);
+    }
+
+    #[test]
+    fn full_gift128_key_recovery() {
+        let mut oracle = VictimOracle128::new(key(), ObservationConfig::ideal());
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = recover_full_key_128(&mut oracle, 1_000_000, &mut rng);
+        assert_eq!(outcome.key, Some(key()));
+        assert_eq!(outcome.stage_encryptions.len(), 2);
+        // Two stages instead of four: GIFT-128 should need fewer
+        // encryptions than twice the GIFT-64 stage cost.
+        assert!(
+            outcome.encryptions < 1_500,
+            "used {} encryptions",
+            outcome.encryptions
+        );
+    }
+
+    #[test]
+    fn round_constant_hits_segment_31_msb() {
+        assert!(TargetSpec128::new(1, 31).round_constant_bit());
+        assert!(!TargetSpec128::new(1, 30).round_constant_bit());
+        assert!(TargetSpec128::new(1, 0).round_constant_bit()); // RC1 = 0x01
+    }
+}

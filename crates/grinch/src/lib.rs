@@ -1,0 +1,60 @@
+//! # grinch
+//!
+//! A from-scratch reproduction of **GRINCH**, the access-driven cache attack
+//! on the GIFT lightweight cipher (Reinbrecht, Aljuffri, Hamdioui, Taouil,
+//! Sepúlveda — DATE 2021).
+//!
+//! GRINCH recovers the full 128-bit GIFT-64 key in four stages, one per
+//! round. Stage *t* crafts plaintexts that pin a chosen S-box index of round
+//! *t + 1* to a constant (modulo the two unknown key bits that round *t*'s
+//! `AddRoundKey` XORs into it), observes which S-box cache lines the victim
+//! touches, eliminates candidate indices that are absent from some
+//! encryption, and inverts the surviving index into two key bits — 32 bits
+//! per stage across the 16 state segments.
+//!
+//! The crate is organised along the paper's five methodology steps:
+//!
+//! | Paper step | Module |
+//! |---|---|
+//! | Step 1 — generate plaintext + encrypt | [`target`] (Algorithm 1), [`craft`] (Algorithm 2) |
+//! | Step 2 — probe the cache | [`oracle`] (Flush+Reload / Prime+Probe over `cache-sim`) |
+//! | Step 3 — eliminate candidates | [`eliminate`] |
+//! | Step 4 — reverse-engineer key bits | [`target::TargetSpec::key_bits_from_index`] and [`eliminate`] |
+//! | Step 5 — update plaintext generation | [`stage`], [`attack`] |
+//!
+//! The experiment drivers regenerating the paper's figures and tables live
+//! in [`experiments`]. Beyond the paper's evaluation, the crate carries:
+//! [`gift128`] (the attack on GIFT-128 — two stages recover the whole
+//! key), [`platform_attack`] (the stage logic driven end-to-end by the
+//! MPSoC co-simulation), [`noise`] (false-absence channels and a
+//! noise-robust sequential recovery), [`baselines`] (time-driven and
+//! trace-driven attack classes for comparison) and [`analysis`] (a
+//! closed-form effort model for the Fig. 3 / Table I shapes).
+//!
+//! ```
+//! use grinch::attack::{recover_full_key, AttackConfig};
+//! use grinch::oracle::{ObservationConfig, VictimOracle};
+//! use gift_cipher::Key;
+//!
+//! let secret = Key::from_u128(0x0011_2233_4455_6677_8899_aabb_ccdd_eeff);
+//! let mut oracle = VictimOracle::new(secret, ObservationConfig::ideal());
+//! let result = recover_full_key(&mut oracle, &AttackConfig::default());
+//! assert_eq!(result.key, Some(secret));
+//! ```
+
+pub mod analysis;
+pub mod attack;
+pub mod baselines;
+pub mod craft;
+pub mod eliminate;
+pub mod experiments;
+pub mod gift128;
+pub mod noise;
+pub mod oracle;
+pub mod platform_attack;
+pub mod stage;
+pub mod target;
+
+pub use attack::{recover_full_key, AttackConfig, AttackOutcome};
+pub use oracle::{ObservationConfig, ProbeStrategy, VictimOracle};
+pub use target::TargetSpec;

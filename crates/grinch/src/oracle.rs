@@ -1,0 +1,519 @@
+//! Step 2 — probing the cache: the attacker's observation interface.
+//!
+//! [`VictimOracle`] wraps a secret-keyed victim cipher, a shared cache and a
+//! probing configuration, and lets the attacker do exactly what the paper's
+//! threat model allows: submit a plaintext for encryption and learn which
+//! S-box *cache lines* were resident when the probe fired — nothing else.
+//!
+//! Two classical probe mechanics are implemented with real cache state:
+//!
+//! * **Flush+Reload** — the attacker flushes the S-box lines before the
+//!   encryption, then reloads each line and classifies hit/miss by timing;
+//! * **Prime+Probe** — the attacker fills the cache sets the S-box maps to
+//!   with its own lines, then re-reads them and infers victim activity from
+//!   its own misses.
+//!
+//! The probing *moment* follows the paper's Fig. 3 convention: "cache
+//! probing round k" means the probe observes the accesses of rounds
+//! `1..=k+1` (the probe fires while the victim executes round `k + 1`,
+//! i.e. right after round `k` finished); the optional flush after round 1
+//! removes the key-independent first-round accesses ("Grinch with Flush").
+
+use crate::target::TargetSpec;
+use cache_sim::{Cache, CacheConfig, CacheObserver};
+use gift_cipher::countermeasure::{
+    masked_round_keys_64, FullScanGift64, PreloadGift64, WideLineGift64,
+};
+use gift_cipher::{Key, MemoryObserver, NullObserver, TableGift64, TableLayout, GIFT64_ROUNDS};
+use std::collections::BTreeSet;
+
+/// Which probe mechanic the attacker uses (paper Step 2 discusses both and
+/// prefers Flush+Reload).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ProbeStrategy {
+    /// Flush the monitored lines, reload and time them after the victim ran.
+    #[default]
+    FlushReload,
+    /// Fill the monitored sets with attacker lines and detect evictions.
+    PrimeProbe,
+}
+
+/// Which victim implementation the oracle runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum VictimVariant {
+    /// The vulnerable lookup-table GIFT-64 (the paper's target).
+    #[default]
+    Table,
+    /// Countermeasure 1 (paper §IV-C): the 8×8-bit reshaped S-box.
+    WideLine,
+    /// Countermeasure 2 (paper §IV-C): the masked `UpdateKey` schedule.
+    MaskedSchedule,
+    /// Classic software mitigation: every lookup scans the whole table, so
+    /// the address stream is data-independent (16× read overhead).
+    FullScan,
+    /// Classic software mitigation: the whole table is touched at the start
+    /// of every round, so all lines are always resident when probed.
+    Preload,
+}
+
+/// The attacker-visible observation setup.
+#[derive(Clone, Debug)]
+pub struct ObservationConfig {
+    /// Shared-cache geometry.
+    pub cache: CacheConfig,
+    /// Placement of the victim's tables.
+    pub layout: TableLayout,
+    /// The paper's "cache probing round": the probe sees rounds
+    /// `1..=probing_round + 1`.
+    pub probing_round: usize,
+    /// Whether the attacker flushes the cache right after round 1
+    /// ("Grinch with Flush").
+    pub flush_after_round1: bool,
+    /// Probe mechanic.
+    pub strategy: ProbeStrategy,
+    /// Victim implementation.
+    pub variant: VictimVariant,
+}
+
+impl ObservationConfig {
+    /// The paper's best case: probing round 1 with flush, one word per
+    /// line, Flush+Reload.
+    pub fn ideal() -> Self {
+        Self {
+            cache: CacheConfig::grinch_default(),
+            layout: TableLayout::default(),
+            probing_round: 1,
+            flush_after_round1: true,
+            strategy: ProbeStrategy::FlushReload,
+            variant: VictimVariant::Table,
+        }
+    }
+
+    /// Sets the probing round.
+    pub fn with_probing_round(mut self, round: usize) -> Self {
+        self.probing_round = round;
+        self
+    }
+
+    /// Enables or disables the flush after round 1.
+    pub fn with_flush(mut self, flush: bool) -> Self {
+        self.flush_after_round1 = flush;
+        self
+    }
+
+    /// Sets the line size in 8-bit words, preserving total cache capacity
+    /// (the Table I sweep).
+    pub fn with_words_per_line(mut self, words: usize) -> Self {
+        self.cache = self.cache.with_words_per_line(words);
+        self
+    }
+
+    /// Base addresses of the cache lines covering the S-box table.
+    pub fn probe_line_addrs(&self) -> Vec<u64> {
+        let lb = self.cache.line_bytes as u64;
+        let span = self.sbox_span_bytes();
+        let first = self.layout.sbox_base / lb;
+        let last = (self.layout.sbox_base + span - 1) / lb;
+        (first..=last).map(|l| l * lb).collect()
+    }
+
+    /// Byte address of the line containing S-box index `index`.
+    pub fn line_addr_of_index(&self, index: u8) -> u64 {
+        let lb = self.cache.line_bytes as u64;
+        let addr = match self.variant {
+            // The wide-line S-box stores two entries per byte.
+            VictimVariant::WideLine => self.layout.sbox_base + u64::from(index >> 1),
+            _ => self.layout.sbox_entry_addr(index),
+        };
+        (addr / lb) * lb
+    }
+
+    fn sbox_span_bytes(&self) -> u64 {
+        match self.variant {
+            VictimVariant::WideLine => 8,
+            _ => 16,
+        }
+    }
+}
+
+impl Default for ObservationConfig {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// The set of S-box line base addresses a probe found resident.
+pub type ObservedLines = BTreeSet<u64>;
+
+enum VictimCipher {
+    Table(TableGift64),
+    WideLine(WideLineGift64),
+    FullScan(FullScanGift64),
+    Preload(PreloadGift64),
+}
+
+fn run_one_round(
+    cipher: &VictimCipher,
+    state: u64,
+    round: usize,
+    obs: &mut dyn MemoryObserver,
+) -> u64 {
+    match cipher {
+        VictimCipher::Table(c) => c.run_single_round(state, round, obs),
+        VictimCipher::WideLine(c) => c.run_single_round(state, round, obs),
+        VictimCipher::FullScan(c) => c.run_single_round(state, round, obs),
+        VictimCipher::Preload(c) => c.run_single_round(state, round, obs),
+    }
+}
+
+/// The victim plus the shared cache plus the probe: everything the attacker
+/// interacts with.
+///
+/// The secret key lives inside; the attacker-facing methods are
+/// [`VictimOracle::observe`] (one chosen-plaintext encryption, returning the
+/// probed line set) and [`VictimOracle::known_pair`] (one chosen-plaintext
+/// encryption returning the ciphertext, used to verify a recovered key).
+/// Both count towards [`VictimOracle::encryptions`] — the effort metric of
+/// every experiment in the paper.
+pub struct VictimOracle {
+    cipher: VictimCipher,
+    cache: Cache,
+    config: ObservationConfig,
+    encryptions: u64,
+    /// Attacker-owned addresses used by Prime+Probe, one group per
+    /// monitored set.
+    prime_groups: Vec<(u64, Vec<u64>)>,
+}
+
+impl VictimOracle {
+    /// Creates an oracle around a victim keyed with `key`.
+    pub fn new(key: Key, config: ObservationConfig) -> Self {
+        config.cache.validate().expect("invalid cache configuration");
+        assert!(
+            config.probing_round >= 1 && config.probing_round < GIFT64_ROUNDS,
+            "probing round must be in 1..28"
+        );
+        let cipher = match config.variant {
+            VictimVariant::Table => VictimCipher::Table(TableGift64::new(key, config.layout)),
+            VictimVariant::WideLine => {
+                VictimCipher::WideLine(WideLineGift64::new(key, config.layout))
+            }
+            VictimVariant::MaskedSchedule => VictimCipher::Table(TableGift64::from_round_keys(
+                masked_round_keys_64(key),
+                config.layout,
+            )),
+            VictimVariant::FullScan => {
+                VictimCipher::FullScan(FullScanGift64::new(key, config.layout))
+            }
+            VictimVariant::Preload => {
+                VictimCipher::Preload(PreloadGift64::new(key, config.layout))
+            }
+        };
+        let cache = Cache::new(config.cache);
+        let prime_groups = Self::build_prime_groups(&config);
+        Self {
+            cipher,
+            cache,
+            config,
+            encryptions: 0,
+            prime_groups,
+        }
+    }
+
+    /// The observation configuration.
+    pub fn config(&self) -> &ObservationConfig {
+        &self.config
+    }
+
+    /// Total victim encryptions triggered so far (the paper's effort
+    /// metric).
+    pub fn encryptions(&self) -> u64 {
+        self.encryptions
+    }
+
+    /// Attacker addresses that map to the same cache sets as the S-box
+    /// lines, `ways` of them per set, placed far above the victim's tables.
+    fn build_prime_groups(config: &ObservationConfig) -> Vec<(u64, Vec<u64>)> {
+        let cache = &config.cache;
+        let stride = (cache.line_bytes * cache.num_sets) as u64;
+        let attacker_base = 0x10_0000u64;
+        config
+            .probe_line_addrs()
+            .into_iter()
+            .map(|line_addr| {
+                let set = cache.set_of(line_addr) as u64;
+                let addrs = (0..cache.ways as u64)
+                    .map(|w| attacker_base + w * stride + set * cache.line_bytes as u64)
+                    .collect();
+                (line_addr, addrs)
+            })
+            .collect()
+    }
+
+    fn run_rounds(&mut self, plaintext: u64, rounds: usize) -> u64 {
+        let mut state = plaintext;
+        for round in 0..rounds {
+            let mut obs = NullObserver;
+            state = run_one_round(&self.cipher, state, round, &mut obs);
+        }
+        state
+    }
+
+    fn prime(&mut self) {
+        let groups = self.prime_groups.clone();
+        for (_, addrs) in &groups {
+            for &a in addrs {
+                self.cache.access(a);
+            }
+        }
+    }
+
+    /// Submits one chosen plaintext, lets the victim run up to the probing
+    /// moment for a **stage-1** campaign, and returns the set of S-box
+    /// lines the probe found resident.
+    ///
+    /// Shorthand for [`VictimOracle::observe_stage`] with `stage_round = 1`.
+    pub fn observe(&mut self, plaintext: u64) -> ObservedLines {
+        self.observe_stage(plaintext, 1)
+    }
+
+    /// One observed encryption for a stage-`stage_round` campaign (paper
+    /// Step 5 — "change target round").
+    ///
+    /// The signal is round `stage_round + 1`'s S-box accesses, so the probe
+    /// fires while the victim executes round `stage_round +
+    /// probing_round`; the optional flush happens right after round
+    /// `stage_round` (for stage 1 that is the paper's flush after round 1),
+    /// removing the accesses of the already-known earlier rounds. For
+    /// Prime+Probe the flush is a flush-plus-re-prime, the mechanic an
+    /// attacker without a flush instruction uses.
+    pub fn observe_stage(&mut self, plaintext: u64, stage_round: usize) -> ObservedLines {
+        self.encryptions += 1;
+        let rounds = (stage_round + self.config.probing_round).min(GIFT64_ROUNDS);
+        let flush_before = self.config.flush_after_round1.then_some(stage_round);
+        match self.config.strategy {
+            ProbeStrategy::FlushReload => {
+                // Flush phase: evict the monitored lines.
+                let probe_addrs = self.config.probe_line_addrs();
+                for &a in &probe_addrs {
+                    self.cache.flush_line(a);
+                }
+                self.run_rounds_observed(plaintext, rounds, flush_before, false);
+                // Reload phase: a hit means the victim brought the line in.
+                let mut observed = ObservedLines::new();
+                for &a in &probe_addrs {
+                    if self.cache.access(a).is_hit() {
+                        observed.insert(a);
+                    }
+                    // Leave the line flushed for the next observation.
+                    self.cache.flush_line(a);
+                }
+                observed
+            }
+            ProbeStrategy::PrimeProbe => {
+                // Prime phase: fill each monitored set with attacker lines.
+                self.prime();
+                self.run_rounds_observed(plaintext, rounds, flush_before, true);
+                // Probe phase: re-read the attacker lines; any miss means
+                // the victim displaced one — its set was touched.
+                let groups = self.prime_groups.clone();
+                let mut observed = ObservedLines::new();
+                for (line_addr, addrs) in &groups {
+                    let mut evicted = false;
+                    for &a in addrs {
+                        if self.cache.access(a).is_miss() {
+                            evicted = true;
+                        }
+                    }
+                    if evicted {
+                        observed.insert(*line_addr);
+                    }
+                }
+                // Clean up: leave the monitored sets empty of victim lines
+                // for the next round of priming.
+                self.cache.flush_all();
+                observed
+            }
+        }
+    }
+
+    /// Runs the victim's first `rounds` rounds against the cache; before
+    /// executing round index `flush_before` (0-based) the attacker's
+    /// mid-encryption cleanup runs — a cache flush, plus a re-prime when
+    /// the mechanic is Prime+Probe.
+    fn run_rounds_observed(
+        &mut self,
+        plaintext: u64,
+        rounds: usize,
+        flush_before: Option<usize>,
+        reprime: bool,
+    ) -> u64 {
+        let mut state = plaintext;
+        for round in 0..rounds {
+            if flush_before == Some(round) {
+                self.cache.flush_all();
+                if reprime {
+                    self.prime();
+                }
+            }
+            let mut obs = CacheObserver::new(&mut self.cache);
+            state = run_one_round(&self.cipher, state, round, &mut obs);
+        }
+        state
+    }
+
+    /// Triggers one full encryption and returns the ciphertext (the known
+    /// plaintext/ciphertext pair the attacker uses to verify a recovered
+    /// key). Counts as one encryption.
+    pub fn known_pair(&mut self, plaintext: u64) -> u64 {
+        self.encryptions += 1;
+        self.run_rounds(plaintext, GIFT64_ROUNDS)
+    }
+
+    /// Whether the observation in `observed` is *consistent* with the
+    /// round-key-bit hypothesis `(v_bit, u_bit)` for `spec`: the line the
+    /// hypothesis predicts must be present (absence refutes it).
+    pub fn hypothesis_consistent(
+        &self,
+        spec: &TargetSpec,
+        observed: &ObservedLines,
+        v_bit: bool,
+        u_bit: bool,
+    ) -> bool {
+        let idx = spec.expected_index(v_bit, u_bit);
+        observed.contains(&self.config.line_addr_of_index(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gift_cipher::bitwise::Gift64;
+    use gift_cipher::state::segment_64;
+
+    fn key() -> Key {
+        Key::from_u128(0x0f1e_2d3c_4b5a_6978_8796_a5b4_c3d2_e1f0)
+    }
+
+    #[test]
+    fn flush_reload_with_flush_sees_exactly_round2_lines() {
+        let mut oracle = VictimOracle::new(key(), ObservationConfig::ideal());
+        let pt = 0x0123_4567_89ab_cdef;
+        let observed = oracle.observe(pt);
+        // Ground truth: round-2 S-box indices are the nibbles of the round-2
+        // input.
+        let reference = Gift64::new(key());
+        let round2_input = reference.encrypt_rounds(pt, 1);
+        let expected: ObservedLines = (0..16)
+            .map(|s| oracle.config().line_addr_of_index(segment_64(round2_input, s)))
+            .collect();
+        assert_eq!(observed, expected);
+        assert_eq!(oracle.encryptions(), 1);
+    }
+
+    #[test]
+    fn without_flush_round1_lines_are_included_too() {
+        let cfg = ObservationConfig::ideal().with_flush(false);
+        let mut oracle = VictimOracle::new(key(), cfg);
+        let pt = 0xfedc_ba98_7654_3210;
+        let observed = oracle.observe(pt);
+        let reference = Gift64::new(key());
+        let r1 = pt;
+        let r2 = reference.encrypt_rounds(pt, 1);
+        let mut expected = ObservedLines::new();
+        for s in 0..16 {
+            expected.insert(oracle.config().line_addr_of_index(segment_64(r1, s)));
+            expected.insert(oracle.config().line_addr_of_index(segment_64(r2, s)));
+        }
+        assert_eq!(observed, expected);
+    }
+
+    #[test]
+    fn deeper_probing_rounds_accumulate_more_lines() {
+        let pt = 0x1111_2222_3333_4444;
+        let shallow = VictimOracle::new(key(), ObservationConfig::ideal()).observe(pt);
+        let deep =
+            VictimOracle::new(key(), ObservationConfig::ideal().with_probing_round(6)).observe(pt);
+        assert!(deep.is_superset(&shallow));
+        assert!(deep.len() >= shallow.len());
+    }
+
+    #[test]
+    fn prime_probe_agrees_with_flush_reload_at_set_granularity() {
+        let pt = 0x5a5a_5a5a_a5a5_a5a5;
+        let fr_cfg = ObservationConfig::ideal();
+        let pp_cfg = ObservationConfig {
+            strategy: ProbeStrategy::PrimeProbe,
+            ..ObservationConfig::ideal()
+        };
+        let fr = VictimOracle::new(key(), fr_cfg).observe(pt);
+        let pp = VictimOracle::new(key(), pp_cfg).observe(pt);
+        // With the default geometry each S-box line maps to its own set, so
+        // the two mechanics must observe the same lines.
+        assert_eq!(fr, pp);
+    }
+
+    #[test]
+    fn observations_are_repeatable_for_same_plaintext() {
+        let mut oracle = VictimOracle::new(key(), ObservationConfig::ideal());
+        let a = oracle.observe(42);
+        let b = oracle.observe(42);
+        assert_eq!(a, b);
+        assert_eq!(oracle.encryptions(), 2);
+    }
+
+    #[test]
+    fn coarse_lines_merge_observations() {
+        let pt = 0x1234_5678_9abc_def0;
+        let fine = VictimOracle::new(key(), ObservationConfig::ideal()).observe(pt);
+        let coarse_cfg = ObservationConfig::ideal().with_words_per_line(8);
+        let coarse = VictimOracle::new(key(), coarse_cfg).observe(pt);
+        assert!(coarse.len() <= fine.len());
+        assert!(coarse.len() <= 3, "misaligned 16B table spans <= 3 8B lines");
+    }
+
+    #[test]
+    fn wide_line_victim_touches_single_aligned_line() {
+        let cfg = ObservationConfig {
+            layout: TableLayout::new(0x400), // 8-byte aligned
+            cache: CacheConfig::grinch_default().with_words_per_line(8),
+            variant: VictimVariant::WideLine,
+            ..ObservationConfig::ideal()
+        };
+        let mut oracle = VictimOracle::new(key(), cfg);
+        let observed = oracle.observe(0xdead_beef);
+        assert_eq!(observed.len(), 1, "whole table in one line leaks nothing");
+    }
+
+    #[test]
+    fn known_pair_returns_true_ciphertext_for_table_variant() {
+        let mut oracle = VictimOracle::new(key(), ObservationConfig::ideal());
+        let pt = 0x2468_ace0_1357_9bdf;
+        let ct = oracle.known_pair(pt);
+        assert_eq!(ct, Gift64::new(key()).encrypt(pt));
+    }
+
+    #[test]
+    fn masked_variant_ciphertext_differs_from_plain_gift() {
+        let cfg = ObservationConfig {
+            variant: VictimVariant::MaskedSchedule,
+            ..ObservationConfig::ideal()
+        };
+        let mut oracle = VictimOracle::new(key(), cfg);
+        let pt = 0x2468_ace0_1357_9bdf;
+        assert_ne!(oracle.known_pair(pt), Gift64::new(key()).encrypt(pt));
+    }
+
+    #[test]
+    fn hypothesis_consistency_matches_truth() {
+        let mut oracle = VictimOracle::new(key(), ObservationConfig::ideal());
+        let spec = TargetSpec::new(1, 6);
+        let rk = Gift64::new(key()).round_keys()[0];
+        let v = (rk.v >> 6) & 1 == 1;
+        let u = (rk.u >> 6) & 1 == 1;
+        let mut rng = rand::rngs::mock::StepRng::new(0x12345, 0x9e3779b97f4a7c15);
+        let pt = crate::craft::craft_plaintext(&[spec], &[], &mut rng).unwrap();
+        let observed = oracle.observe(pt);
+        assert!(oracle.hypothesis_consistent(&spec, &observed, v, u));
+    }
+}

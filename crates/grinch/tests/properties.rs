@@ -1,0 +1,123 @@
+//! Property-based tests of the attack machinery: the crafting/prediction
+//! pipeline must hold for arbitrary keys, segments, stages and forced
+//! patterns — the soundness foundation of candidate elimination.
+
+use gift_cipher::bitwise::Gift64;
+use gift_cipher::state::segment_64;
+use gift_cipher::Key;
+use grinch::craft::craft_plaintext;
+use grinch::oracle::{ObservationConfig, VictimOracle};
+use grinch::target::{disjoint_batches, TargetSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn crafted_index_always_matches_prediction(
+        key in any::<u128>(),
+        segment in 0usize..16,
+        stage in 1usize..=4,
+        pattern in 0u8..16,
+        seed in any::<u64>(),
+    ) {
+        let k = Key::from_u128(key);
+        let cipher = Gift64::new(k);
+        let known = &cipher.round_keys()[..stage - 1];
+        let rk = cipher.round_keys()[stage - 1];
+        let spec = TargetSpec::with_forced_pattern(stage, segment, pattern);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pt = craft_plaintext(&[spec], known, &mut rng).unwrap();
+        let round_input = cipher.encrypt_rounds(pt, stage);
+        let v = (rk.v >> segment) & 1 == 1;
+        let u = (rk.u >> segment) & 1 == 1;
+        prop_assert_eq!(segment_64(round_input, segment), spec.expected_index(v, u));
+    }
+
+    #[test]
+    fn batched_crafting_pins_all_batch_targets(
+        key in any::<u128>(),
+        stage in 1usize..=4,
+        batch_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let k = Key::from_u128(key);
+        let cipher = Gift64::new(k);
+        let known = &cipher.round_keys()[..stage - 1];
+        let rk = cipher.round_keys()[stage - 1];
+        let batch = disjoint_batches(stage)[batch_idx];
+        let specs: Vec<TargetSpec> =
+            batch.iter().map(|&s| TargetSpec::new(stage, s)).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pt = craft_plaintext(&specs, known, &mut rng).unwrap();
+        let round_input = cipher.encrypt_rounds(pt, stage);
+        for spec in &specs {
+            let v = (rk.v >> spec.segment) & 1 == 1;
+            let u = (rk.u >> spec.segment) & 1 == 1;
+            prop_assert_eq!(
+                segment_64(round_input, spec.segment),
+                spec.expected_index(v, u)
+            );
+        }
+    }
+
+    #[test]
+    fn true_hypothesis_always_survives_observation(
+        key in any::<u128>(),
+        segment in 0usize..16,
+        probing_round in 1usize..=4,
+        flush in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let k = Key::from_u128(key);
+        let cfg = ObservationConfig::ideal()
+            .with_probing_round(probing_round)
+            .with_flush(flush);
+        let mut oracle = VictimOracle::new(k, cfg);
+        let spec = TargetSpec::new(1, segment);
+        let rk = Gift64::new(k).round_keys()[0];
+        let v = (rk.v >> segment) & 1 == 1;
+        let u = (rk.u >> segment) & 1 == 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pt = craft_plaintext(&[spec], &[], &mut rng).unwrap();
+        let observed = oracle.observe(pt);
+        prop_assert!(oracle.hypothesis_consistent(&spec, &observed, v, u));
+    }
+
+    #[test]
+    fn key_bits_from_index_inverts_expected_index(
+        segment in 0usize..16,
+        stage in 1usize..=4,
+        pattern in 0u8..16,
+        v in any::<bool>(),
+        u in any::<bool>(),
+    ) {
+        let spec = TargetSpec::with_forced_pattern(stage, segment, pattern);
+        prop_assert_eq!(spec.key_bits_from_index(spec.expected_index(v, u)), (v, u));
+    }
+
+    #[test]
+    fn coarse_line_observation_is_superset_of_fine_prediction(
+        key in any::<u128>(),
+        words_log2 in 0u32..4,
+        seed in any::<u64>(),
+    ) {
+        // At any line size, the line containing the true index must be
+        // observed — the invariant that keeps elimination sound at every
+        // Table I geometry.
+        let k = Key::from_u128(key);
+        let words = 1usize << words_log2;
+        let cfg = ObservationConfig::ideal().with_words_per_line(words);
+        let mut oracle = VictimOracle::new(k, cfg);
+        let spec = TargetSpec::new(1, 5);
+        let rk = Gift64::new(k).round_keys()[0];
+        let v = (rk.v >> 5) & 1 == 1;
+        let u = (rk.u >> 5) & 1 == 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pt = craft_plaintext(&[spec], &[], &mut rng).unwrap();
+        let observed = oracle.observe(pt);
+        prop_assert!(oracle.hypothesis_consistent(&spec, &observed, v, u));
+    }
+}

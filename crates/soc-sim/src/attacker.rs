@@ -1,0 +1,208 @@
+//! The attacker process: Flush+Reload probe passes over the S-box lines.
+
+use crate::process::{ProcContext, Process, RunResult, RunState};
+
+/// The set of line base addresses covering a 16-byte S-box table under a
+/// given cache line size.
+///
+/// The attacker shares the victim binary's address-space view, so it knows
+/// `sbox_base` and the line geometry; it probes one address per line.
+pub fn sbox_probe_addrs(sbox_base: u64, line_bytes: usize) -> Vec<u64> {
+    let lb = line_bytes as u64;
+    let first_line = sbox_base / lb;
+    let last_line = (sbox_base + 15) / lb;
+    (first_line..=last_line).map(|l| l * lb).collect()
+}
+
+/// A process that, whenever scheduled, performs one Flush+Reload pass:
+/// for each S-box line, a timed reload (hit ⇒ the victim touched it since
+/// the last pass) followed by a flush so the next pass starts clean. After
+/// the pass it logs a [`crate::log::ScenarioEvent::ProbeComplete`] and
+/// yields the CPU.
+pub struct ProbeAttacker {
+    probe_addrs: Vec<u64>,
+    /// Index of the next line to probe within the current pass.
+    cursor: usize,
+    /// Hits collected in the current pass.
+    hits: Vec<u64>,
+    /// Number of completed passes after which the attacker finishes
+    /// (`None` = run forever).
+    max_passes: Option<usize>,
+    passes_done: usize,
+}
+
+impl ProbeAttacker {
+    /// Creates an attacker probing the given line base addresses.
+    pub fn new(probe_addrs: Vec<u64>, max_passes: Option<usize>) -> Self {
+        Self {
+            probe_addrs,
+            cursor: 0,
+            hits: Vec::new(),
+            max_passes,
+            passes_done: 0,
+        }
+    }
+
+    /// Number of completed probe passes.
+    pub fn passes_done(&self) -> usize {
+        self.passes_done
+    }
+}
+
+impl Process for ProbeAttacker {
+    fn name(&self) -> &'static str {
+        "probe-attacker"
+    }
+
+    fn run(&mut self, ctx: &mut ProcContext<'_>, budget_cycles: u64) -> RunResult {
+        let mut used: u64 = 0;
+        let access_cycles = ctx.mem_access_cycles();
+        loop {
+            if self
+                .max_passes
+                .is_some_and(|max| self.passes_done >= max)
+            {
+                return RunResult {
+                    used_cycles: used,
+                    state: RunState::Finished,
+                };
+            }
+            // One reload + one flush per line; both cross the interconnect.
+            let step_cost = 2 * access_cycles;
+            if used + step_cost > budget_cycles {
+                return RunResult {
+                    used_cycles: used,
+                    state: RunState::Preempted,
+                };
+            }
+            let addr = self.probe_addrs[self.cursor];
+            let outcome = ctx.cache.access(addr);
+            if outcome.is_hit() {
+                self.hits.push(addr);
+            }
+            ctx.cache.flush_line(addr);
+            used += step_cost;
+            self.cursor += 1;
+            if self.cursor == self.probe_addrs.len() {
+                self.cursor = 0;
+                self.passes_done += 1;
+                let time = ctx.now_ns + ctx.clock.cycles_to_ns(used);
+                ctx.log.probe_complete(time, std::mem::take(&mut self.hits));
+                // Give the CPU back after a full pass: on the single SoC the
+                // attacker cannot learn more until the victim runs again.
+                return RunResult {
+                    used_cycles: used,
+                    state: RunState::Yielded,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::log::{ScenarioEvent, ScenarioLog};
+    use cache_sim::{Cache, CacheConfig};
+
+    #[test]
+    fn probe_addrs_cover_table_for_each_line_size() {
+        // Misaligned base 0x401 with 16 entries: 0x401..=0x410.
+        assert_eq!(sbox_probe_addrs(0x401, 1).len(), 16);
+        assert_eq!(sbox_probe_addrs(0x401, 2).len(), 9);
+        assert_eq!(sbox_probe_addrs(0x401, 4).len(), 5);
+        assert_eq!(sbox_probe_addrs(0x401, 8).len(), 3);
+        // Aligned base: exactly 16/W lines.
+        assert_eq!(sbox_probe_addrs(0x400, 8).len(), 2);
+        assert_eq!(sbox_probe_addrs(0x400, 16).len(), 1);
+    }
+
+    #[test]
+    fn full_pass_reports_hits_and_flushes() {
+        let mut cache = Cache::new(CacheConfig::grinch_default());
+        // Victim touched entries 3 and 7.
+        cache.access(0x403);
+        cache.access(0x407);
+        let addrs = sbox_probe_addrs(0x400, 1);
+        let mut attacker = ProbeAttacker::new(addrs, Some(1));
+        let mut log = ScenarioLog::new();
+        let clock = Clock::new(10_000_000);
+        let mut ctx = ProcContext {
+            now_ns: 0,
+            clock,
+            cache: &mut cache,
+            mem_access_ns: 120,
+            log: &mut log,
+        };
+        let r = attacker.run(&mut ctx, 1_000_000);
+        assert_eq!(r.state, RunState::Yielded);
+        match &log.events()[0] {
+            ScenarioEvent::ProbeComplete { hit_lines, .. } => {
+                assert_eq!(hit_lines, &vec![0x403, 0x407]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // All probed lines were flushed after the pass.
+        for a in sbox_probe_addrs(0x400, 1) {
+            assert!(!cache.contains(a));
+        }
+    }
+
+    #[test]
+    fn probe_pass_survives_preemption_mid_pass() {
+        let mut cache = Cache::new(CacheConfig::grinch_default());
+        cache.access(0x40f);
+        let addrs = sbox_probe_addrs(0x400, 1);
+        let mut attacker = ProbeAttacker::new(addrs, Some(1));
+        let mut log = ScenarioLog::new();
+        let clock = Clock::new(10_000_000);
+        // Budget of 5 cycles only fits 2 line probes (2 cycles each:
+        // mem_access_ns=120 → 1 cycle reload + 1 cycle flush at 100 ns).
+        let mut now = 0u64;
+        loop {
+            let mut ctx = ProcContext {
+                now_ns: now,
+                clock,
+                cache: &mut cache,
+                mem_access_ns: 120,
+                log: &mut log,
+            };
+            let r = attacker.run(&mut ctx, 5);
+            now += clock.cycles_to_ns(r.used_cycles);
+            if r.state != RunState::Preempted {
+                break;
+            }
+        }
+        assert_eq!(attacker.passes_done(), 1);
+        match &log.events()[0] {
+            ScenarioEvent::ProbeComplete { hit_lines, .. } => {
+                assert_eq!(hit_lines, &vec![0x40f]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attacker_finishes_after_max_passes() {
+        let mut cache = Cache::new(CacheConfig::grinch_default());
+        let mut attacker = ProbeAttacker::new(sbox_probe_addrs(0x400, 1), Some(2));
+        let mut log = ScenarioLog::new();
+        let clock = Clock::new(10_000_000);
+        let mut states = Vec::new();
+        for _ in 0..3 {
+            let mut ctx = ProcContext {
+                now_ns: 0,
+                clock,
+                cache: &mut cache,
+                mem_access_ns: 120,
+                log: &mut log,
+            };
+            states.push(attacker.run(&mut ctx, 1_000_000).state);
+        }
+        assert_eq!(
+            states,
+            vec![RunState::Yielded, RunState::Yielded, RunState::Finished]
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Clock domains and cycle/nanosecond conversion.
+
+use core::fmt;
+
+/// A processor clock domain.
+///
+/// Global simulation time is kept in nanoseconds so that cores running at
+/// different frequencies (the 10/25/50 MHz sweep of Table II) share one
+/// timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Clock {
+    freq_hz: u64,
+}
+
+impl Clock {
+    /// Creates a clock at `freq_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is zero or does not evenly divide 1 GHz (keeping
+    /// cycle periods integral in nanoseconds; all frequencies the paper
+    /// evaluates — 10, 25 and 50 MHz — satisfy this).
+    pub fn new(freq_hz: u64) -> Self {
+        assert!(freq_hz > 0, "clock frequency must be positive");
+        assert_eq!(
+            1_000_000_000 % freq_hz,
+            0,
+            "clock frequency must divide 1 GHz for an integral period"
+        );
+        Self { freq_hz }
+    }
+
+    /// The clock frequency in hertz.
+    pub fn freq_hz(&self) -> u64 {
+        self.freq_hz
+    }
+
+    /// The cycle period in nanoseconds.
+    pub fn period_ns(&self) -> u64 {
+        1_000_000_000 / self.freq_hz
+    }
+
+    /// Converts a cycle count to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
+        cycles * self.period_ns()
+    }
+
+    /// Converts a duration to whole cycles, rounding down (a partial cycle
+    /// cannot retire an instruction).
+    pub fn ns_to_cycles(&self, ns: u64) -> u64 {
+        ns / self.period_ns()
+    }
+}
+
+impl fmt::Display for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.freq_hz % 1_000_000 == 0 {
+            write!(f, "{} MHz", self.freq_hz / 1_000_000)
+        } else {
+            write!(f, "{} Hz", self.freq_hz)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_frequencies_have_integral_periods() {
+        assert_eq!(Clock::new(10_000_000).period_ns(), 100);
+        assert_eq!(Clock::new(25_000_000).period_ns(), 40);
+        assert_eq!(Clock::new(50_000_000).period_ns(), 20);
+    }
+
+    #[test]
+    fn conversions_round_trip_on_whole_cycles() {
+        let clk = Clock::new(25_000_000);
+        for cycles in [0u64, 1, 7, 60_000] {
+            assert_eq!(clk.ns_to_cycles(clk.cycles_to_ns(cycles)), cycles);
+        }
+    }
+
+    #[test]
+    fn ns_to_cycles_rounds_down() {
+        let clk = Clock::new(10_000_000); // 100 ns period
+        assert_eq!(clk.ns_to_cycles(99), 0);
+        assert_eq!(clk.ns_to_cycles(100), 1);
+        assert_eq!(clk.ns_to_cycles(199), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide 1 GHz")]
+    fn odd_frequency_rejected() {
+        let _ = Clock::new(3_000_000);
+    }
+
+    #[test]
+    fn display_shows_megahertz() {
+        assert_eq!(Clock::new(50_000_000).to_string(), "50 MHz");
+    }
+}

@@ -1,0 +1,119 @@
+//! A background "disturber" process: the noise source the paper mentions
+//! ("multiple processes disputing the processor").
+//!
+//! When scheduled, the disturber performs pseudo-random memory accesses
+//! through the shared cache and burns its quantum. On a single-processor
+//! SoC it steals scheduler slots (delaying the attacker's probe) and its
+//! fills can evict victim S-box lines (false absences in the probe).
+
+use crate::process::{ProcContext, Process, RunResult, RunState};
+
+/// A process issuing uniformly random reads over an address window.
+pub struct Disturber {
+    /// Inclusive lower bound of the address window.
+    addr_base: u64,
+    /// Size of the address window in bytes.
+    addr_span: u64,
+    /// Accesses issued per 1000 cycles of execution.
+    accesses_per_kcycle: u64,
+    /// xorshift state (deterministic noise).
+    rng: u64,
+    /// Total accesses issued.
+    issued: u64,
+}
+
+impl Disturber {
+    /// Creates a disturber touching `[addr_base, addr_base + addr_span)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr_span` is zero.
+    pub fn new(addr_base: u64, addr_span: u64, accesses_per_kcycle: u64, seed: u64) -> Self {
+        assert!(addr_span > 0, "address window must be non-empty");
+        Self {
+            addr_base,
+            addr_span,
+            accesses_per_kcycle,
+            rng: seed | 1,
+            issued: 0,
+        }
+    }
+
+    /// Total accesses issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    fn next_addr(&mut self) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.addr_base + self.rng % self.addr_span
+    }
+}
+
+impl Process for Disturber {
+    fn name(&self) -> &'static str {
+        "disturber"
+    }
+
+    fn run(&mut self, ctx: &mut ProcContext<'_>, budget_cycles: u64) -> RunResult {
+        let accesses = (budget_cycles * self.accesses_per_kcycle) / 1000;
+        for _ in 0..accesses {
+            let addr = self.next_addr();
+            ctx.cache.access(addr);
+            self.issued += 1;
+        }
+        // The disturber always consumes its whole slice (compute between
+        // the modelled accesses).
+        RunResult {
+            used_cycles: budget_cycles,
+            state: RunState::Preempted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::log::ScenarioLog;
+    use cache_sim::{Cache, CacheConfig};
+
+    #[test]
+    fn disturber_issues_rate_proportional_accesses() {
+        let mut cache = Cache::new(CacheConfig::grinch_default());
+        let mut log = ScenarioLog::new();
+        let mut d = Disturber::new(0x8000, 0x1000, 50, 42);
+        let mut ctx = ProcContext {
+            now_ns: 0,
+            clock: Clock::new(10_000_000),
+            cache: &mut cache,
+            mem_access_ns: 120,
+            log: &mut log,
+        };
+        let r = d.run(&mut ctx, 10_000);
+        assert_eq!(r.used_cycles, 10_000);
+        assert_eq!(r.state, RunState::Preempted);
+        assert_eq!(d.issued(), 500);
+        assert!(cache.stats().accesses() == 500);
+    }
+
+    #[test]
+    fn disturber_addresses_stay_in_window() {
+        let mut d = Disturber::new(0x8000, 0x100, 10, 7);
+        for _ in 0..1000 {
+            let a = d.next_addr();
+            assert!((0x8000..0x8100).contains(&a));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Disturber::new(0, 1 << 20, 10, 1);
+        let mut b = Disturber::new(0, 1 << 20, 10, 2);
+        let sa: Vec<u64> = (0..16).map(|_| a.next_addr()).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.next_addr()).collect();
+        assert_ne!(sa, sb);
+    }
+}

@@ -1,0 +1,281 @@
+//! A mesh Network-on-Chip with XY deterministic routing.
+//!
+//! The MPSoC of the GRINCH paper is "a tile-based structure comprising seven
+//! processors, a shared cache L1 and I/O peripherals … interconnected
+//! through a mesh-based Network-on-chip (NoC) that uses XY deterministic
+//! routing". We model a 3×3 mesh: seven processor tiles, one shared-cache
+//! tile and one I/O tile.
+
+use crate::timing::TimingModel;
+use core::fmt;
+
+/// A tile coordinate in the mesh (column `x`, row `y`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileId {
+    /// Column, `0..cols`.
+    pub x: u8,
+    /// Row, `0..rows`.
+    pub y: u8,
+}
+
+impl TileId {
+    /// Creates a tile coordinate.
+    pub fn new(x: u8, y: u8) -> Self {
+        Self { x, y }
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// What occupies a tile of the MPSoC floorplan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TileRole {
+    /// A RISCY processor tile.
+    Processor,
+    /// The shared L1 cache tile.
+    SharedCache,
+    /// The I/O peripheral tile.
+    Io,
+}
+
+/// A `cols × rows` mesh NoC with XY routing.
+#[derive(Clone, Debug)]
+pub struct MeshNoc {
+    cols: u8,
+    rows: u8,
+    link_ns: u64,
+    router_ns: u64,
+    /// Total flits forwarded (for utilisation reporting).
+    packets: u64,
+}
+
+impl MeshNoc {
+    /// Creates a mesh of the given dimensions and per-stage latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: u8, rows: u8, link_ns: u64, router_ns: u64) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be positive");
+        Self {
+            cols,
+            rows,
+            link_ns,
+            router_ns,
+            packets: 0,
+        }
+    }
+
+    /// The paper's MPSoC mesh (3×3) with calibrated latencies.
+    pub fn grinch_mpsoc(timing: &TimingModel) -> Self {
+        Self::new(3, 3, timing.noc_link_ns, timing.noc_router_ns)
+    }
+
+    /// Mesh dimensions `(cols, rows)`.
+    pub fn dims(&self) -> (u8, u8) {
+        (self.cols, self.rows)
+    }
+
+    /// Whether `tile` is inside the mesh.
+    pub fn contains(&self, tile: TileId) -> bool {
+        tile.x < self.cols && tile.y < self.rows
+    }
+
+    /// The XY route from `src` to `dst`, inclusive of both endpoints:
+    /// first travel along X to the destination column, then along Y.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tile is outside the mesh.
+    pub fn route(&self, src: TileId, dst: TileId) -> Vec<TileId> {
+        assert!(self.contains(src), "source tile outside mesh");
+        assert!(self.contains(dst), "destination tile outside mesh");
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur.x != dst.x {
+            cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+            path.push(cur);
+        }
+        while cur.y != dst.y {
+            cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+            path.push(cur);
+        }
+        path
+    }
+
+    /// Number of links an XY-routed packet traverses from `src` to `dst`
+    /// (the Manhattan distance).
+    pub fn hops(&self, src: TileId, dst: TileId) -> u64 {
+        assert!(self.contains(src) && self.contains(dst), "tile outside mesh");
+        (u64::from(src.x.abs_diff(dst.x))) + (u64::from(src.y.abs_diff(dst.y)))
+    }
+
+    /// One-way latency of a packet from `src` to `dst`: one link + one
+    /// router stage per hop. Also counts the packet.
+    pub fn send(&mut self, src: TileId, dst: TileId) -> u64 {
+        self.packets += 1;
+        self.hops(src, dst) * (self.link_ns + self.router_ns)
+    }
+
+    /// One-way latency without counting a packet.
+    pub fn one_way_ns(&self, src: TileId, dst: TileId) -> u64 {
+        self.hops(src, dst) * (self.link_ns + self.router_ns)
+    }
+
+    /// Total packets sent so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+}
+
+/// The GRINCH MPSoC floorplan on a 3×3 mesh.
+///
+/// The shared cache sits at the centre so every processor tile is at most
+/// two hops away; the attacker and victim are placed at opposite corners
+/// (two hops each), and the I/O tile at the bottom edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MpSocFloorplan {
+    /// Tile holding the shared L1 cache.
+    pub cache_tile: TileId,
+    /// Tile running the victim (GIFT) process.
+    pub victim_tile: TileId,
+    /// Tile running the attacker process.
+    pub attacker_tile: TileId,
+    /// Tile with the I/O peripherals.
+    pub io_tile: TileId,
+}
+
+impl MpSocFloorplan {
+    /// The default floorplan used by the Table II experiments.
+    pub fn grinch_default() -> Self {
+        Self {
+            cache_tile: TileId::new(1, 1),
+            victim_tile: TileId::new(2, 2),
+            attacker_tile: TileId::new(0, 0),
+            io_tile: TileId::new(1, 2),
+        }
+    }
+
+    /// Role of `tile` under this floorplan.
+    pub fn role(&self, tile: TileId) -> TileRole {
+        if tile == self.cache_tile {
+            TileRole::SharedCache
+        } else if tile == self.io_tile {
+            TileRole::Io
+        } else {
+            TileRole::Processor
+        }
+    }
+}
+
+impl Default for MpSocFloorplan {
+    fn default() -> Self {
+        Self::grinch_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noc() -> MeshNoc {
+        MeshNoc::new(3, 3, 60, 20)
+    }
+
+    #[test]
+    fn xy_route_goes_x_first_then_y() {
+        let n = noc();
+        let path = n.route(TileId::new(0, 0), TileId::new(2, 1));
+        assert_eq!(
+            path,
+            vec![
+                TileId::new(0, 0),
+                TileId::new(1, 0),
+                TileId::new(2, 0),
+                TileId::new(2, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn route_handles_negative_directions() {
+        let n = noc();
+        let path = n.route(TileId::new(2, 2), TileId::new(0, 1));
+        assert_eq!(path.first(), Some(&TileId::new(2, 2)));
+        assert_eq!(path.last(), Some(&TileId::new(0, 1)));
+        assert_eq!(path.len() as u64, n.hops(TileId::new(2, 2), TileId::new(0, 1)) + 1);
+        // X must be fully resolved before Y moves.
+        assert_eq!(path[1], TileId::new(1, 2));
+        assert_eq!(path[2], TileId::new(0, 2));
+    }
+
+    #[test]
+    fn route_to_self_is_single_tile() {
+        let n = noc();
+        let t = TileId::new(1, 1);
+        assert_eq!(n.route(t, t), vec![t]);
+        assert_eq!(n.hops(t, t), 0);
+        assert_eq!(n.one_way_ns(t, t), 0);
+    }
+
+    #[test]
+    fn hops_equal_manhattan_distance_everywhere() {
+        let n = noc();
+        for sx in 0..3u8 {
+            for sy in 0..3u8 {
+                for dx in 0..3u8 {
+                    for dy in 0..3u8 {
+                        let s = TileId::new(sx, sy);
+                        let d = TileId::new(dx, dy);
+                        let manhattan =
+                            u64::from(sx.abs_diff(dx)) + u64::from(sy.abs_diff(dy));
+                        assert_eq!(n.hops(s, d), manhattan);
+                        assert_eq!(n.route(s, d).len() as u64, manhattan + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_scales_with_hops_and_counts_packets() {
+        let mut n = noc();
+        let lat = n.send(TileId::new(0, 0), TileId::new(2, 2));
+        assert_eq!(lat, 4 * (60 + 20));
+        assert_eq!(n.packets(), 1);
+    }
+
+    #[test]
+    fn default_floorplan_keeps_everyone_within_two_hops_of_cache() {
+        let n = noc();
+        let plan = MpSocFloorplan::grinch_default();
+        assert!(n.hops(plan.victim_tile, plan.cache_tile) <= 2);
+        assert!(n.hops(plan.attacker_tile, plan.cache_tile) <= 2);
+        assert_eq!(plan.role(plan.cache_tile), TileRole::SharedCache);
+        assert_eq!(plan.role(plan.attacker_tile), TileRole::Processor);
+        assert_eq!(plan.role(plan.io_tile), TileRole::Io);
+    }
+
+    #[test]
+    fn remote_access_budget_matches_paper_anchor() {
+        // Attacker tile → cache tile is 2 hops; paper quotes ≈ 400 ns
+        // including processor delay and cache response.
+        let t = TimingModel::calibrated();
+        let n = MeshNoc::grinch_mpsoc(&t);
+        let plan = MpSocFloorplan::grinch_default();
+        let hops = n.hops(plan.attacker_tile, plan.cache_tile);
+        let total = t.remote_access_ns(hops);
+        assert!((350..=450).contains(&total), "remote access {total} ns");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn out_of_mesh_tiles_rejected() {
+        let n = noc();
+        let _ = n.hops(TileId::new(0, 0), TileId::new(5, 0));
+    }
+}

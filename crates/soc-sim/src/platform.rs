@@ -1,0 +1,129 @@
+//! Platform configurations: the single-processor SoC and the MPSoC.
+
+use crate::clock::Clock;
+use crate::noc::MpSocFloorplan;
+use crate::timing::TimingModel;
+use cache_sim::CacheConfig;
+use gift_cipher::TableLayout;
+
+/// Which of the paper's two platforms is being simulated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlatformKind {
+    /// One RISCY core; victim and attacker time-share it under the RTOS
+    /// scheduler; the shared L1 is reached over a bus.
+    SingleSoc,
+    /// Seven RISCY cores on a 3×3 mesh NoC; the attacker owns a core and
+    /// probes the shared-L1 tile remotely.
+    MpSoc,
+}
+
+/// Full description of a simulated platform instance.
+#[derive(Clone, Debug)]
+pub struct PlatformConfig {
+    /// Platform topology.
+    pub kind: PlatformKind,
+    /// Core clock (the paper sweeps 10/25/50 MHz).
+    pub clock: Clock,
+    /// Calibrated latency model.
+    pub timing: TimingModel,
+    /// Shared-L1 geometry.
+    pub cache: CacheConfig,
+    /// Placement of the cipher's lookup tables.
+    pub layout: TableLayout,
+    /// MPSoC floorplan (ignored on the single SoC).
+    pub floorplan: MpSocFloorplan,
+    /// How many victim encryptions the scenario runs.
+    pub encryptions: usize,
+}
+
+impl PlatformConfig {
+    /// The single-processor SoC at the given clock frequency.
+    pub fn single_soc(freq_hz: u64) -> Self {
+        Self {
+            kind: PlatformKind::SingleSoc,
+            clock: Clock::new(freq_hz),
+            timing: TimingModel::calibrated(),
+            cache: CacheConfig::grinch_default(),
+            layout: TableLayout::default(),
+            floorplan: MpSocFloorplan::grinch_default(),
+            encryptions: 1,
+        }
+    }
+
+    /// The MPSoC at the given clock frequency.
+    pub fn mpsoc(freq_hz: u64) -> Self {
+        Self {
+            kind: PlatformKind::MpSoc,
+            ..Self::single_soc(freq_hz)
+        }
+    }
+
+    /// Sets the number of victim encryptions to simulate.
+    pub fn with_encryptions(mut self, n: usize) -> Self {
+        self.encryptions = n.max(1);
+        self
+    }
+
+    /// Overrides the RTOS scheduler quantum (wall clock). The paper's RTOS
+    /// uses 10 ms; shorter quanta preempt the victim earlier and move the
+    /// attacker's probe to an earlier round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum_ns` is zero.
+    pub fn with_quantum_ns(mut self, quantum_ns: u64) -> Self {
+        assert!(quantum_ns > 0, "quantum must be positive");
+        self.timing.quantum_ns = quantum_ns;
+        self
+    }
+
+    /// Latency (ns) of one attacker access to the shared cache on this
+    /// platform.
+    pub fn attacker_access_ns(&self) -> u64 {
+        match self.kind {
+            PlatformKind::SingleSoc => self.timing.bus_access_ns,
+            PlatformKind::MpSoc => {
+                let noc = crate::noc::MeshNoc::grinch_mpsoc(&self.timing);
+                let hops = noc.hops(self.floorplan.attacker_tile, self.floorplan.cache_tile);
+                self.timing.remote_access_ns(hops)
+            }
+        }
+    }
+
+    /// Latency (ns) of one victim access to the shared cache.
+    pub fn victim_access_ns(&self) -> u64 {
+        match self.kind {
+            PlatformKind::SingleSoc => self.timing.bus_access_ns,
+            PlatformKind::MpSoc => {
+                let noc = crate::noc::MeshNoc::grinch_mpsoc(&self.timing);
+                let hops = noc.hops(self.floorplan.victim_tile, self.floorplan.cache_tile);
+                self.timing.remote_access_ns(hops)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attacker_access_faster_on_bus_than_noc() {
+        let soc = PlatformConfig::single_soc(50_000_000);
+        let mpsoc = PlatformConfig::mpsoc(50_000_000);
+        assert!(soc.attacker_access_ns() < mpsoc.attacker_access_ns());
+    }
+
+    #[test]
+    fn mpsoc_remote_access_matches_paper_anchor() {
+        let mpsoc = PlatformConfig::mpsoc(50_000_000);
+        let ns = mpsoc.attacker_access_ns();
+        assert!((350..=450).contains(&ns), "{ns} ns");
+    }
+
+    #[test]
+    fn encryption_count_is_at_least_one() {
+        let cfg = PlatformConfig::single_soc(10_000_000).with_encryptions(0);
+        assert_eq!(cfg.encryptions, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! The process abstraction executed by simulated cores.
+
+use crate::clock::Clock;
+use crate::log::ScenarioLog;
+use cache_sim::Cache;
+
+/// How a [`Process::run`] call ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunState {
+    /// The budget was exhausted; the process is still runnable.
+    Preempted,
+    /// The process gave up the CPU voluntarily before its budget expired.
+    Yielded,
+    /// The process has no more work and should leave the run queue.
+    Finished,
+}
+
+/// The result of running a process for (at most) a cycle budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunResult {
+    /// Cycles actually consumed (≤ the budget).
+    pub used_cycles: u64,
+    /// Why the run ended.
+    pub state: RunState,
+}
+
+/// Execution environment a process sees while running: the current time,
+/// its core's clock, the shared cache (with the latency of reaching it) and
+/// the scenario log.
+pub struct ProcContext<'a> {
+    /// Wall-clock time at the start of this run slice.
+    pub now_ns: u64,
+    /// The clock of the core executing the process.
+    pub clock: Clock,
+    /// The shared cache.
+    pub cache: &'a mut Cache,
+    /// Latency (ns) of one access from this core to the shared cache,
+    /// including the interconnect.
+    pub mem_access_ns: u64,
+    /// The scenario event log.
+    pub log: &'a mut ScenarioLog,
+}
+
+impl ProcContext<'_> {
+    /// Converts the interconnect + cache round trip into whole core cycles
+    /// (at least one).
+    pub fn mem_access_cycles(&self) -> u64 {
+        self.clock.ns_to_cycles(self.mem_access_ns).max(1)
+    }
+}
+
+/// A schedulable process.
+///
+/// `run` must consume at most `budget_cycles`; the scheduler converts the
+/// consumed cycles to wall-clock time on the owning core's clock.
+pub trait Process {
+    /// Short name used in context-switch log entries.
+    fn name(&self) -> &'static str;
+
+    /// Runs the process for at most `budget_cycles`.
+    fn run(&mut self, ctx: &mut ProcContext<'_>, budget_cycles: u64) -> RunResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::CacheConfig;
+
+    struct Burner {
+        remaining: u64,
+    }
+
+    impl Process for Burner {
+        fn name(&self) -> &'static str {
+            "burner"
+        }
+
+        fn run(&mut self, _ctx: &mut ProcContext<'_>, budget_cycles: u64) -> RunResult {
+            let used = self.remaining.min(budget_cycles);
+            self.remaining -= used;
+            RunResult {
+                used_cycles: used,
+                state: if self.remaining == 0 {
+                    RunState::Finished
+                } else {
+                    RunState::Preempted
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn processes_respect_budgets() {
+        let mut cache = Cache::new(CacheConfig::grinch_default());
+        let mut log = ScenarioLog::new();
+        let mut ctx = ProcContext {
+            now_ns: 0,
+            clock: Clock::new(10_000_000),
+            cache: &mut cache,
+            mem_access_ns: 120,
+            log: &mut log,
+        };
+        let mut p = Burner { remaining: 250 };
+        let r1 = p.run(&mut ctx, 100);
+        assert_eq!(r1.used_cycles, 100);
+        assert_eq!(r1.state, RunState::Preempted);
+        let r2 = p.run(&mut ctx, 100);
+        assert_eq!(r2.state, RunState::Preempted);
+        let r3 = p.run(&mut ctx, 100);
+        assert_eq!(r3.used_cycles, 50);
+        assert_eq!(r3.state, RunState::Finished);
+    }
+
+    #[test]
+    fn mem_access_cycles_never_zero() {
+        let mut cache = Cache::new(CacheConfig::grinch_default());
+        let mut log = ScenarioLog::new();
+        let ctx = ProcContext {
+            now_ns: 0,
+            clock: Clock::new(10_000_000), // 100 ns period
+            cache: &mut cache,
+            mem_access_ns: 40,             // less than one cycle
+            log: &mut log,
+        };
+        assert_eq!(ctx.mem_access_cycles(), 1);
+    }
+}

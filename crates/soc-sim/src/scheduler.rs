@@ -1,0 +1,251 @@
+//! RTOS-style round-robin scheduler with a wall-clock quantum.
+//!
+//! The single-processor SoC of the GRINCH paper emulates an RTOS whose
+//! scheduler hands each runnable task a 10 ms quantum. The scheduler here is
+//! cooperative-with-preemption: a process runs until it yields, finishes, or
+//! its quantum expires, at which point a context switch (with its own cycle
+//! cost) installs the next runnable process.
+
+use crate::clock::Clock;
+use crate::log::ScenarioLog;
+use crate::process::{ProcContext, Process, RunState};
+use cache_sim::Cache;
+
+/// A single-core round-robin scheduler.
+pub struct RoundRobinScheduler {
+    processes: Vec<Box<dyn Process>>,
+    /// Index (into `processes`) of the currently running process.
+    current: usize,
+    quantum_ns: u64,
+    context_switch_cycles: u64,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a scheduler over the given processes; the first one runs
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` is empty or `quantum_ns` is zero.
+    pub fn new(
+        processes: Vec<Box<dyn Process>>,
+        quantum_ns: u64,
+        context_switch_cycles: u64,
+    ) -> Self {
+        assert!(!processes.is_empty(), "scheduler needs at least one process");
+        assert!(quantum_ns > 0, "quantum must be positive");
+        Self {
+            processes,
+            current: 0,
+            quantum_ns,
+            context_switch_cycles,
+        }
+    }
+
+    /// Number of processes still in the run queue.
+    pub fn runnable(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Runs the system until `deadline_ns` or until every process finishes,
+    /// advancing `now_ns` and returning the final time.
+    ///
+    /// Each iteration gives the current process one quantum (clipped to the
+    /// deadline). Yield/preempt rotate the queue with a context-switch cost;
+    /// finish removes the process.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_until(
+        &mut self,
+        mut now_ns: u64,
+        deadline_ns: u64,
+        clock: Clock,
+        cache: &mut Cache,
+        mem_access_ns: u64,
+        log: &mut ScenarioLog,
+    ) -> u64 {
+        while now_ns < deadline_ns && !self.processes.is_empty() {
+            let slice_ns = self.quantum_ns.min(deadline_ns - now_ns);
+            let budget = clock.ns_to_cycles(slice_ns);
+            if budget == 0 {
+                break;
+            }
+            let mut ctx = ProcContext {
+                now_ns,
+                clock,
+                cache,
+                mem_access_ns,
+                log,
+            };
+            let result = self.processes[self.current].run(&mut ctx, budget);
+            debug_assert!(
+                result.used_cycles <= budget,
+                "process exceeded its budget"
+            );
+            now_ns += clock.cycles_to_ns(result.used_cycles);
+            match result.state {
+                RunState::Finished => {
+                    self.processes.remove(self.current);
+                    if self.processes.is_empty() {
+                        break;
+                    }
+                    self.current %= self.processes.len();
+                    now_ns += clock.cycles_to_ns(self.context_switch_cycles);
+                    log.context_switch(now_ns, self.processes[self.current].name());
+                }
+                RunState::Preempted | RunState::Yielded => {
+                    if self.processes.len() > 1 {
+                        self.current = (self.current + 1) % self.processes.len();
+                        now_ns += clock.cycles_to_ns(self.context_switch_cycles);
+                        log.context_switch(now_ns, self.processes[self.current].name());
+                    } else if result.used_cycles == 0 {
+                        // The sole runnable process cannot make progress
+                        // within the remaining window (e.g. a probe step
+                        // does not fit the tail of the quantum): idle until
+                        // the deadline instead of spinning.
+                        now_ns = deadline_ns;
+                    }
+                }
+            }
+        }
+        now_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::RunResult;
+    use cache_sim::CacheConfig;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Records the (time, budget) of each run slice it receives.
+    struct Recorder {
+        name: &'static str,
+        slices: Rc<RefCell<Vec<(u64, u64, &'static str)>>>,
+        per_slice_cycles: u64,
+        total: u64,
+    }
+
+    impl Process for Recorder {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+
+        fn run(&mut self, ctx: &mut ProcContext<'_>, budget_cycles: u64) -> RunResult {
+            let used = self.per_slice_cycles.min(budget_cycles).min(self.total);
+            self.slices
+                .borrow_mut()
+                .push((ctx.now_ns, budget_cycles, self.name));
+            self.total -= used;
+            RunResult {
+                used_cycles: used,
+                state: if self.total == 0 {
+                    RunState::Finished
+                } else if used < budget_cycles {
+                    RunState::Yielded
+                } else {
+                    RunState::Preempted
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn processes_alternate_with_quantum_granularity() {
+        let slices = Rc::new(RefCell::new(Vec::new()));
+        let mk = |name, total| {
+            Box::new(Recorder {
+                name,
+                slices: Rc::clone(&slices),
+                per_slice_cycles: u64::MAX,
+                total,
+            }) as Box<dyn Process>
+        };
+        // 10 MHz, quantum 1 ms = 10_000 cycles.
+        let clock = Clock::new(10_000_000);
+        let mut sched = RoundRobinScheduler::new(
+            vec![mk("a", 25_000), mk("b", 5_000)],
+            1_000_000,
+            100,
+        );
+        let mut cache = Cache::new(CacheConfig::grinch_default());
+        let mut log = ScenarioLog::new();
+        let end = sched.run_until(0, 100_000_000, clock, &mut cache, 120, &mut log);
+        let order: Vec<&str> = slices.borrow().iter().map(|s| s.2).collect();
+        // a uses full quanta (10k, then after b finishes early, the rest).
+        assert_eq!(order[0], "a");
+        assert_eq!(order[1], "b");
+        assert!(order.iter().filter(|&&n| n == "a").count() >= 3);
+        assert!(end > 0);
+        assert_eq!(sched.runnable(), 0);
+    }
+
+    #[test]
+    fn deadline_clips_execution() {
+        let slices = Rc::new(RefCell::new(Vec::new()));
+        let p = Box::new(Recorder {
+            name: "a",
+            slices: Rc::clone(&slices),
+            per_slice_cycles: u64::MAX,
+            total: u64::MAX / 2,
+        }) as Box<dyn Process>;
+        let clock = Clock::new(10_000_000);
+        let mut sched = RoundRobinScheduler::new(vec![p], 10_000_000, 0);
+        let mut cache = Cache::new(CacheConfig::grinch_default());
+        let mut log = ScenarioLog::new();
+        let end = sched.run_until(0, 5_000_000, clock, &mut cache, 120, &mut log);
+        assert!(end <= 5_000_000);
+        assert_eq!(sched.runnable(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_run_queue_rejected() {
+        let _ = RoundRobinScheduler::new(vec![], 1, 1);
+    }
+
+    /// A process that needs a minimum budget per slice; below it, it
+    /// consumes nothing (models a probe step that does not fit the
+    /// remaining quantum).
+    struct ChunkWorker {
+        chunk: u64,
+    }
+
+    impl Process for ChunkWorker {
+        fn name(&self) -> &'static str {
+            "chunk"
+        }
+
+        fn run(&mut self, _ctx: &mut ProcContext<'_>, budget_cycles: u64) -> RunResult {
+            if budget_cycles < self.chunk {
+                return RunResult {
+                    used_cycles: 0,
+                    state: RunState::Preempted,
+                };
+            }
+            RunResult {
+                used_cycles: self.chunk,
+                state: RunState::Yielded,
+            }
+        }
+    }
+
+    #[test]
+    fn sole_process_that_cannot_fit_the_tail_does_not_livelock() {
+        // Regression test: a lone process returning used = 0 near the
+        // deadline must not spin forever; the scheduler idles to the
+        // deadline.
+        let clock = Clock::new(10_000_000); // 100 ns period
+        let mut sched = RoundRobinScheduler::new(
+            vec![Box::new(ChunkWorker { chunk: 3 })],
+            1_000, // 10-cycle quantum: the 3-cycle chunk fits 3x, then 1 cycle remains
+            0,
+        );
+        let mut cache = Cache::new(CacheConfig::grinch_default());
+        let mut log = ScenarioLog::new();
+        let end = sched.run_until(0, 100_000, clock, &mut cache, 120, &mut log);
+        assert_eq!(end, 100_000, "must reach the deadline instead of spinning");
+        assert_eq!(sched.runnable(), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Calibrated latency constants of the simulated platforms.
+//!
+//! The GRINCH paper reports its platform timings only indirectly; the
+//! constants below are chosen so that the simulator reproduces every stated
+//! anchor point:
+//!
+//! * *"in the fastest scenario (encryption running at 50 MHz), the time
+//!   between different rounds was about 1.2 milliseconds"* →
+//!   [`TimingModel::gift_round_cycles`] = 60 000 cycles
+//!   (60 000 × 20 ns = 1.2 ms).
+//! * *"accessing the shared memory on a different tile … took approximately
+//!   400 nanoseconds consisting of the processor delay, Network-on-Chip
+//!   latency and cache memory response time"* → the MPSoC remote-access
+//!   budget in [`crate::noc`] sums to ≈ 400 ns for the attacker tile.
+//! * *"RTOS … uses a quantum time … of 10 milliseconds"* →
+//!   [`TimingModel::quantum_ns`] = 10 ms.
+//! * Table II (probe lands in round 2/4/8 at 10/25/50 MHz on the single
+//!   SoC) additionally pins the victim's pre-encryption overhead
+//!   ([`TimingModel::victim_setup_cycles`], message reception over the I/O
+//!   peripheral plus cipher initialisation) to a value in the
+//!   (20 000, 40 000] cycle window; we use 30 000.
+
+/// Latency/duration parameters shared by both platforms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimingModel {
+    /// Cycles one GIFT round takes on the RISCY core (lookup-table
+    /// implementation, including its memory traffic).
+    pub gift_round_cycles: u64,
+    /// Cycles the victim task spends between being scheduled and the first
+    /// cipher round (I/O message reception + key/cipher setup).
+    pub victim_setup_cycles: u64,
+    /// RTOS scheduler quantum in nanoseconds (wall clock).
+    pub quantum_ns: u64,
+    /// Cycles charged for a context switch.
+    pub context_switch_cycles: u64,
+    /// Nanoseconds for one attacker access to the shared cache over the
+    /// local bus (single-processor SoC).
+    pub bus_access_ns: u64,
+    /// Nanoseconds of processor-side issue delay for a remote (NoC) access.
+    pub noc_processor_delay_ns: u64,
+    /// Nanoseconds per NoC link traversal.
+    pub noc_link_ns: u64,
+    /// Nanoseconds per NoC router traversal.
+    pub noc_router_ns: u64,
+    /// Nanoseconds for the shared cache to service a request.
+    pub cache_service_ns: u64,
+}
+
+impl TimingModel {
+    /// The calibrated model described in the module documentation.
+    pub fn calibrated() -> Self {
+        Self {
+            gift_round_cycles: 60_000,
+            victim_setup_cycles: 30_000,
+            quantum_ns: 10_000_000,
+            context_switch_cycles: 2_000,
+            bus_access_ns: 120,
+            // Two hops attacker→cache on the 3×3 mesh: 60 + 2·2·(45+15)
+            // + 100 = 400 ns, the paper's stated remote-access budget.
+            noc_processor_delay_ns: 60,
+            noc_link_ns: 45,
+            noc_router_ns: 15,
+            cache_service_ns: 100,
+        }
+    }
+
+    /// One-way NoC latency over `hops` links (each link is followed by a
+    /// router stage).
+    pub fn noc_one_way_ns(&self, hops: u64) -> u64 {
+        hops * (self.noc_link_ns + self.noc_router_ns)
+    }
+
+    /// Total latency of one remote cache access over `hops` NoC links:
+    /// issue + request traversal + cache service + response traversal.
+    pub fn remote_access_ns(&self, hops: u64) -> u64 {
+        self.noc_processor_delay_ns + 2 * self.noc_one_way_ns(hops) + self.cache_service_ns
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_duration_matches_paper_anchor_at_50mhz() {
+        let t = TimingModel::calibrated();
+        let period_ns = 20; // 50 MHz
+        assert_eq!(t.gift_round_cycles * period_ns, 1_200_000); // 1.2 ms
+    }
+
+    #[test]
+    fn remote_access_near_400ns_at_two_hops() {
+        let t = TimingModel::calibrated();
+        let ns = t.remote_access_ns(2);
+        assert!((380..=500).contains(&ns), "remote access {ns} ns");
+    }
+
+    #[test]
+    fn setup_cycles_inside_table2_calibration_window() {
+        // Derived in the module docs: Table II pins setup to (20k, 40k].
+        let t = TimingModel::calibrated();
+        assert!(t.victim_setup_cycles > 20_000 && t.victim_setup_cycles <= 40_000);
+    }
+
+    #[test]
+    fn quantum_is_ten_milliseconds() {
+        assert_eq!(TimingModel::calibrated().quantum_ns, 10_000_000);
+    }
+}

@@ -1,0 +1,261 @@
+//! The victim process: GIFT encryptions on a simulated core.
+
+use crate::process::{ProcContext, Process, RunResult, RunState};
+use cache_sim::CacheObserver;
+use gift_cipher::{TableGift64, GIFT64_ROUNDS};
+
+/// Where the victim is in its work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Pre-encryption overhead (message reception + cipher setup), with the
+    /// number of cycles still to burn.
+    Setup { remaining: u64 },
+    /// Executing `round` (1-based); `issued` is whether the round's memory
+    /// accesses have already been applied to the shared cache.
+    Round {
+        round: usize,
+        remaining: u64,
+        issued: bool,
+    },
+    /// All requested encryptions finished.
+    Done,
+}
+
+/// A process that encrypts a queue of plaintexts with the table-driven
+/// GIFT-64, issuing each round's S-box reads into the shared cache at round
+/// start and charging the calibrated per-round cycle cost.
+///
+/// The round's accesses are applied when the round *starts*; a probe that
+/// lands anywhere inside round `r` therefore sees the accesses of rounds
+/// `1..=r` — the convention used in the paper's Fig. 3 discussion (see
+/// DESIGN.md §3).
+pub struct GiftVictim {
+    cipher: TableGift64,
+    plaintexts: Vec<u64>,
+    ciphertexts: Vec<u64>,
+    phase: Phase,
+    encryption_index: usize,
+    setup_cycles: u64,
+    round_cycles: u64,
+    /// The cipher state: input of the round named in `phase` (or the next
+    /// plaintext during setup).
+    state: u64,
+}
+
+impl GiftVictim {
+    /// Creates a victim that will encrypt `plaintexts` in order.
+    pub fn new(
+        cipher: TableGift64,
+        plaintexts: Vec<u64>,
+        setup_cycles: u64,
+        round_cycles: u64,
+    ) -> Self {
+        let state = plaintexts.first().copied().unwrap_or(0);
+        Self {
+            cipher,
+            plaintexts,
+            ciphertexts: Vec::new(),
+            phase: Phase::Setup {
+                remaining: setup_cycles,
+            },
+            encryption_index: 0,
+            setup_cycles,
+            round_cycles,
+            state,
+        }
+    }
+
+    /// Ciphertexts of the encryptions completed so far.
+    pub fn ciphertexts(&self) -> &[u64] {
+        &self.ciphertexts
+    }
+
+    /// Whether all encryptions are complete.
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+}
+
+impl Process for GiftVictim {
+    fn name(&self) -> &'static str {
+        "gift-victim"
+    }
+
+    fn run(&mut self, ctx: &mut ProcContext<'_>, budget_cycles: u64) -> RunResult {
+        let mut used: u64 = 0;
+        loop {
+            match self.phase {
+                Phase::Done => {
+                    return RunResult {
+                        used_cycles: used,
+                        state: RunState::Finished,
+                    };
+                }
+                Phase::Setup { remaining } => {
+                    let take = remaining.min(budget_cycles - used);
+                    used += take;
+                    let left = remaining - take;
+                    if left > 0 {
+                        self.phase = Phase::Setup { remaining: left };
+                        return RunResult {
+                            used_cycles: used,
+                            state: RunState::Preempted,
+                        };
+                    }
+                    self.phase = Phase::Round {
+                        round: 1,
+                        remaining: self.round_cycles,
+                        issued: false,
+                    };
+                }
+                Phase::Round {
+                    round,
+                    remaining,
+                    issued,
+                } => {
+                    if !issued {
+                        // Apply the round's memory accesses at round start.
+                        let time = ctx.now_ns + ctx.clock.cycles_to_ns(used);
+                        ctx.log.round_start(time, round);
+                        let mut obs = CacheObserver::new(ctx.cache);
+                        self.state = self.cipher.run_single_round(self.state, round - 1, &mut obs);
+                        self.phase = Phase::Round {
+                            round,
+                            remaining,
+                            issued: true,
+                        };
+                        continue;
+                    }
+                    let take = remaining.min(budget_cycles - used);
+                    used += take;
+                    let left = remaining - take;
+                    if left > 0 {
+                        self.phase = Phase::Round {
+                            round,
+                            remaining: left,
+                            issued: true,
+                        };
+                        return RunResult {
+                            used_cycles: used,
+                            state: RunState::Preempted,
+                        };
+                    }
+                    if round == GIFT64_ROUNDS {
+                        let time = ctx.now_ns + ctx.clock.cycles_to_ns(used);
+                        ctx.log.encryption_done(time, self.encryption_index);
+                        self.ciphertexts.push(self.state);
+                        self.encryption_index += 1;
+                        if self.encryption_index < self.plaintexts.len() {
+                            self.state = self.plaintexts[self.encryption_index];
+                            self.phase = Phase::Setup {
+                                remaining: self.setup_cycles,
+                            };
+                        } else {
+                            self.phase = Phase::Done;
+                            return RunResult {
+                                used_cycles: used,
+                                state: RunState::Finished,
+                            };
+                        }
+                    } else {
+                        self.phase = Phase::Round {
+                            round: round + 1,
+                            remaining: self.round_cycles,
+                            issued: false,
+                        };
+                    }
+                }
+            }
+            if used == budget_cycles {
+                return RunResult {
+                    used_cycles: used,
+                    state: RunState::Preempted,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::log::ScenarioLog;
+    use cache_sim::{Cache, CacheConfig};
+    use gift_cipher::{Gift64, Key, NullObserver, TableLayout};
+
+    fn run_victim_to_completion(victim: &mut GiftVictim) -> (u64, ScenarioLog) {
+        let mut cache = Cache::new(CacheConfig::grinch_default());
+        let mut log = ScenarioLog::new();
+        let clock = Clock::new(10_000_000);
+        let mut now = 0u64;
+        loop {
+            let mut ctx = ProcContext {
+                now_ns: now,
+                clock,
+                cache: &mut cache,
+                mem_access_ns: 120,
+                log: &mut log,
+            };
+            let r = victim.run(&mut ctx, 10_000);
+            now += clock.cycles_to_ns(r.used_cycles);
+            if r.state == RunState::Finished {
+                return (now, log);
+            }
+        }
+    }
+
+    #[test]
+    fn victim_produces_correct_ciphertext_despite_preemption() {
+        let key = Key::from_u128(0x0123_4567_89ab_cdef_1111_2222_3333_4444);
+        let cipher = TableGift64::new(key, TableLayout::default());
+        let pt = 0xdead_beef_0bad_f00d;
+        let mut victim = GiftVictim::new(cipher, vec![pt], 3_000, 6_000);
+        let (_, _) = run_victim_to_completion(&mut victim);
+        let expected = Gift64::new(key).encrypt(pt);
+        assert_eq!(victim.ciphertexts(), &[expected]);
+        assert!(victim.is_done());
+    }
+
+    #[test]
+    fn victim_logs_28_round_starts_per_encryption() {
+        let key = Key::from_u128(5);
+        let cipher = TableGift64::new(key, TableLayout::default());
+        let mut victim = GiftVictim::new(cipher, vec![1, 2], 1_000, 2_000);
+        let (_, log) = run_victim_to_completion(&mut victim);
+        let rounds = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, crate::log::ScenarioEvent::RoundStart { .. }))
+            .count();
+        assert_eq!(rounds, 2 * GIFT64_ROUNDS);
+        assert_eq!(victim.ciphertexts().len(), 2);
+        let mut obs = NullObserver;
+        let reference = TableGift64::new(key, TableLayout::default());
+        assert_eq!(victim.ciphertexts()[0], reference.encrypt_with(1, &mut obs));
+        assert_eq!(victim.ciphertexts()[1], reference.encrypt_with(2, &mut obs));
+    }
+
+    #[test]
+    fn round_timing_matches_cycle_budget() {
+        let key = Key::from_u128(9);
+        let cipher = TableGift64::new(key, TableLayout::default());
+        let setup = 3_000u64;
+        let round = 6_000u64;
+        let mut victim = GiftVictim::new(cipher, vec![7], setup, round);
+        let (end_ns, log) = run_victim_to_completion(&mut victim);
+        let clock = Clock::new(10_000_000);
+        let expected_cycles = setup + 28 * round;
+        assert_eq!(end_ns, clock.cycles_to_ns(expected_cycles));
+        // First round starts right after setup.
+        let first_round_time = log
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                crate::log::ScenarioEvent::RoundStart { time_ns, round: 1 } => Some(*time_ns),
+                _ => None,
+            })
+            .expect("round 1 logged");
+        assert_eq!(first_round_time, clock.cycles_to_ns(setup));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the SoC simulator's building blocks.
+
+use proptest::prelude::*;
+use soc_sim::clock::Clock;
+use soc_sim::noc::{MeshNoc, TileId};
+use soc_sim::timing::TimingModel;
+
+fn arb_freq() -> impl Strategy<Value = u64> {
+    // Divisors of 1 GHz so periods are integral.
+    prop_oneof![
+        Just(1_000_000u64),
+        Just(2_000_000),
+        Just(4_000_000),
+        Just(5_000_000),
+        Just(10_000_000),
+        Just(20_000_000),
+        Just(25_000_000),
+        Just(50_000_000),
+        Just(100_000_000),
+        Just(1_000_000_000),
+    ]
+}
+
+fn arb_tile(cols: u8, rows: u8) -> impl Strategy<Value = TileId> {
+    (0..cols, 0..rows).prop_map(|(x, y)| TileId::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn clock_conversions_are_consistent(freq in arb_freq(), cycles in 0u64..1_000_000) {
+        let clk = Clock::new(freq);
+        prop_assert_eq!(clk.ns_to_cycles(clk.cycles_to_ns(cycles)), cycles);
+        prop_assert_eq!(clk.period_ns() * freq, 1_000_000_000);
+    }
+
+    #[test]
+    fn ns_to_cycles_never_overestimates(freq in arb_freq(), ns in 0u64..1_000_000_000) {
+        let clk = Clock::new(freq);
+        let cycles = clk.ns_to_cycles(ns);
+        prop_assert!(clk.cycles_to_ns(cycles) <= ns);
+        prop_assert!(clk.cycles_to_ns(cycles + 1) > ns);
+    }
+
+    #[test]
+    fn xy_routes_are_valid_paths(
+        src in arb_tile(3, 3),
+        dst in arb_tile(3, 3),
+    ) {
+        let noc = MeshNoc::new(3, 3, 60, 20);
+        let path = noc.route(src, dst);
+        prop_assert_eq!(*path.first().unwrap(), src);
+        prop_assert_eq!(*path.last().unwrap(), dst);
+        // Consecutive tiles are mesh neighbours.
+        for w in path.windows(2) {
+            let dx = w[0].x.abs_diff(w[1].x);
+            let dy = w[0].y.abs_diff(w[1].y);
+            prop_assert_eq!(dx + dy, 1, "non-adjacent hop {:?}", w);
+        }
+        // XY routing: once Y changes, X never changes again.
+        let mut y_moved = false;
+        for w in path.windows(2) {
+            if w[0].y != w[1].y {
+                y_moved = true;
+            } else if y_moved {
+                prop_assert_eq!(w[0].x, w[1].x, "X move after Y phase");
+            }
+        }
+        prop_assert_eq!(path.len() as u64, noc.hops(src, dst) + 1);
+    }
+
+    #[test]
+    fn noc_latency_is_symmetric_and_triangle_bounded(
+        a in arb_tile(3, 3),
+        b in arb_tile(3, 3),
+        c in arb_tile(3, 3),
+    ) {
+        let noc = MeshNoc::new(3, 3, 60, 20);
+        prop_assert_eq!(noc.one_way_ns(a, b), noc.one_way_ns(b, a));
+        prop_assert!(noc.hops(a, c) <= noc.hops(a, b) + noc.hops(b, c));
+    }
+
+    #[test]
+    fn remote_access_grows_with_hops(hops in 0u64..8) {
+        let t = TimingModel::calibrated();
+        prop_assert!(t.remote_access_ns(hops + 1) > t.remote_access_ns(hops));
+        prop_assert_eq!(
+            t.remote_access_ns(hops),
+            t.noc_processor_delay_ns + 2 * t.noc_one_way_ns(hops) + t.cache_service_ns
+        );
+    }
+}

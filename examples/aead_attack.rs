@@ -1,0 +1,51 @@
+//! GRINCH against an AEAD built on GIFT-128 (COFB-style) — the scenario
+//! the paper's introduction motivates: GIFT is attacked *inside* a NIST-LWC
+//! style authenticated cipher, not as a bare block cipher.
+//!
+//! Every `seal` starts with `E_K(nonce)` on an attacker-chosen 128-bit
+//! nonce, so the chosen-plaintext channel GRINCH needs is available through
+//! the AEAD's public interface. The attacker crafts *nonces*, watches the
+//! shared cache during the first internal block encryption, recovers the
+//! key in two stages, and finally forges by decrypting a sealed message.
+//!
+//! ```text
+//! cargo run -p grinch --release --example aead_attack
+//! ```
+
+use gift_cipher::aead::GiftCofb;
+use gift_cipher::Key;
+use grinch::gift128::{recover_full_key_128, VictimOracle128};
+use grinch::oracle::ObservationConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let secret = Key::from_u128(0x5eed_f00d_5eed_f00d_0123_4567_89ab_cdef);
+    let aead = GiftCofb::new(secret);
+
+    // The victim seals a message the attacker would like to read.
+    let nonce = 0x0102_0304_0506_0708_090a_0b0c_0d0e_0f10u128;
+    let (ciphertext, tag) = aead.seal(nonce, b"session-42", b"launch code: 0000");
+    println!("victim sealed {} bytes, tag {:016x}", ciphertext.len(), tag.0);
+
+    // The cache side channel: each seal's first internal call is
+    // E_K(nonce). The oracle models exactly that call's S-box traffic (the
+    // probe fires during its early rounds, before any later block runs).
+    let mut oracle = VictimOracle128::new(secret, ObservationConfig::ideal());
+    let mut rng = StdRng::seed_from_u64(0xaead);
+    let outcome = recover_full_key_128(&mut oracle, 1_000_000, &mut rng);
+
+    let key = outcome.key.expect("recovery should succeed in the ideal setting");
+    println!(
+        "key recovered from {} crafted nonce encryptions: {key}",
+        outcome.encryptions
+    );
+    assert_eq!(key, secret);
+
+    // With the key, the attacker opens the victim's message.
+    let cracked = GiftCofb::new(key)
+        .open(nonce, b"session-42", &ciphertext, tag)
+        .expect("recovered key must authenticate");
+    println!("decrypted: {}", String::from_utf8_lossy(&cracked));
+    assert_eq!(cracked, b"launch code: 0000");
+}

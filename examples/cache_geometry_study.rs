@@ -1,0 +1,70 @@
+//! Cache geometry study: how line size changes the attack (the paper's
+//! Table I), plus the effect of the probe mechanic (Flush+Reload versus
+//! Prime+Probe) and of replacement policy.
+//!
+//! ```text
+//! cargo run -p grinch --release --example cache_geometry_study
+//! ```
+
+use cache_sim::ReplacementPolicy;
+use gift_cipher::Key;
+use grinch::oracle::{ObservationConfig, ProbeStrategy, VictimOracle};
+use grinch::stage::{run_stage, StageConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn first_round_effort(obs: ObservationConfig, seed: u64) -> (bool, u64) {
+    let secret = Key::from_u128(0x0f1e_2d3c_4b5a_6978_8796_a5b4_c3d2_e1f0);
+    let mut oracle = VictimOracle::new(secret, obs);
+    let cfg = StageConfig::new()
+        .with_max_encryptions(300_000)
+        .with_seed(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let result = run_stage(&mut oracle, &[], 1, &cfg, &mut rng);
+    (result.is_resolved(), result.encryptions)
+}
+
+fn main() {
+    println!("First-round (32-bit) recovery effort vs cache geometry\n");
+
+    println!("line size sweep (Flush+Reload, probing round 1, with flush):");
+    for words in [1usize, 2, 4, 8] {
+        let obs = ObservationConfig::ideal().with_words_per_line(words);
+        let (ok, n) = first_round_effort(obs, 0x100 + words as u64);
+        println!(
+            "  {words} word(s)/line: {}",
+            if ok {
+                format!("{n} encryptions")
+            } else {
+                format!("unresolved after {n} encryptions")
+            }
+        );
+    }
+
+    println!("\nprobe mechanic (1 word/line, probing round 1):");
+    for (name, strategy) in [
+        ("Flush+Reload", ProbeStrategy::FlushReload),
+        ("Prime+Probe", ProbeStrategy::PrimeProbe),
+    ] {
+        let obs = ObservationConfig {
+            strategy,
+            ..ObservationConfig::ideal()
+        };
+        let (ok, n) = first_round_effort(obs, 0x200);
+        println!("  {name}: {} ({n} encryptions)", if ok { "ok" } else { "failed" });
+    }
+
+    println!("\nreplacement policy (1 word/line):");
+    for (name, policy) in [
+        ("LRU", ReplacementPolicy::Lru),
+        ("FIFO", ReplacementPolicy::Fifo),
+        ("random", ReplacementPolicy::Random),
+    ] {
+        let mut obs = ObservationConfig::ideal();
+        obs.cache.replacement = policy;
+        let (ok, n) = first_round_effort(obs, 0x300);
+        println!("  {name}: {} ({n} encryptions)", if ok { "ok" } else { "failed" });
+    }
+
+    println!("\nWider lines blur the observed index and raise the effort (Table I).");
+}

@@ -1,0 +1,40 @@
+//! GRINCH against GIFT-128: two stages recover the full 128-bit key
+//! (rounds 1 and 2 of GIFT-128 consume all eight key words).
+//!
+//! ```text
+//! cargo run -p grinch --release --example gift128_attack
+//! ```
+
+use gift_cipher::{Gift128, Key};
+use grinch::gift128::{recover_full_key_128, VictimOracle128};
+use grinch::oracle::ObservationConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let secret = Key::from_u128(0x0bad_c0de_1337_beef_2468_ace0_1357_9bdf);
+    let cipher = Gift128::new(secret);
+    let pt = 0x0011_2233_4455_6677_8899_aabb_ccdd_eeffu128;
+    println!("GIFT-128: {pt:032x}");
+    println!("      --> {:032x}\n", cipher.encrypt(pt));
+
+    let mut oracle = VictimOracle128::new(secret, ObservationConfig::ideal());
+    let mut rng = StdRng::seed_from_u64(0x128);
+    let outcome = recover_full_key_128(&mut oracle, 1_000_000, &mut rng);
+
+    match outcome.key {
+        Some(key) => {
+            assert_eq!(key, secret);
+            println!("recovered key: {key}");
+            println!("encryptions used: {}", outcome.encryptions);
+            for (i, n) in outcome.stage_encryptions.iter().enumerate() {
+                println!("  stage {}: {} encryptions (64 key bits)", i + 1, n);
+            }
+            println!(
+                "\nGIFT-128 falls in TWO stages (64 key bits per round) versus \
+                 GIFT-64's four — wider state, same table leak."
+            );
+        }
+        None => println!("attack failed (unexpected in the ideal setting)"),
+    }
+}
