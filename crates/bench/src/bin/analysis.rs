@@ -10,16 +10,28 @@ use gift_cipher::Key;
 use grinch::analysis::expected_stage_encryptions;
 use grinch::oracle::{ObservationConfig, VictimOracle};
 use grinch::stage::{run_stage, StageConfig};
-use grinch_bench::group_thousands;
+use grinch_bench::{bench_telemetry, emit_telemetry_report, group_thousands};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn measure(probing_round: usize, flush: bool, cap: u64) -> Option<u64> {
+fn measure(
+    probing_round: usize,
+    flush: bool,
+    cap: u64,
+    telemetry: grinch_telemetry::Telemetry,
+) -> Option<u64> {
+    let _span = grinch_telemetry::span!(
+        telemetry,
+        "experiment.analysis.cell",
+        probing_round = probing_round,
+        flush = flush
+    );
     let key = Key::from_u128(0x0f1e_2d3c_4b5a_6978_8796_a5b4_c3d2_e1f0);
     let obs = ObservationConfig::ideal()
         .with_probing_round(probing_round)
         .with_flush(flush);
     let mut oracle = VictimOracle::new(key, obs);
+    oracle.set_telemetry(telemetry);
     let cfg = StageConfig::new()
         .with_max_encryptions(cap)
         .with_seed(0xa11a ^ probing_round as u64);
@@ -34,6 +46,7 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(5);
 
+    let telemetry = bench_telemetry();
     println!("Closed-form effort model vs measured stage-1 recovery\n");
     println!(
         "{:>6} {:>7} {:>14} {:>14} {:>8}",
@@ -42,7 +55,7 @@ fn main() {
     for flush in [true, false] {
         for k in 1..=max_round {
             let model = expected_stage_encryptions(k, flush, 1);
-            let measured = measure(k, flush, 1_000_000);
+            let measured = measure(k, flush, 1_000_000, telemetry.clone());
             match measured {
                 Some(m) => println!(
                     "{:>6} {:>7} {:>14} {:>14} {:>8.2}",
@@ -65,4 +78,5 @@ fn main() {
     }
     println!("\nThe geometric absence model explains the exponential growth in the");
     println!("probing round; measured/model ratios near 1 validate the simulator.");
+    emit_telemetry_report(&telemetry, "analysis");
 }

@@ -5,7 +5,8 @@
 //! cargo run -p grinch-bench --release --bin countermeasures [cap_per_stage]
 //! ```
 
-use grinch::experiments::countermeasures::{run, AblationConfig};
+use grinch::experiments::countermeasures::{run_traced, AblationConfig};
+use grinch_bench::{bench_telemetry, emit_telemetry_report};
 
 fn main() {
     let cap: u64 = std::env::args()
@@ -17,9 +18,13 @@ fn main() {
         ..AblationConfig::default()
     };
 
+    let telemetry = bench_telemetry();
     println!("Countermeasure ablation (cap {cap} encryptions/stage)\n");
-    println!("{:>22} {:>14} {:>14}", "protection", "key recovered", "encryptions");
-    for row in run(&config) {
+    println!(
+        "{:>22} {:>14} {:>14}",
+        "protection", "key recovered", "encryptions"
+    );
+    for row in run_traced(&config, telemetry.clone()) {
         println!(
             "{:>22} {:>14} {:>14}",
             row.protection.to_string(),
@@ -28,4 +33,5 @@ fn main() {
         );
     }
     println!("\nExpected: only the unprotected implementation leaks the key.");
+    emit_telemetry_report(&telemetry, "countermeasures");
 }

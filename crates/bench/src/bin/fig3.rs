@@ -6,15 +6,12 @@
 //! cargo run -p grinch-bench --release --bin fig3 [max_probing_round] [cap]
 //! ```
 
-use grinch::experiments::probing_round::{measure_cell, Fig3Config};
-use grinch_bench::format_cell;
+use grinch::experiments::probing_round::{measure_cell_traced, Fig3Config};
+use grinch_bench::{bench_telemetry, emit_telemetry_report, format_cell};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let max_round: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(10);
+    let max_round: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
     let cap: u64 = args
         .next()
         .and_then(|a| a.parse().ok())
@@ -25,12 +22,16 @@ fn main() {
         ..Fig3Config::default()
     };
 
+    let telemetry = bench_telemetry();
     println!("Fig. 3 — Required encryptions to break 1st GIFT round");
     println!("(32 key bits; drop-out cap {cap} encryptions)\n");
-    println!("{:>14} {:>18} {:>18}", "probing round", "with flush", "without flush");
+    println!(
+        "{:>14} {:>18} {:>18}",
+        "probing round", "with flush", "without flush"
+    );
     for round in 1..=config.max_probing_round {
-        let with = measure_cell(&config, round, true);
-        let without = measure_cell(&config, round, false);
+        let with = measure_cell_traced(&config, round, true, telemetry.clone());
+        let without = measure_cell_traced(&config, round, false, telemetry.clone());
         println!(
             "{:>14} {:>18} {:>18}",
             round,
@@ -40,4 +41,5 @@ fn main() {
     }
     println!("\nExpected shape (paper): exponential growth with probing round;");
     println!("the flush series sits strictly below the no-flush series.");
+    emit_telemetry_report(&telemetry, "fig3");
 }

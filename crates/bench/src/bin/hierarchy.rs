@@ -6,8 +6,8 @@
 //! ```
 
 use gift_cipher::Key;
-use grinch::experiments::hierarchy::run;
-use grinch_bench::group_thousands;
+use grinch::experiments::hierarchy::run_traced;
+use grinch_bench::{bench_telemetry, emit_telemetry_report, group_thousands};
 
 fn main() {
     let cap: u64 = std::env::args()
@@ -16,9 +16,13 @@ fn main() {
         .unwrap_or(400_000);
     let key = Key::from_u128(0x0f1e_2d3c_4b5a_6978_8796_a5b4_c3d2_e1f0);
 
+    let telemetry = bench_telemetry();
     println!("Memory-hierarchy effect on first-round recovery (cap {cap})\n");
-    println!("{:>26} {:>10} {:>14}", "hierarchy", "recovered", "encryptions");
-    for row in run(key, cap) {
+    println!(
+        "{:>26} {:>10} {:>14}",
+        "hierarchy", "recovered", "encryptions"
+    );
+    for row in run_traced(key, cap, telemetry.clone()) {
         println!(
             "{:>26} {:>10} {:>14}",
             row.setting.to_string(),
@@ -29,4 +33,5 @@ fn main() {
     println!("\nA coherent flush keeps the channel open at L2-line granularity");
     println!("(wide-line cost); an L2-only flush lets the victim's private L1");
     println!("hide repeats, and the hard-elimination channel collapses.");
+    emit_telemetry_report(&telemetry, "hierarchy");
 }

@@ -6,8 +6,8 @@
 //! cargo run -p grinch-bench --release --bin noise [cap]
 //! ```
 
-use grinch::experiments::noise::{measure, NoiseConfig, NOISE_LEVELS};
-use grinch_bench::group_thousands;
+use grinch::experiments::noise::{measure_traced, NoiseConfig, NOISE_LEVELS};
+use grinch_bench::{bench_telemetry, emit_telemetry_report, group_thousands};
 
 fn main() {
     let cap: u64 = std::env::args()
@@ -19,21 +19,31 @@ fn main() {
         ..NoiseConfig::default()
     };
 
+    let telemetry = bench_telemetry();
     println!("Noise ablation — first-round (32-bit) recovery (cap {cap})\n");
     println!(
         "{:>12} {:>18} {:>18} {:>16}",
         "evict prob", "hard elimination", "robust recovery", "encryptions"
     );
     for p in NOISE_LEVELS {
-        let row = measure(&config, p);
+        let row = measure_traced(&config, p, telemetry.clone());
         println!(
             "{:>12.2} {:>18} {:>18} {:>16}",
             row.evict_probability,
-            if row.hard_elimination_correct { "correct" } else { "BROKEN" },
-            if row.robust_recovered { "recovered" } else { "failed" },
+            if row.hard_elimination_correct {
+                "correct"
+            } else {
+                "BROKEN"
+            },
+            if row.robust_recovered {
+                "recovered"
+            } else {
+                "failed"
+            },
             group_thousands(row.robust_encryptions)
         );
     }
     println!("\nHard intersection breaks as soon as true accesses can be evicted;");
     println!("absence counting survives at a growing encryption cost.");
+    emit_telemetry_report(&telemetry, "noise");
 }

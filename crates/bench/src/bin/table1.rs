@@ -5,8 +5,8 @@
 //! cargo run -p grinch-bench --release --bin table1 [cap]
 //! ```
 
-use grinch::experiments::line_size::{measure_cell, Table1Config};
-use grinch_bench::format_cell;
+use grinch::experiments::line_size::{measure_cell_traced, Table1Config};
+use grinch_bench::{bench_telemetry, emit_telemetry_report, format_cell};
 
 fn main() {
     let cap: u64 = std::env::args()
@@ -18,6 +18,7 @@ fn main() {
         ..Table1Config::default()
     };
 
+    let telemetry = bench_telemetry();
     println!("Table I — Required encryptions to attack the first round");
     println!("(drop-out cap {cap} encryptions)\n");
     print!("{:>16}", "cache line size");
@@ -26,13 +27,17 @@ fn main() {
     }
     println!();
     for &words in &config.line_sizes {
-        print!("{:>16}", format!("{words} word{}", if words == 1 { "" } else { "s" }));
+        print!(
+            "{:>16}",
+            format!("{words} word{}", if words == 1 { "" } else { "s" })
+        );
         for &round in &config.probing_rounds {
-            let cell = measure_cell(&config, words, round);
+            let cell = measure_cell_traced(&config, words, round, telemetry.clone());
             print!(" {:>12}", format_cell(&cell));
         }
         println!();
     }
     println!("\nExpected shape (paper): effort grows sharply with line size and");
     println!("probing round; the widest-line / latest-probe corner drops out.");
+    emit_telemetry_report(&telemetry, "table1");
 }

@@ -6,10 +6,12 @@
 //! cargo run -p grinch-bench --release --bin table2
 //! ```
 
-use grinch::experiments::practical::{measure_cell, TABLE2_FREQUENCIES};
+use grinch::experiments::practical::{measure_cell_traced, TABLE2_FREQUENCIES};
+use grinch_bench::{bench_telemetry, emit_telemetry_report};
 use soc_sim::platform::PlatformKind;
 
 fn main() {
+    let telemetry = bench_telemetry();
     println!("Table II — Attack efficiency (first probed round)\n");
     print!("{:>24}", "platform");
     for freq in TABLE2_FREQUENCIES {
@@ -22,7 +24,7 @@ fn main() {
     ] {
         print!("{label:>24}");
         for freq in TABLE2_FREQUENCIES {
-            let cell = measure_cell(platform, freq);
+            let cell = measure_cell_traced(platform, freq, telemetry.clone());
             match cell.probed_round {
                 Some(r) => print!(" {r:>10}"),
                 None => print!(" {:>10}", "-"),
@@ -50,4 +52,5 @@ fn main() {
         }
     }
     println!();
+    emit_telemetry_report(&telemetry, "table2");
 }

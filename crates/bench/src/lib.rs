@@ -7,6 +7,38 @@
 
 use grinch::experiments::CellResult;
 
+/// Creates the telemetry handle the bench binaries record into. Disabled
+/// when the `GRINCH_TELEMETRY` environment variable is `0` or `off`, in
+/// which case every instrumentation point collapses to one branch.
+pub fn bench_telemetry() -> grinch_telemetry::Telemetry {
+    match std::env::var("GRINCH_TELEMETRY") {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => {
+            grinch_telemetry::Telemetry::disabled()
+        }
+        _ => grinch_telemetry::Telemetry::new(),
+    }
+}
+
+/// Writes `telemetry`'s snapshot to `results/<name>.telemetry.jsonl` — one
+/// metric or span per line — and prints where the trace went. A disabled
+/// handle is a no-op; I/O errors are reported to stderr, not fatal, so a
+/// read-only checkout still prints its tables.
+pub fn emit_telemetry_report(telemetry: &grinch_telemetry::Telemetry, name: &str) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("telemetry: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.telemetry.jsonl"));
+    match telemetry.write_jsonl(&path) {
+        Ok(()) => println!("\ntelemetry trace: {}", path.display()),
+        Err(e) => eprintln!("telemetry: write to {} failed: {e}", path.display()),
+    }
+}
+
 /// Formats an encryption-count cell the way the paper prints it: plain
 /// numbers with thousands separators, `>cap` for drop-outs.
 pub fn format_cell(result: &CellResult) -> String {
@@ -21,7 +53,7 @@ pub fn group_thousands(n: u64) -> String {
     let digits = n.to_string();
     let mut out = String::with_capacity(digits.len() + digits.len() / 3);
     for (i, c) in digits.chars().enumerate() {
-        if i > 0 && (digits.len() - i) % 3 == 0 {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

@@ -3,6 +3,7 @@
 use crate::config::CacheConfig;
 use crate::replacement::ReplacementState;
 use crate::stats::CacheStats;
+use grinch_telemetry::Telemetry;
 
 /// The outcome of a single cache access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +43,31 @@ struct CacheSet {
     replacement: ReplacementState,
 }
 
+/// Metric names pre-rendered at [`Cache::set_telemetry`] time so the access
+/// path never formats strings.
+#[derive(Clone, Debug)]
+struct MetricNames {
+    hits: String,
+    misses: String,
+    evictions: String,
+    flushes: String,
+    full_flushes: String,
+    access_cycles: String,
+}
+
+impl MetricNames {
+    fn new(label: &str) -> Self {
+        Self {
+            hits: format!("{label}.hits"),
+            misses: format!("{label}.misses"),
+            evictions: format!("{label}.evictions"),
+            flushes: format!("{label}.flushes"),
+            full_flushes: format!("{label}.full_flushes"),
+            access_cycles: format!("{label}.access_cycles"),
+        }
+    }
+}
+
 /// A set-associative cache.
 ///
 /// Addresses are byte addresses; the line, set and tag decomposition comes
@@ -52,6 +78,10 @@ pub struct Cache {
     config: CacheConfig,
     sets: Vec<CacheSet>,
     stats: CacheStats,
+    telemetry: Telemetry,
+    /// `Some` iff `telemetry` is enabled, so the hot path pays one
+    /// `Option` check when telemetry is off.
+    metrics: Option<MetricNames>,
 }
 
 impl Cache {
@@ -74,7 +104,19 @@ impl Cache {
             config,
             sets,
             stats: CacheStats::default(),
+            telemetry: Telemetry::disabled(),
+            metrics: None,
         }
+    }
+
+    /// Attaches a telemetry handle; subsequent accesses publish live
+    /// `{label}.hits` / `.misses` / `.evictions` / `.flushes` /
+    /// `.full_flushes` counters and a `{label}.access_cycles` latency
+    /// histogram (`label` names the level, e.g. `"cache.l1"`). Passing a
+    /// disabled handle detaches.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, label: &str) {
+        self.metrics = telemetry.is_enabled().then(|| MetricNames::new(label));
+        self.telemetry = telemetry;
     }
 
     /// The configuration this cache was built with.
@@ -101,6 +143,11 @@ impl Cache {
         if let Some(way) = set.ways.iter_mut().find(|w| w.tag == Some(tag)) {
             way.meta = set.replacement.on_hit(way.meta);
             self.stats.hits += 1;
+            if let Some(names) = &self.metrics {
+                self.telemetry.counter_inc(&names.hits);
+                self.telemetry
+                    .record_value(&names.access_cycles, self.config.hit_latency);
+            }
             return AccessOutcome {
                 hit: true,
                 latency: self.config.hit_latency,
@@ -128,6 +175,14 @@ impl Cache {
             tag: Some(tag),
             meta: fill_meta,
         };
+        if let Some(names) = &self.metrics {
+            self.telemetry.counter_inc(&names.misses);
+            if evicted_line.is_some() {
+                self.telemetry.counter_inc(&names.evictions);
+            }
+            self.telemetry
+                .record_value(&names.access_cycles, self.config.miss_latency);
+        }
         AccessOutcome {
             hit: false,
             latency: self.config.miss_latency,
@@ -152,6 +207,9 @@ impl Cache {
         if let Some(way) = set.ways.iter_mut().find(|w| w.tag == Some(tag)) {
             way.tag = None;
             self.stats.flushes += 1;
+            if let Some(names) = &self.metrics {
+                self.telemetry.counter_inc(&names.flushes);
+            }
             true
         } else {
             false
@@ -166,6 +224,9 @@ impl Cache {
             }
         }
         self.stats.full_flushes += 1;
+        if let Some(names) = &self.metrics {
+            self.telemetry.counter_inc(&names.full_flushes);
+        }
     }
 
     /// Number of currently valid lines.
@@ -238,10 +299,10 @@ mod tests {
         cache.access(0); // make line 0 most recently used
         let outcome = cache.access(2 * stride); // evicts line at `stride`
         assert!(outcome.is_miss());
-        assert_eq!(outcome.evicted_line, Some(stride as u64 / 4));
+        assert_eq!(outcome.evicted_line, Some(stride / 4));
         assert!(cache.contains(0));
-        assert!(!cache.contains(stride as u64));
-        assert!(cache.contains(2 * stride as u64));
+        assert!(!cache.contains(stride));
+        assert!(cache.contains(2 * stride));
     }
 
     #[test]
@@ -287,6 +348,24 @@ mod tests {
         let mut lines = cache.resident_line_addrs();
         lines.sort_unstable();
         assert_eq!(lines, vec![0x100 / 4, 0x204 / 4]);
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_stats() {
+        let tel = Telemetry::new();
+        let mut cache = Cache::new(small_config());
+        cache.set_telemetry(tel.clone(), "cache.l1");
+        cache.access(0x100); // miss
+        cache.access(0x100); // hit
+        cache.access(0x200); // miss
+        cache.flush_line(0x100);
+        cache.flush_all();
+        assert_eq!(tel.counter("cache.l1.hits"), cache.stats().hits);
+        assert_eq!(tel.counter("cache.l1.misses"), cache.stats().misses);
+        assert_eq!(tel.counter("cache.l1.flushes"), 1);
+        assert_eq!(tel.counter("cache.l1.full_flushes"), 1);
+        let snap = tel.snapshot();
+        assert_eq!(snap.histogram("cache.l1.access_cycles").unwrap().count(), 3);
     }
 
     #[test]

@@ -76,7 +76,10 @@ impl CacheConfig {
     /// Panics if `words` is zero, not a power of two, or exceeds the number
     /// of lines per way.
     pub fn with_words_per_line(mut self, words: usize) -> Self {
-        assert!(words.is_power_of_two(), "words per line must be a power of two");
+        assert!(
+            words.is_power_of_two(),
+            "words per line must be a power of two"
+        );
         let total_words = self.line_bytes * self.num_sets * self.ways;
         self.line_bytes = words;
         assert!(

@@ -20,6 +20,7 @@ pub struct MemoryHierarchy {
     now: u64,
     trace: AccessTrace,
     tracing: bool,
+    telemetry: grinch_telemetry::Telemetry,
 }
 
 impl MemoryHierarchy {
@@ -32,12 +33,21 @@ impl MemoryHierarchy {
             now: 0,
             trace: AccessTrace::new(),
             tracing: false,
+            telemetry: grinch_telemetry::Telemetry::disabled(),
         }
     }
 
     /// Enables trace capture for subsequent accesses.
     pub fn enable_tracing(&mut self) {
         self.tracing = true;
+    }
+
+    /// Attaches a telemetry handle: the L1 publishes per-level counters
+    /// under `cache.l1`, and every timed read lands in a
+    /// `hierarchy.read_cycles` histogram.
+    pub fn set_telemetry(&mut self, telemetry: grinch_telemetry::Telemetry) {
+        self.l1.set_telemetry(telemetry.clone(), "cache.l1");
+        self.telemetry = telemetry;
     }
 
     /// The captured access trace.
@@ -69,6 +79,8 @@ impl MemoryHierarchy {
             self.trace.record(self.now, addr, &outcome);
         }
         self.now += latency;
+        self.telemetry
+            .record_value("hierarchy.read_cycles", latency);
         latency
     }
 

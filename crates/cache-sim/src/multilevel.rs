@@ -49,6 +49,7 @@ pub struct TwoLevelHierarchy {
     l1: Cache,
     l2: Cache,
     memory_latency: u64,
+    telemetry: grinch_telemetry::Telemetry,
 }
 
 impl TwoLevelHierarchy {
@@ -69,6 +70,7 @@ impl TwoLevelHierarchy {
             l1: Cache::new(l1),
             l2: Cache::new(l2),
             memory_latency,
+            telemetry: grinch_telemetry::Telemetry::disabled(),
         }
     }
 
@@ -102,27 +104,50 @@ impl TwoLevelHierarchy {
         &mut self.l2
     }
 
+    /// Attaches a telemetry handle: each level publishes its counters under
+    /// `cache.l1` / `cache.l2`, and victim reads count which level served
+    /// them under `hierarchy.served_by.*` plus a `hierarchy.read_cycles`
+    /// latency histogram.
+    pub fn set_telemetry(&mut self, telemetry: grinch_telemetry::Telemetry) {
+        self.l1.set_telemetry(telemetry.clone(), "cache.l1");
+        self.l2.set_telemetry(telemetry.clone(), "cache.l2");
+        self.telemetry = telemetry;
+    }
+
     /// A victim-side read: looks up L1, then L2, then memory, filling the
     /// levels it missed.
     pub fn victim_read(&mut self, addr: u64) -> LevelledOutcome {
         let l1_outcome: AccessOutcome = self.l1.access(addr);
-        if l1_outcome.hit {
-            return LevelledOutcome {
+        let outcome = if l1_outcome.hit {
+            LevelledOutcome {
                 served_by: ServedBy::L1,
                 latency: l1_outcome.latency,
+            }
+        } else {
+            let l2_outcome = self.l2.access(addr);
+            if l2_outcome.hit {
+                LevelledOutcome {
+                    served_by: ServedBy::L2,
+                    latency: l1_outcome.latency + l2_outcome.latency,
+                }
+            } else {
+                LevelledOutcome {
+                    served_by: ServedBy::Memory,
+                    latency: l1_outcome.latency + l2_outcome.latency + self.memory_latency,
+                }
+            }
+        };
+        if self.telemetry.is_enabled() {
+            let level = match outcome.served_by {
+                ServedBy::L1 => "hierarchy.served_by.l1",
+                ServedBy::L2 => "hierarchy.served_by.l2",
+                ServedBy::Memory => "hierarchy.served_by.memory",
             };
+            self.telemetry.counter_inc(level);
+            self.telemetry
+                .record_value("hierarchy.read_cycles", outcome.latency);
         }
-        let l2_outcome = self.l2.access(addr);
-        if l2_outcome.hit {
-            return LevelledOutcome {
-                served_by: ServedBy::L2,
-                latency: l1_outcome.latency + l2_outcome.latency,
-            };
-        }
-        LevelledOutcome {
-            served_by: ServedBy::Memory,
-            latency: l1_outcome.latency + l2_outcome.latency + self.memory_latency,
-        }
+        outcome
     }
 
     /// An attacker-side probe read against the shared L2 only (the
@@ -237,6 +262,22 @@ mod tests {
         fn l1_evict_for_test(&mut self, addr: u64) {
             self.l1.flush_line(addr);
         }
+    }
+
+    #[test]
+    fn telemetry_counts_serving_levels() {
+        let tel = grinch_telemetry::Telemetry::new();
+        let mut h = TwoLevelHierarchy::grinch_default();
+        h.set_telemetry(tel.clone());
+        h.victim_read(0x400); // memory
+        h.victim_read(0x400); // l1
+        h.l1_evict_for_test(0x400);
+        h.victim_read(0x400); // l2
+        assert_eq!(tel.counter("hierarchy.served_by.memory"), 1);
+        assert_eq!(tel.counter("hierarchy.served_by.l1"), 1);
+        assert_eq!(tel.counter("hierarchy.served_by.l2"), 1);
+        let snap = tel.snapshot();
+        assert_eq!(snap.histogram("hierarchy.read_cycles").unwrap().count(), 3);
     }
 
     #[test]

@@ -33,6 +33,40 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Miss rate in `[0, 1]`; `0` when no accesses happened.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another counter set into this one (e.g. summing the
+    /// per-level stats of a hierarchy, or stats across repeated runs).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.flushes += other.flushes;
+        self.full_flushes += other.full_flushes;
+    }
+
+    /// Serialises the counters as a single-line JSON object (serde-free,
+    /// via the telemetry layer's JSON writer) — one line of a JSONL report.
+    pub fn to_json(&self) -> String {
+        let mut w = grinch_telemetry::json::ObjWriter::new();
+        w.u64("hits", self.hits)
+            .u64("misses", self.misses)
+            .u64("evictions", self.evictions)
+            .u64("flushes", self.flushes)
+            .u64("full_flushes", self.full_flushes)
+            .f64("hit_rate", self.hit_rate())
+            .f64("miss_rate", self.miss_rate());
+        w.finish()
+    }
 }
 
 impl fmt::Display for CacheStats {
@@ -67,5 +101,61 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!CacheStats::default().to_string().is_empty());
+    }
+
+    #[test]
+    fn miss_rate_complements_hit_rate() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((s.hit_rate() + s.miss_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = CacheStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            flushes: 4,
+            full_flushes: 5,
+        };
+        let b = CacheStats {
+            hits: 10,
+            misses: 20,
+            evictions: 30,
+            flushes: 40,
+            full_flushes: 50,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            CacheStats {
+                hits: 11,
+                misses: 22,
+                evictions: 33,
+                flushes: 44,
+                full_flushes: 55,
+            }
+        );
+    }
+
+    #[test]
+    fn json_round_trips_through_telemetry_parser() {
+        let s = CacheStats {
+            hits: 7,
+            misses: 3,
+            evictions: 1,
+            flushes: 2,
+            full_flushes: 0,
+        };
+        let v = grinch_telemetry::json::parse(&s.to_json()).expect("valid JSON");
+        assert_eq!(v.get("hits").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("misses").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("hit_rate").unwrap().as_f64(), Some(0.7));
+        assert_eq!(v.get("miss_rate").unwrap().as_f64(), Some(0.3));
     }
 }

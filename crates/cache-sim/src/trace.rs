@@ -124,8 +124,18 @@ mod tests {
     #[test]
     fn trace_collects_from_iterator() {
         let entries = vec![
-            TraceEntry { time: 0, addr: 1, hit: false, latency: 20 },
-            TraceEntry { time: 1, addr: 1, hit: true, latency: 1 },
+            TraceEntry {
+                time: 0,
+                addr: 1,
+                hit: false,
+                latency: 20,
+            },
+            TraceEntry {
+                time: 1,
+                addr: 1,
+                hit: true,
+                latency: 1,
+            },
         ];
         let trace: AccessTrace = entries.iter().copied().collect();
         assert_eq!(trace.entries(), entries.as_slice());

@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the workspace benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — on top of a simple wall-clock sampler:
+//! per benchmark it warms up, calibrates an iteration count targeting a
+//! fixed measurement window, takes `sample_size` samples and reports
+//! median / mean / min ns per iteration.
+//!
+//! No CLI filtering, plotting or statistical regression — `cargo bench`
+//! prints one line per benchmark, which is all the repo's harness needs.
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// work (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation attached to a group (printed, not analysed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl core::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl core::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl core::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: &'a mut Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over the calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        *self.elapsed = start.elapsed();
+    }
+}
+
+/// Per-benchmark measurement settings.
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+fn run_samples<F: FnMut(&mut Bencher<'_>)>(id: &str, settings: &Settings, mut routine: F) {
+    // Calibration: start at 1 iteration and grow until one sample takes at
+    // least measurement_time / sample_size.
+    let per_sample = settings.measurement_time / settings.sample_size.max(1) as u32;
+    let mut iters: u64 = 1;
+    loop {
+        let mut elapsed = Duration::ZERO;
+        routine(&mut Bencher {
+            iters,
+            elapsed: &mut elapsed,
+        });
+        if elapsed >= per_sample || iters >= 1 << 30 {
+            break;
+        }
+        // Grow towards the target with a safety factor of 2.
+        let grow = if elapsed.is_zero() {
+            100
+        } else {
+            (per_sample.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+        };
+        iters = iters.saturating_mul(grow.clamp(2, 100));
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut elapsed = Duration::ZERO;
+        routine(&mut Bencher {
+            iters,
+            elapsed: &mut elapsed,
+        });
+        per_iter_ns.push(elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min = per_iter_ns[0];
+    println!(
+        "{id:<50} median {} mean {} min {} ({} iters x {} samples)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min),
+        iters,
+        per_iter_ns.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    let mut out = String::new();
+    if ns < 1_000.0 {
+        let _ = write!(out, "{ns:8.1} ns");
+    } else if ns < 1_000_000.0 {
+        let _ = write!(out, "{:8.2} us", ns / 1_000.0);
+    } else if ns < 1_000_000_000.0 {
+        let _ = write!(out, "{:8.2} ms", ns / 1_000_000.0);
+    } else {
+        let _ = write!(out, "{:8.2} s ", ns / 1_000_000_000.0);
+    }
+    out
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Annotates the group's throughput (printed only).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        println!("# group {}: throughput {throughput:?}", self.name);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl core::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_samples(&full, &self.settings, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_samples(&full, &self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The bench harness entry point (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            name: name.into(),
+            settings,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl core::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let settings = self.settings;
+        run_samples(&id.to_string(), &settings, &mut f);
+        self
+    }
+}
+
+/// Declares a group of bench functions (API parity with criterion).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` and filter args; this harness
+            // runs everything regardless.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        let mut acc = 0u64;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

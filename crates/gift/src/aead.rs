@@ -103,13 +103,7 @@ impl GiftCofb {
 
     /// Core COFB pass shared by seal and open. `encrypting` selects the
     /// direction of the message half.
-    fn process(
-        &self,
-        nonce: u128,
-        aad: &[u8],
-        msg: &[u8],
-        encrypting: bool,
-    ) -> (Vec<u8>, Tag) {
+    fn process(&self, nonce: u128, aad: &[u8], msg: &[u8], encrypting: bool) -> (Vec<u8>, Tag) {
         // The first block-cipher call: E_K(nonce). This is the call GRINCH
         // attacks — its input is fully attacker-controlled.
         let mut y = self.cipher.encrypt(nonce);
@@ -154,7 +148,11 @@ impl GiftCofb {
 
             // Feedback uses the *plaintext* block (pad 10* on a partial
             // block), so seal and open converge on the same state.
-            let pt_block: &[u8] = if encrypting { chunk } else { &processed[..take] };
+            let pt_block: &[u8] = if encrypting {
+                chunk
+            } else {
+                &processed[..take]
+            };
             let mut padded = [0u8; 16];
             padded[..take].copy_from_slice(pt_block);
             if take < 16 {

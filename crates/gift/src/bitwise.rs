@@ -155,7 +155,11 @@ impl Gift64 {
     ///
     /// Panics if `round_keys.len() != 28`.
     pub fn from_round_keys(round_keys: Vec<RoundKey64>) -> Self {
-        assert_eq!(round_keys.len(), GIFT64_ROUNDS, "GIFT-64 needs 28 round keys");
+        assert_eq!(
+            round_keys.len(),
+            GIFT64_ROUNDS,
+            "GIFT-64 needs 28 round keys"
+        );
         Self { round_keys }
     }
 

@@ -92,8 +92,7 @@ mod tests {
     #[test]
     fn add_constant_64_is_an_involution() {
         let s = 0x0123_4567_89ab_cdefu64;
-        for r in 0..28 {
-            let rc = ROUND_CONSTANTS[r];
+        for &rc in ROUND_CONSTANTS.iter().take(28) {
             assert_eq!(add_constant_64(add_constant_64(s, rc), rc), s);
         }
     }

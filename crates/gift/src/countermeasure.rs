@@ -93,12 +93,7 @@ impl WideLineGift64 {
     /// # Panics
     ///
     /// Panics if `round >= 28`.
-    pub fn run_single_round(
-        &self,
-        state: u64,
-        round: usize,
-        obs: &mut dyn MemoryObserver,
-    ) -> u64 {
+    pub fn run_single_round(&self, state: u64, round: usize, obs: &mut dyn MemoryObserver) -> u64 {
         assert!(round < GIFT64_ROUNDS, "GIFT-64 has 28 rounds");
         let rk = self.round_keys[round];
         let mut subbed = 0u64;
@@ -110,7 +105,11 @@ impl WideLineGift64 {
                 kind: AccessKind::SboxRead,
             });
             let packed = WIDE_SBOX[row as usize];
-            let out = if nib & 1 == 0 { packed & 0xf } else { packed >> 4 };
+            let out = if nib & 1 == 0 {
+                packed & 0xf
+            } else {
+                packed >> 4
+            };
             subbed |= u64::from(out) << (4 * i);
         }
         let mut s = permute_64(subbed);
@@ -269,7 +268,11 @@ mod tests {
     fn wide_sbox_packs_both_nibbles() {
         for x in 0..16u8 {
             let packed = WIDE_SBOX[(x >> 1) as usize];
-            let out = if x & 1 == 0 { packed & 0xf } else { packed >> 4 };
+            let out = if x & 1 == 0 {
+                packed & 0xf
+            } else {
+                packed >> 4
+            };
             assert_eq!(out, GIFT_SBOX[x as usize]);
         }
     }

@@ -112,9 +112,7 @@ pub struct KeyState {
 impl KeyState {
     /// Initialises the key state from a master key.
     pub fn new(key: Key) -> Self {
-        Self {
-            words: key.words(),
-        }
+        Self { words: key.words() }
     }
 
     /// The current eight words, position 0 first (the word a GIFT-64 round
@@ -247,7 +245,9 @@ mod tests {
 
     #[test]
     fn gift128_round_key_packs_expected_words() {
-        let key = Key::from_words([0x0001, 0x0203, 0x0405, 0x0607, 0x0809, 0x0a0b, 0x0c0d, 0x0e0f]);
+        let key = Key::from_words([
+            0x0001, 0x0203, 0x0405, 0x0607, 0x0809, 0x0a0b, 0x0c0d, 0x0e0f,
+        ]);
         let rk = KeyState::new(key).round_key_128();
         assert_eq!(rk.v, 0x0203_0001);
         assert_eq!(rk.u, 0x0a0b_0809);

@@ -157,9 +157,18 @@ mod tests {
     #[test]
     fn recording_observer_keeps_program_order() {
         let mut obs = RecordingObserver::new();
-        obs.on_read(Access { addr: 3, kind: AccessKind::SboxRead });
-        obs.on_read(Access { addr: 9, kind: AccessKind::PermRead });
-        obs.on_read(Access { addr: 5, kind: AccessKind::SboxRead });
+        obs.on_read(Access {
+            addr: 3,
+            kind: AccessKind::SboxRead,
+        });
+        obs.on_read(Access {
+            addr: 9,
+            kind: AccessKind::PermRead,
+        });
+        obs.on_read(Access {
+            addr: 5,
+            kind: AccessKind::SboxRead,
+        });
         assert_eq!(obs.sbox_addrs(), vec![3, 5]);
         assert_eq!(obs.accesses.len(), 3);
         obs.clear();
@@ -188,7 +197,13 @@ mod tests {
             fn forward<O: MemoryObserver>(mut fwd: O, access: Access) {
                 fwd.on_read(access);
             }
-            forward(&mut obs, Access { addr: 1, kind: AccessKind::SboxRead });
+            forward(
+                &mut obs,
+                Access {
+                    addr: 1,
+                    kind: AccessKind::SboxRead,
+                },
+            );
         }
         assert_eq!(obs.accesses.len(), 1);
     }

@@ -86,8 +86,7 @@ pub fn expand_present(key: PresentKey) -> [u64; PRESENT_ROUNDS + 1] {
                 reg = ((reg << 61) | (reg >> 19)) & ((1u128 << 80) - 1);
                 // S-box on the top nibble.
                 let top = ((reg >> 76) & 0xf) as u8;
-                reg = (reg & !(0xfu128 << 76))
-                    | (u128::from(PRESENT_SBOX[top as usize]) << 76);
+                reg = (reg & !(0xfu128 << 76)) | (u128::from(PRESENT_SBOX[top as usize]) << 76);
                 // XOR round counter into bits 19..15.
                 reg ^= ((round as u128 + 1) & 0x1f) << 15;
             }
@@ -262,8 +261,8 @@ mod tests {
     #[test]
     fn sbox_is_a_permutation_with_inverse() {
         let mut seen = [false; 16];
-        for x in 0..16usize {
-            let y = PRESENT_SBOX[x] as usize;
+        for (x, &sb) in PRESENT_SBOX.iter().enumerate() {
+            let y = sb as usize;
             assert!(!seen[y]);
             seen[y] = true;
             assert_eq!(PRESENT_SBOX_INV[y] as usize, x);

@@ -109,7 +109,11 @@ impl TableGift64 {
     ///
     /// Panics if `round_keys.len() != 28`.
     pub fn from_round_keys(round_keys: Vec<RoundKey64>, layout: TableLayout) -> Self {
-        assert_eq!(round_keys.len(), GIFT64_ROUNDS, "GIFT-64 needs 28 round keys");
+        assert_eq!(
+            round_keys.len(),
+            GIFT64_ROUNDS,
+            "GIFT-64 needs 28 round keys"
+        );
         Self { round_keys, layout }
     }
 
@@ -235,7 +239,12 @@ impl TableGift128 {
     /// # Panics
     ///
     /// Panics if `round >= 40`.
-    pub fn run_single_round(&self, state: u128, round: usize, obs: &mut dyn MemoryObserver) -> u128 {
+    pub fn run_single_round(
+        &self,
+        state: u128,
+        round: usize,
+        obs: &mut dyn MemoryObserver,
+    ) -> u128 {
         assert!(round < GIFT128_ROUNDS, "GIFT-128 has 40 rounds");
         let rk = self.round_keys[round];
         // SubCells

@@ -82,7 +82,8 @@ pub fn expected_stage_encryptions(
 /// The model's Fig. 3 growth factor between two probing rounds: the ratio
 /// of expected stage costs.
 pub fn growth_factor(from_round: usize, to_round: usize, flush: bool) -> f64 {
-    expected_stage_encryptions(to_round, flush, 1) / expected_stage_encryptions(from_round, flush, 1)
+    expected_stage_encryptions(to_round, flush, 1)
+        / expected_stage_encryptions(from_round, flush, 1)
 }
 
 #[cfg(test)]
@@ -113,14 +114,12 @@ mod tests {
     fn model_is_monotone_in_probing_round_and_line_width() {
         for k in 1..9 {
             assert!(
-                expected_stage_encryptions(k + 1, true, 1)
-                    > expected_stage_encryptions(k, true, 1)
+                expected_stage_encryptions(k + 1, true, 1) > expected_stage_encryptions(k, true, 1)
             );
         }
         for w in 1..8 {
             assert!(
-                expected_stage_encryptions(1, true, w + 1)
-                    > expected_stage_encryptions(1, true, w)
+                expected_stage_encryptions(1, true, w + 1) > expected_stage_encryptions(1, true, w)
             );
         }
         assert!(expected_stage_encryptions(1, true, 16).is_infinite());
@@ -130,8 +129,7 @@ mod tests {
     fn flush_is_cheaper_in_the_model() {
         for k in 1..6 {
             assert!(
-                expected_stage_encryptions(k, false, 1)
-                    > expected_stage_encryptions(k, true, 1)
+                expected_stage_encryptions(k, false, 1) > expected_stage_encryptions(k, true, 1)
             );
         }
     }

@@ -81,6 +81,8 @@ pub fn key_from_round_keys(round_keys: &[RoundKey64; STAGES]) -> Key {
 /// determine it within the configured budgets) together with the encryption
 /// counts the paper's experiments report.
 pub fn recover_full_key(oracle: &mut VictimOracle, config: &AttackConfig) -> AttackOutcome {
+    let telemetry = oracle.telemetry().clone();
+    let _span = grinch_telemetry::span!(telemetry, "attack.recover_full_key", stages = STAGES);
     let mut rng = StdRng::seed_from_u64(config.stage.seed);
     // One encryption for the verification pair.
     let verify_pt = config.verification_plaintext;
@@ -98,6 +100,12 @@ pub fn recover_full_key(oracle: &mut VictimOracle, config: &AttackConfig) -> Att
         &mut stage_encryptions,
         &mut capped,
     );
+    if telemetry.is_enabled() {
+        telemetry.gauge_set(
+            "attack.key_recovered",
+            if key.is_some() { 1.0 } else { 0.0 },
+        );
+    }
     AttackOutcome {
         key,
         encryptions: oracle.encryptions(),
@@ -236,14 +244,55 @@ mod tests {
         let rks = expand_64(secret, 4);
         let mut wrong = [rks[0], rks[1], rks[2], rks[3]];
         wrong[0].v ^= 0x0040; // flip one recovered stage-1 bit
-        // The fifth stage crafts through the correct rounds 1..4? No — it
-        // crafts with the WRONG round-1 key, so its predictions are offset
-        // by a constant and either resolve to a key that mismatches the
-        // rotation, or fail to resolve; both reject.
+                              // The fifth stage crafts through the correct rounds 1..4? No — it
+                              // crafts with the WRONG round-1 key, so its predictions are offset
+                              // by a constant and either resolve to a key that mismatches the
+                              // rotation, or fail to resolve; both reject.
         assert_ne!(
             redundant_schedule_check(&mut oracle, &wrong, &config),
             Some(true)
         );
+    }
+
+    #[test]
+    fn telemetry_captures_the_whole_recovery() {
+        let secret = Key::from_u128(0x00ff_11ee_22dd_33cc_44bb_55aa_6699_7788);
+        let tel = grinch_telemetry::Telemetry::new();
+        let mut oracle = VictimOracle::new(secret, ObservationConfig::ideal());
+        oracle.set_telemetry(tel.clone());
+        let outcome = recover_full_key(&mut oracle, &AttackConfig::new());
+        assert_eq!(outcome.key, Some(secret));
+        // Counters mirror the oracle's own effort metric.
+        assert_eq!(tel.counter("attack.encryptions"), outcome.encryptions);
+        assert!(tel.counter("attack.probes") > 0);
+        assert!(tel.counter("attack.eliminations") >= 4 * 16 * 3);
+        // Entropy gauges end at zero for every resolved stage.
+        for stage in 1..=STAGES {
+            assert_eq!(
+                tel.gauge(&format!("attack.entropy_bits.stage{stage}")),
+                Some(0.0)
+            );
+        }
+        assert_eq!(tel.gauge("attack.key_recovered"), Some(1.0));
+        // The stage spans nest under the root recovery span and close in
+        // simulated time.
+        let snap = tel.snapshot();
+        let root = &snap.spans[0];
+        assert_eq!(root.name, "attack.recover_full_key");
+        let stages: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|s| s.name == "attack.stage")
+            .collect();
+        assert!(stages.len() >= STAGES);
+        for s in &stages {
+            assert_eq!(s.parent, Some(root.id));
+            assert!(s.end_ns.expect("closed") >= s.start_ns);
+        }
+        assert!(root.end_ns.expect("closed") > 0);
+        // Cache activity from the shared L1 is visible too.
+        assert!(tel.counter("cache.l1.hits") > 0);
+        assert!(tel.counter("cache.l1.flushes") > 0);
     }
 
     #[test]

@@ -118,7 +118,12 @@ pub mod trace_driven {
     ///
     /// This is the complete information content of a one-round trace — an
     /// equality pattern over the 16 secret indices, never their values.
-    pub fn collision_partition(trace: &[bool], key: Key, plaintext: u64, round: usize) -> Vec<usize> {
+    pub fn collision_partition(
+        trace: &[bool],
+        key: Key,
+        plaintext: u64,
+        round: usize,
+    ) -> Vec<usize> {
         // Derive ground truth to label the partition (a real attacker
         // reconstructs the same partition incrementally from hits alone;
         // we verify that claim in tests).
@@ -126,13 +131,13 @@ pub mod trace_driven {
         let input = reference.encrypt_rounds(plaintext, round - 1);
         let mut first_of_value = [usize::MAX; 16];
         let mut partition = Vec::with_capacity(16);
-        for i in 0..16 {
+        for (i, &hit) in trace.iter().enumerate().take(16) {
             let v = segment_64(input, i) as usize;
             if first_of_value[v] == usize::MAX {
                 first_of_value[v] = i;
-                debug_assert!(!trace[i], "first occurrence must miss");
+                debug_assert!(!hit, "first occurrence must miss");
             } else {
-                debug_assert!(trace[i], "repeat must hit");
+                debug_assert!(hit, "repeat must hit");
             }
             partition.push(first_of_value[v]);
         }

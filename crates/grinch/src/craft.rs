@@ -208,7 +208,10 @@ mod tests {
             let spec = TargetSpec::new(1, segment);
             let v = (rk.v >> segment) & 1 == 1;
             let u = (rk.u >> segment) & 1 == 1;
-            assert_eq!(actual_index(&cipher, pt, 1, segment), spec.expected_index(v, u));
+            assert_eq!(
+                actual_index(&cipher, pt, 1, segment),
+                spec.expected_index(v, u)
+            );
         }
     }
 
@@ -236,9 +239,8 @@ mod tests {
     #[test]
     fn mixed_stage_targets_are_rejected() {
         let mut rng = StdRng::seed_from_u64(1);
-        let err =
-            craft_round_input(&[TargetSpec::new(1, 0), TargetSpec::new(2, 1)], &mut rng)
-                .unwrap_err();
+        let err = craft_round_input(&[TargetSpec::new(1, 0), TargetSpec::new(2, 1)], &mut rng)
+            .unwrap_err();
         assert_eq!(err, CraftError::MixedStages);
     }
 

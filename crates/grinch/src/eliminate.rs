@@ -134,7 +134,9 @@ mod tests {
     #[test]
     fn elimination_never_removes_truth_even_without_flush() {
         let key = Key::from_u128(0xaaaa_bbbb_cccc_dddd_eeee_ffff_0000_1111);
-        let cfg = ObservationConfig::ideal().with_flush(false).with_probing_round(4);
+        let cfg = ObservationConfig::ideal()
+            .with_flush(false)
+            .with_probing_round(4);
         let mut oracle = VictimOracle::new(key, cfg);
         let segment = 3;
         let spec = TargetSpec::new(1, segment);

@@ -101,7 +101,23 @@ fn observation_for(protection: Protection) -> ObservationConfig {
 
 /// Evaluates one protection configuration.
 pub fn measure(config: &AblationConfig, protection: Protection) -> AblationRow {
+    measure_traced(config, protection, grinch_telemetry::Telemetry::disabled())
+}
+
+/// Like [`measure`], but wraps the row in an `experiment.ablation.cell`
+/// span and publishes the attack's metrics into `telemetry`.
+pub fn measure_traced(
+    config: &AblationConfig,
+    protection: Protection,
+    telemetry: grinch_telemetry::Telemetry,
+) -> AblationRow {
+    let _span = grinch_telemetry::span!(
+        telemetry,
+        "experiment.ablation.cell",
+        protection = protection.to_string()
+    );
     let mut oracle = VictimOracle::new(config.key, observation_for(protection));
+    oracle.set_telemetry(telemetry);
     let mut attack = AttackConfig::new();
     attack.stage = attack
         .stage
@@ -117,6 +133,16 @@ pub fn measure(config: &AblationConfig, protection: Protection) -> AblationRow {
 
 /// Runs the full ablation.
 pub fn run(config: &AblationConfig) -> Vec<AblationRow> {
+    run_traced(config, grinch_telemetry::Telemetry::disabled())
+}
+
+/// Like [`run`], but nests every row's span under an `experiment.ablation`
+/// root span in `telemetry`.
+pub fn run_traced(
+    config: &AblationConfig,
+    telemetry: grinch_telemetry::Telemetry,
+) -> Vec<AblationRow> {
+    let _span = grinch_telemetry::span!(telemetry, "experiment.ablation");
     [
         Protection::None,
         Protection::WideLineSbox,
@@ -126,7 +152,7 @@ pub fn run(config: &AblationConfig) -> Vec<AblationRow> {
         Protection::Preload,
     ]
     .into_iter()
-    .map(|p| measure(config, p))
+    .map(|p| measure_traced(config, p, telemetry.clone()))
     .collect()
 }
 

@@ -49,11 +49,38 @@ impl Default for Table1Config {
 /// Measures one Table I cell: stage-1 recovery with the given geometry.
 /// Flush is enabled, matching the paper's Table I setup (its round-1 column
 /// reproduces Fig. 3's "with flush" value).
-pub fn measure_cell(config: &Table1Config, words_per_line: usize, probing_round: usize) -> CellResult {
+pub fn measure_cell(
+    config: &Table1Config,
+    words_per_line: usize,
+    probing_round: usize,
+) -> CellResult {
+    measure_cell_traced(
+        config,
+        words_per_line,
+        probing_round,
+        grinch_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// Like [`measure_cell`], but wraps the cell in an `experiment.table1.cell`
+/// span and publishes the oracle's metrics into `telemetry`.
+pub fn measure_cell_traced(
+    config: &Table1Config,
+    words_per_line: usize,
+    probing_round: usize,
+    telemetry: grinch_telemetry::Telemetry,
+) -> CellResult {
+    let _span = grinch_telemetry::span!(
+        telemetry,
+        "experiment.table1.cell",
+        words_per_line = words_per_line,
+        probing_round = probing_round
+    );
     let obs = ObservationConfig::ideal()
         .with_words_per_line(words_per_line)
         .with_probing_round(probing_round);
     let mut oracle = VictimOracle::new(config.key, obs);
+    oracle.set_telemetry(telemetry);
     let stage_cfg = StageConfig::new()
         .with_max_encryptions(config.max_encryptions)
         .with_seed(config.seed ^ ((words_per_line as u64) << 8) ^ probing_round as u64);
@@ -69,13 +96,23 @@ pub fn measure_cell(config: &Table1Config, words_per_line: usize, probing_round:
 /// Runs the full Table I sweep in row-major order (line size, then probing
 /// round).
 pub fn run(config: &Table1Config) -> Vec<Table1Cell> {
+    run_traced(config, grinch_telemetry::Telemetry::disabled())
+}
+
+/// Like [`run`], but nests every cell's span under an `experiment.table1`
+/// root span in `telemetry`.
+pub fn run_traced(
+    config: &Table1Config,
+    telemetry: grinch_telemetry::Telemetry,
+) -> Vec<Table1Cell> {
+    let _span = grinch_telemetry::span!(telemetry, "experiment.table1");
     let mut cells = Vec::new();
     for &words in &config.line_sizes {
         for &round in &config.probing_rounds {
             cells.push(Table1Cell {
                 words_per_line: words,
                 probing_round: round,
-                result: measure_cell(config, words, round),
+                result: measure_cell_traced(config, words, round, telemetry.clone()),
             });
         }
     }

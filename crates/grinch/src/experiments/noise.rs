@@ -75,9 +75,29 @@ fn hard_elimination_correct(config: &NoiseConfig, p: f64) -> bool {
 
 /// Measures one noise level.
 pub fn measure(config: &NoiseConfig, evict_probability: f64) -> NoiseRow {
+    measure_traced(
+        config,
+        evict_probability,
+        grinch_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// Like [`measure`], but wraps the row in an `experiment.noise.cell` span
+/// and publishes the robust recovery's oracle metrics into `telemetry`.
+pub fn measure_traced(
+    config: &NoiseConfig,
+    evict_probability: f64,
+    telemetry: grinch_telemetry::Telemetry,
+) -> NoiseRow {
+    let _span = grinch_telemetry::span!(
+        telemetry,
+        "experiment.noise.cell",
+        evict_probability = evict_probability
+    );
     let hard_ok = hard_elimination_correct(config, evict_probability);
 
     let mut oracle = VictimOracle::new(config.key, ObservationConfig::ideal());
+    oracle.set_telemetry(telemetry);
     let mut noise = NoiseChannel::new(evict_probability, config.seed ^ 0x3333);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x4444);
     let truth = Gift64::new(config.key).round_keys()[0];
@@ -101,7 +121,17 @@ pub const NOISE_LEVELS: [f64; 5] = [0.0, 0.02, 0.05, 0.10, 0.20];
 
 /// Runs the full noise sweep.
 pub fn run(config: &NoiseConfig) -> Vec<NoiseRow> {
-    NOISE_LEVELS.iter().map(|&p| measure(config, p)).collect()
+    run_traced(config, grinch_telemetry::Telemetry::disabled())
+}
+
+/// Like [`run`], but nests every level's span under an `experiment.noise`
+/// root span in `telemetry`.
+pub fn run_traced(config: &NoiseConfig, telemetry: grinch_telemetry::Telemetry) -> Vec<NoiseRow> {
+    let _span = grinch_telemetry::span!(telemetry, "experiment.noise");
+    NOISE_LEVELS
+        .iter()
+        .map(|&p| measure_traced(config, p, telemetry.clone()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -118,7 +148,10 @@ mod tests {
     #[test]
     fn noisy_channel_robust_survives() {
         let row = measure(&NoiseConfig::default(), 0.10);
-        assert!(row.robust_recovered, "robust recovery must survive 10% noise");
+        assert!(
+            row.robust_recovered,
+            "robust recovery must survive 10% noise"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! attacker probes continuously from its own tile over the NoC.
 
 use soc_sim::platform::{PlatformConfig, PlatformKind};
-use soc_sim::scenario::{run_mpsoc, run_single_soc};
+use soc_sim::scenario::{run_mpsoc, run_mpsoc_traced, run_single_soc, run_single_soc_traced};
 
 /// One Table II cell.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,12 +37,41 @@ pub fn measure_cell(platform: PlatformKind, freq_hz: u64) -> Table2Cell {
     }
 }
 
+/// Like [`measure_cell`], but runs the traced co-simulation so the SoC's
+/// cache, scheduler and probe metrics land in `telemetry` under an
+/// `experiment.table2.cell` span.
+pub fn measure_cell_traced(
+    platform: PlatformKind,
+    freq_hz: u64,
+    telemetry: grinch_telemetry::Telemetry,
+) -> Table2Cell {
+    let _span = grinch_telemetry::span!(telemetry, "experiment.table2.cell", freq_hz = freq_hz);
+    let report = match platform {
+        PlatformKind::SingleSoc => {
+            run_single_soc_traced(&PlatformConfig::single_soc(freq_hz), telemetry.clone())
+        }
+        PlatformKind::MpSoc => run_mpsoc_traced(&PlatformConfig::mpsoc(freq_hz), telemetry.clone()),
+    };
+    Table2Cell {
+        platform,
+        freq_hz,
+        probed_round: report.first_probe_round(),
+    }
+}
+
 /// Runs the full Table II sweep (both platforms × three frequencies).
 pub fn run() -> Vec<Table2Cell> {
+    run_traced(grinch_telemetry::Telemetry::disabled())
+}
+
+/// Like [`run`], but nests every cell's span under an `experiment.table2`
+/// root span in `telemetry`.
+pub fn run_traced(telemetry: grinch_telemetry::Telemetry) -> Vec<Table2Cell> {
+    let _span = grinch_telemetry::span!(telemetry, "experiment.table2");
     let mut cells = Vec::new();
     for platform in [PlatformKind::SingleSoc, PlatformKind::MpSoc] {
         for freq in TABLE2_FREQUENCIES {
-            cells.push(measure_cell(platform, freq));
+            cells.push(measure_cell_traced(platform, freq, telemetry.clone()));
         }
     }
     cells
@@ -122,10 +151,7 @@ mod tests {
 
     #[test]
     fn shorter_quanta_probe_earlier_rounds() {
-        let cells = quantum_sweep(
-            25_000_000,
-            &[2_000_000, 5_000_000, 10_000_000, 20_000_000],
-        );
+        let cells = quantum_sweep(25_000_000, &[2_000_000, 5_000_000, 10_000_000, 20_000_000]);
         let rounds: Vec<usize> = cells
             .iter()
             .map(|c| c.probed_round.expect("probe lands"))

@@ -199,10 +199,19 @@ pub struct CompareRow {
 /// Runs the comparison: GIFT-64 stage 1 (32 bits) versus PRESENT-80
 /// round-1 recovery (64 bits), both at the earliest clean probe.
 pub fn run(seed: u64) -> Vec<CompareRow> {
+    run_traced(seed, grinch_telemetry::Telemetry::disabled())
+}
+
+/// Like [`run`], but wraps the comparison in an `experiment.present_compare`
+/// span and publishes the GIFT oracle's metrics plus a
+/// `present.encryptions` counter into `telemetry`.
+pub fn run_traced(seed: u64, telemetry: grinch_telemetry::Telemetry) -> Vec<CompareRow> {
+    let _span = grinch_telemetry::span!(telemetry, "experiment.present_compare");
     let mut rows = Vec::new();
 
     let gift_key = Key::from_u128(0x0f1e_2d3c_4b5a_6978_8796_a5b4_c3d2_e1f0);
     let mut gift_oracle = VictimOracle::new(gift_key, ObservationConfig::ideal());
+    gift_oracle.set_telemetry(telemetry.clone());
     let mut rng = StdRng::seed_from_u64(seed);
     let gift = run_stage(
         &mut gift_oracle,
@@ -221,6 +230,7 @@ pub fn run(seed: u64) -> Vec<CompareRow> {
     let present_key = PresentKey::K80(0x0f1e_2d3c_4b5a_6978_8796);
     let mut present_oracle = PresentOracle::new(present_key);
     let r1 = recover_present_round1(&mut present_oracle, 1_000_000, seed ^ 1);
+    telemetry.counter_add("present.encryptions", present_oracle.encryptions());
     rows.push(CompareRow {
         cipher: "PRESENT-80",
         key_bits: 64,
@@ -262,7 +272,14 @@ mod tests {
 
     #[test]
     fn key_schedule_inversion_is_exact_for_many_keys() {
-        for k in [0u128, 1, 0xffff, KEY80, (1 << 80) - 1, 0xabcd_ef01_2345_6789_aaaa] {
+        for k in [
+            0u128,
+            1,
+            0xffff,
+            KEY80,
+            (1 << 80) - 1,
+            0xabcd_ef01_2345_6789_aaaa,
+        ] {
             let key = k & ((1 << 80) - 1);
             let rks = expand_present(PresentKey::K80(key));
             assert_eq!(recover_present80_key(rks[0], rks[1]), key, "key {key:x}");

@@ -46,10 +46,33 @@ impl Default for Fig3Config {
 /// Measures one Fig. 3 cell: a first-round (stage 1) recovery at the given
 /// probing round and flush setting.
 pub fn measure_cell(config: &Fig3Config, probing_round: usize, flush: bool) -> CellResult {
+    measure_cell_traced(
+        config,
+        probing_round,
+        flush,
+        grinch_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// Like [`measure_cell`], but wraps the cell in an `experiment.fig3.cell`
+/// span and publishes the oracle's metrics into `telemetry`.
+pub fn measure_cell_traced(
+    config: &Fig3Config,
+    probing_round: usize,
+    flush: bool,
+    telemetry: grinch_telemetry::Telemetry,
+) -> CellResult {
+    let _span = grinch_telemetry::span!(
+        telemetry,
+        "experiment.fig3.cell",
+        probing_round = probing_round,
+        flush = flush
+    );
     let obs = ObservationConfig::ideal()
         .with_probing_round(probing_round)
         .with_flush(flush);
     let mut oracle = VictimOracle::new(config.key, obs);
+    oracle.set_telemetry(telemetry);
     let stage_cfg = StageConfig::new()
         .with_max_encryptions(config.max_encryptions)
         .with_seed(config.seed ^ (probing_round as u64) ^ (u64::from(flush) << 32));
@@ -65,13 +88,20 @@ pub fn measure_cell(config: &Fig3Config, probing_round: usize, flush: bool) -> C
 /// Runs the full Fig. 3 sweep: both series over probing rounds
 /// `1..=max_probing_round`.
 pub fn run(config: &Fig3Config) -> Vec<Fig3Point> {
+    run_traced(config, grinch_telemetry::Telemetry::disabled())
+}
+
+/// Like [`run`], but nests every cell's span under an `experiment.fig3`
+/// root span in `telemetry`.
+pub fn run_traced(config: &Fig3Config, telemetry: grinch_telemetry::Telemetry) -> Vec<Fig3Point> {
+    let _span = grinch_telemetry::span!(telemetry, "experiment.fig3");
     let mut points = Vec::new();
     for flush in [true, false] {
         for probing_round in 1..=config.max_probing_round {
             points.push(Fig3Point {
                 probing_round,
                 flush,
-                result: measure_cell(config, probing_round, flush),
+                result: measure_cell_traced(config, probing_round, flush, telemetry.clone()),
             });
         }
     }

@@ -197,7 +197,10 @@ impl VictimOracle128 {
     ///
     /// Panics on an invalid cache configuration or probing round.
     pub fn new(key: Key, config: ObservationConfig) -> Self {
-        config.cache.validate().expect("invalid cache configuration");
+        config
+            .cache
+            .validate()
+            .expect("invalid cache configuration");
         assert!(
             config.probing_round >= 1 && config.probing_round < GIFT128_ROUNDS,
             "probing round must be in 1..40"
@@ -313,8 +316,7 @@ pub fn run_stage_128<R: Rng + ?Sized>(
 ) -> Stage128Result {
     assert_eq!(known_round_keys.len(), stage_round - 1);
     let start = oracle.encryptions();
-    let all: Vec<(bool, bool)> =
-        vec![(false, false), (true, false), (false, true), (true, true)];
+    let all: Vec<(bool, bool)> = vec![(false, false), (true, false), (false, true), (true, true)];
     let mut candidates: Vec<Vec<(bool, bool)>> = vec![all; GIFT128_SEGMENTS];
     let mut capped = false;
 
@@ -354,9 +356,8 @@ pub fn run_stage_128<R: Rng + ?Sized>(
                     let mut progressed = 0usize;
                     for spec in &specs {
                         let before = candidates[spec.segment].len();
-                        candidates[spec.segment].retain(|&(v, u)| {
-                            oracle.hypothesis_consistent(spec, &observed, v, u)
-                        });
+                        candidates[spec.segment]
+                            .retain(|&(v, u)| oracle.hypothesis_consistent(spec, &observed, v, u));
                         progressed += before - candidates[spec.segment].len();
                     }
                     if progressed == 0 {
@@ -471,10 +472,7 @@ mod tests {
                 let spec = TargetSpec128::with_forced_pattern(1, seg, pattern);
                 for v in [false, true] {
                     for u in [false, true] {
-                        assert_eq!(
-                            spec.key_bits_from_index(spec.expected_index(v, u)),
-                            (v, u)
-                        );
+                        assert_eq!(spec.key_bits_from_index(spec.expected_index(v, u)), (v, u));
                     }
                 }
             }
@@ -501,8 +499,7 @@ mod tests {
         let rk = cipher.round_keys()[0];
         let mut rng = StdRng::seed_from_u64(1);
         let batch = disjoint_batches_128(1)[0];
-        let specs: Vec<TargetSpec128> =
-            batch.iter().map(|&s| TargetSpec128::new(1, s)).collect();
+        let specs: Vec<TargetSpec128> = batch.iter().map(|&s| TargetSpec128::new(1, s)).collect();
         let pt = craft_plaintext_128(&specs, &[], &mut rng);
         let round2_input = cipher.encrypt_rounds(pt, 1);
         for spec in &specs {

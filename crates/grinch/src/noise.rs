@@ -149,8 +149,9 @@ pub fn recover_round1_robust(
     let mut capped = false;
 
     'batches: for batch in disjoint_batches(1) {
-        let mut counters: Vec<RobustCandidateSet> =
-            (0..batch.len()).map(|_| RobustCandidateSet::new()).collect();
+        let mut counters: Vec<RobustCandidateSet> = (0..batch.len())
+            .map(|_| RobustCandidateSet::new())
+            .collect();
         // Rotate patterns so co-batched constant signals do not bias a
         // rival hypothesis's line into permanent presence.
         let mut rotation = 0usize;

@@ -145,6 +145,12 @@ impl Default for ObservationConfig {
 /// The set of S-box line base addresses a probe found resident.
 pub type ObservedLines = BTreeSet<u64>;
 
+/// Nominal simulated duration of one GIFT round in nanoseconds, used to
+/// advance the telemetry clock per observed encryption (100 cycles per
+/// round at the paper's 10 MHz baseline). Spans and JSONL timestamps are
+/// expressed in this simulated time, never wall time.
+pub const SIM_ROUND_NS: u64 = 10_000;
+
 enum VictimCipher {
     Table(TableGift64),
     WideLine(WideLineGift64),
@@ -183,12 +189,16 @@ pub struct VictimOracle {
     /// Attacker-owned addresses used by Prime+Probe, one group per
     /// monitored set.
     prime_groups: Vec<(u64, Vec<u64>)>,
+    telemetry: grinch_telemetry::Telemetry,
 }
 
 impl VictimOracle {
     /// Creates an oracle around a victim keyed with `key`.
     pub fn new(key: Key, config: ObservationConfig) -> Self {
-        config.cache.validate().expect("invalid cache configuration");
+        config
+            .cache
+            .validate()
+            .expect("invalid cache configuration");
         assert!(
             config.probing_round >= 1 && config.probing_round < GIFT64_ROUNDS,
             "probing round must be in 1..28"
@@ -205,9 +215,7 @@ impl VictimOracle {
             VictimVariant::FullScan => {
                 VictimCipher::FullScan(FullScanGift64::new(key, config.layout))
             }
-            VictimVariant::Preload => {
-                VictimCipher::Preload(PreloadGift64::new(key, config.layout))
-            }
+            VictimVariant::Preload => VictimCipher::Preload(PreloadGift64::new(key, config.layout)),
         };
         let cache = Cache::new(config.cache);
         let prime_groups = Self::build_prime_groups(&config);
@@ -217,7 +225,22 @@ impl VictimOracle {
             config,
             encryptions: 0,
             prime_groups,
+            telemetry: grinch_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: the shared cache publishes `cache.l1.*`
+    /// counters, every observed encryption advances the simulated clock by
+    /// [`SIM_ROUND_NS`] per executed round, and probes are counted under
+    /// `attack.probes` / `attack.probe_hits` / `attack.encryptions`.
+    pub fn set_telemetry(&mut self, telemetry: grinch_telemetry::Telemetry) {
+        self.cache.set_telemetry(telemetry.clone(), "cache.l1");
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (disabled by default).
+    pub fn telemetry(&self) -> &grinch_telemetry::Telemetry {
+        &self.telemetry
     }
 
     /// The observation configuration.
@@ -290,8 +313,12 @@ impl VictimOracle {
     pub fn observe_stage(&mut self, plaintext: u64, stage_round: usize) -> ObservedLines {
         self.encryptions += 1;
         let rounds = (stage_round + self.config.probing_round).min(GIFT64_ROUNDS);
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_inc("attack.encryptions");
+            self.telemetry.advance_time_ns(rounds as u64 * SIM_ROUND_NS);
+        }
         let flush_before = self.config.flush_after_round1.then_some(stage_round);
-        match self.config.strategy {
+        let observed = match self.config.strategy {
             ProbeStrategy::FlushReload => {
                 // Flush phase: evict the monitored lines.
                 let probe_addrs = self.config.probe_line_addrs();
@@ -334,7 +361,14 @@ impl VictimOracle {
                 self.cache.flush_all();
                 observed
             }
+        };
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter_add("attack.probes", self.config.probe_line_addrs().len() as u64);
+            self.telemetry
+                .counter_add("attack.probe_hits", observed.len() as u64);
         }
+        observed
     }
 
     /// Runs the victim's first `rounds` rounds against the cache; before
@@ -367,6 +401,11 @@ impl VictimOracle {
     /// key). Counts as one encryption.
     pub fn known_pair(&mut self, plaintext: u64) -> u64 {
         self.encryptions += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_inc("attack.encryptions");
+            self.telemetry
+                .advance_time_ns(GIFT64_ROUNDS as u64 * SIM_ROUND_NS);
+        }
         self.run_rounds(plaintext, GIFT64_ROUNDS)
     }
 
@@ -405,7 +444,11 @@ mod tests {
         let reference = Gift64::new(key());
         let round2_input = reference.encrypt_rounds(pt, 1);
         let expected: ObservedLines = (0..16)
-            .map(|s| oracle.config().line_addr_of_index(segment_64(round2_input, s)))
+            .map(|s| {
+                oracle
+                    .config()
+                    .line_addr_of_index(segment_64(round2_input, s))
+            })
             .collect();
         assert_eq!(observed, expected);
         assert_eq!(oracle.encryptions(), 1);
@@ -469,7 +512,10 @@ mod tests {
         let coarse_cfg = ObservationConfig::ideal().with_words_per_line(8);
         let coarse = VictimOracle::new(key(), coarse_cfg).observe(pt);
         assert!(coarse.len() <= fine.len());
-        assert!(coarse.len() <= 3, "misaligned 16B table spans <= 3 8B lines");
+        assert!(
+            coarse.len() <= 3,
+            "misaligned 16B table spans <= 3 8B lines"
+        );
     }
 
     #[test]

@@ -85,7 +85,11 @@ pub fn recover_round1_on_mpsoc(
                 let specs: Vec<TargetSpec> = batch
                     .iter()
                     .map(|&s| {
-                        let pattern = if rotation == 0 { 0b1111 } else { rng.gen_range(0..16u8) };
+                        let pattern = if rotation == 0 {
+                            0b1111
+                        } else {
+                            rng.gen_range(0..16u8)
+                        };
                         TargetSpec::with_forced_pattern(1, s, pattern)
                     })
                     .collect();
@@ -117,8 +121,7 @@ pub fn recover_round1_on_mpsoc(
                                 observed.contains(&(addr / line_bytes * line_bytes))
                             })
                             .collect();
-                        for hyp in [(false, false), (true, false), (false, true), (true, true)]
-                        {
+                        for hyp in [(false, false), (true, false), (false, true), (true, true)] {
                             if !survivors.contains(&hyp) {
                                 set.remove(hyp);
                             }

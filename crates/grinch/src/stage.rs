@@ -163,9 +163,17 @@ pub fn run_stage<R: Rng + ?Sized>(
         stage_round - 1
     );
     let start_encryptions = oracle.encryptions();
+    let telemetry = oracle.telemetry().clone();
+    let _span = grinch_telemetry::span!(telemetry, "attack.stage", round = stage_round);
+    let entropy_gauge = telemetry
+        .is_enabled()
+        .then(|| format!("attack.entropy_bits.stage{stage_round}"));
     let mut candidates: [CandidateSet; GIFT64_SEGMENTS] =
         core::array::from_fn(|_| CandidateSet::full());
     let mut capped = false;
+    if let Some(gauge) = &entropy_gauge {
+        telemetry.gauge_set(gauge, entropy_bits(&candidates));
+    }
 
     'batches: for batch in disjoint_batches(stage_round) {
         let mut stall_limit = config.stall_limit.max(1);
@@ -206,13 +214,16 @@ pub fn run_stage<R: Rng + ?Sized>(
                     let observed = oracle.observe_stage(pt, stage_round);
                     let mut progressed = 0;
                     for spec in &specs {
-                        progressed +=
-                            candidates[spec.segment].eliminate(oracle, spec, &observed);
+                        progressed += candidates[spec.segment].eliminate(oracle, spec, &observed);
                     }
                     if progressed == 0 {
                         stall += 1;
                     } else {
                         stall = 0;
+                        if let Some(gauge) = &entropy_gauge {
+                            telemetry.counter_add("attack.eliminations", progressed as u64);
+                            telemetry.gauge_set(gauge, entropy_bits(&candidates));
+                        }
                     }
                     if batch.iter().any(|&s| candidates[s].is_empty()) {
                         // Every hypothesis refuted: the observation channel
@@ -238,6 +249,17 @@ pub fn run_stage<R: Rng + ?Sized>(
         encryptions: oracle.encryptions() - start_encryptions,
         capped,
     }
+}
+
+/// Shannon entropy (in bits) still in the per-segment candidate sets: the
+/// log2 of the number of round-key combinations not yet eliminated. Starts
+/// at 32 (four hypotheses in each of 16 segments) and reaches 0 when the
+/// round key is pinned.
+fn entropy_bits(candidates: &[CandidateSet; GIFT64_SEGMENTS]) -> f64 {
+    candidates
+        .iter()
+        .map(|c| (c.len().max(1) as f64).log2())
+        .sum()
 }
 
 #[cfg(test)]
@@ -315,7 +337,10 @@ mod tests {
         let mut oracle = VictimOracle::new(key(), cfg_obs);
         let mut rng = StdRng::seed_from_u64(5);
         let result = run_stage(&mut oracle, &[], 1, &StageConfig::new(), &mut rng);
-        assert!(result.is_resolved(), "misaligned 2-word lines leak both bits");
+        assert!(
+            result.is_resolved(),
+            "misaligned 2-word lines leak both bits"
+        );
         assert_eq!(result.round_key(), Some(Gift64::new(key()).round_keys()[0]));
         assert!(result.encryptions > 0);
     }

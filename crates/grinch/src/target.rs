@@ -112,7 +112,10 @@ impl TargetSpec {
         core::array::from_fn(|b| {
             let src_pos = P64_INV[4 * self.segment + b] as usize;
             let output_bit = (src_pos % 4) as u8;
-            debug_assert_eq!(output_bit as usize, b, "GIFT permutation preserves bit class");
+            debug_assert_eq!(
+                output_bit as usize, b,
+                "GIFT permutation preserves bit class"
+            );
             SourceConstraint {
                 segment: src_pos / 4,
                 output_bit,
@@ -279,8 +282,8 @@ mod tests {
         assert!(rc1[0]);
         assert!(!rc1[1]);
         assert!(rc1[15]);
-        for s in 6..15 {
-            assert!(!rc1[s], "segment {s}");
+        for (s, &bit) in rc1.iter().enumerate().take(15).skip(6) {
+            assert!(!bit, "segment {s}");
         }
     }
 

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate vendors the
+//! subset of proptest's API the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, ranges / tuples / [`Just`] /
+//! [`strategy::Union`] as strategies, `prop::collection::vec`,
+//! `prop::sample::Index`, the [`proptest!`] runner macro, and the
+//! `prop_assert*` / `prop_assume!` assertion macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports the exact generated inputs
+//!   (tests here are written against small domains, so raw cases are
+//!   readable);
+//! * **generate-only strategies** — `sample` draws directly from a seeded
+//!   [`rand::rngs::StdRng`], giving deterministic runs per test name;
+//! * **no persistence files** — regressions are reproduced by the fixed
+//!   per-test seed rather than `proptest-regressions/`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod prop;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+
+/// Error signal a property body returns through the `prop_assert*` and
+/// `prop_assume!` macros.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property failed with this message.
+    Fail(String),
+    /// The generated case does not satisfy a `prop_assume!` precondition;
+    /// the runner draws a fresh case instead.
+    Reject,
+}
+
+/// Result type of a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Derives a deterministic per-test seed from the test's name, so every
+/// property has an independent but reproducible stream.
+fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a, which is enough to decorrelate test names.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Executes one property: repeatedly calls `case` with a deterministic RNG
+/// until `config.cases` successful executions, panicking on the first
+/// failure. Rejected cases (via `prop_assume!`) are retried up to a global
+/// budget.
+///
+/// This is the runtime behind the [`proptest!`] macro; tests should not
+/// call it directly.
+pub fn run_property<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<String, (String, TestCaseError)>,
+{
+    let mut rng = StdRng::seed_from_u64(seed_for(test_name));
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let reject_budget = u64::from(config.cases) * 16 + 256;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(_) => passed += 1,
+            Err((_, TestCaseError::Reject)) => {
+                rejected += 1;
+                if rejected > reject_budget {
+                    panic!(
+                        "property `{test_name}`: too many rejected cases \
+                         ({rejected}) — prop_assume! condition is too strict"
+                    );
+                }
+            }
+            Err((inputs, TestCaseError::Fail(msg))) => {
+                panic!(
+                    "property `{test_name}` failed after {passed} passing \
+                     case(s): {msg}\n  inputs:\n{inputs}"
+                );
+            }
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies and checks the body over
+/// many cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( config = ($config:expr); ) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            $crate::run_property(&__config, stringify!($name), |__rng| {
+                $(
+                    let $arg = $crate::Strategy::sample(&($strat), __rng);
+                )+
+                let __inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(&::std::format!(
+                            "    {} = {:?}\n", stringify!($arg), &$arg
+                        ));
+                    )+
+                    s
+                };
+                let __outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {
+                        ::std::result::Result::Ok(__inputs)
+                    }
+                    ::std::result::Result::Err(e) => {
+                        ::std::result::Result::Err((__inputs, e))
+                    }
+                }
+            });
+        }
+        $crate::__proptest_fns! { config = ($config); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body; on failure the runner
+/// reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right),
+            ::std::format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`: {}\n  both: {:?}",
+            stringify!($left), stringify!($right),
+            ::std::format!($($fmt)+), l
+        );
+    }};
+}
+
+/// Discards the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks one of several strategies uniformly per case (all must share the
+/// same `Value` type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// What `use proptest::prelude::*` brings into scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError, TestCaseResult,
+    };
+}

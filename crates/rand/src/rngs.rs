@@ -1,0 +1,98 @@
+//! Concrete generators: [`StdRng`] (xoshiro256**) and the mock
+//! [`mock::StepRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator.
+///
+/// Internally xoshiro256** — fast, passes BigCrush, and trivially seedable;
+/// **not** cryptographically secure and **not** stream-compatible with the
+/// real `rand::rngs::StdRng` (which is ChaCha12).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // An all-zero state is a fixed point of xoshiro; nudge it.
+        if s == [0; 4] {
+            s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+        }
+        Self { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+/// Mock generators for tests.
+pub mod mock {
+    use crate::RngCore;
+
+    /// A generator returning an arithmetic sequence: `start`, `start +
+    /// step`, `start + 2*step`, … (wrapping). Mirrors
+    /// `rand::rngs::mock::StepRng`.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StepRng {
+        value: u64,
+        step: u64,
+    }
+
+    impl StepRng {
+        /// Creates the sequence starting at `start` with increment `step`.
+        pub fn new(start: u64, step: u64) -> Self {
+            Self { value: start, step }
+        }
+    }
+
+    impl RngCore for StepRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.value;
+            self.value = self.value.wrapping_add(self.step);
+            out
+        }
+    }
+}

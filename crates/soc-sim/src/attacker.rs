@@ -58,10 +58,7 @@ impl Process for ProbeAttacker {
         let mut used: u64 = 0;
         let access_cycles = ctx.mem_access_cycles();
         loop {
-            if self
-                .max_passes
-                .is_some_and(|max| self.passes_done >= max)
-            {
+            if self.max_passes.is_some_and(|max| self.passes_done >= max) {
                 return RunResult {
                     used_cycles: used,
                     state: RunState::Finished,

@@ -12,6 +12,10 @@ use crate::timing::TimingModel;
 pub struct Bus {
     access_ns: u64,
     transactions: u64,
+    /// Simulated time until which the bus is held by an earlier requester;
+    /// only [`Self::transfer_at`] consults or advances it.
+    busy_until_ns: u64,
+    telemetry: grinch_telemetry::Telemetry,
 }
 
 impl Bus {
@@ -20,6 +24,8 @@ impl Bus {
         Self {
             access_ns,
             transactions: 0,
+            busy_until_ns: 0,
+            telemetry: grinch_telemetry::Telemetry::disabled(),
         }
     }
 
@@ -28,11 +34,36 @@ impl Bus {
         Self::new(timing.bus_access_ns)
     }
 
+    /// Attaches a telemetry handle: transactions are counted under
+    /// `bus.transactions`, and arbitration stalls seen by
+    /// [`Self::transfer_at`] land in `bus.contention_stalls` plus a
+    /// `bus.stall_ns` histogram.
+    pub fn set_telemetry(&mut self, telemetry: grinch_telemetry::Telemetry) {
+        self.telemetry = telemetry;
+    }
+
     /// Latency of one transaction in nanoseconds. Also counts the
     /// transaction.
     pub fn transfer(&mut self) -> u64 {
         self.transactions += 1;
+        self.telemetry.counter_inc("bus.transactions");
         self.access_ns
+    }
+
+    /// Latency of a transaction issued at `now_ns`, including any
+    /// arbitration stall while an earlier transaction still holds the bus.
+    /// Unlike [`Self::transfer`], this models back-to-back requesters
+    /// contending for the single shared bus.
+    pub fn transfer_at(&mut self, now_ns: u64) -> u64 {
+        let stall = self.busy_until_ns.saturating_sub(now_ns);
+        self.busy_until_ns = now_ns + stall + self.access_ns;
+        self.transactions += 1;
+        self.telemetry.counter_inc("bus.transactions");
+        if stall > 0 {
+            self.telemetry.counter_inc("bus.contention_stalls");
+            self.telemetry.record_value("bus.stall_ns", stall);
+        }
+        stall + self.access_ns
     }
 
     /// Latency of one transaction without counting it.
@@ -56,6 +87,23 @@ mod tests {
         assert_eq!(bus.transfer(), 120);
         assert_eq!(bus.transfer(), 120);
         assert_eq!(bus.transactions(), 2);
+    }
+
+    #[test]
+    fn overlapping_transfers_stall_and_are_reported() {
+        let tel = grinch_telemetry::Telemetry::new();
+        let mut bus = Bus::new(100);
+        bus.set_telemetry(tel.clone());
+        // First transaction at t=0 holds the bus until t=100; a second
+        // request at t=40 stalls 60 ns, one at t=250 sees a free bus.
+        assert_eq!(bus.transfer_at(0), 100);
+        assert_eq!(bus.transfer_at(40), 60 + 100);
+        assert_eq!(bus.transfer_at(250), 100);
+        assert_eq!(bus.transactions(), 3);
+        assert_eq!(tel.counter("bus.transactions"), 3);
+        assert_eq!(tel.counter("bus.contention_stalls"), 1);
+        let snap = tel.snapshot();
+        assert_eq!(snap.histogram("bus.stall_ns").unwrap().max(), Some(60));
     }
 
     #[test]

@@ -54,7 +54,7 @@ impl Clock {
 
 impl fmt::Display for Clock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.freq_hz % 1_000_000 == 0 {
+        if self.freq_hz.is_multiple_of(1_000_000) {
             write!(f, "{} MHz", self.freq_hz / 1_000_000)
         } else {
             write!(f, "{} Hz", self.freq_hz)

@@ -77,10 +77,19 @@ impl fmt::Display for ScenarioEvent {
 
 /// The scenario timeline, plus live victim-progress tracking the attacker
 /// process queries when it records a probe.
+///
+/// The log doubles as the telemetry adapter for the SoC simulation: when a
+/// [`grinch_telemetry::Telemetry`] handle is attached, every recorded
+/// [`ScenarioEvent`] also advances the simulated clock and publishes the
+/// matching metric (`victim.rounds`, `victim.encryptions`,
+/// `attacker.probe_passes` + an `attacker.probe_hit_lines` histogram, and
+/// `scheduler.context_switches`). Existing consumers of [`Self::events`]
+/// are unaffected.
 #[derive(Clone, Debug, Default)]
 pub struct ScenarioLog {
     events: Vec<ScenarioEvent>,
     current_round: Option<usize>,
+    telemetry: grinch_telemetry::Telemetry,
 }
 
 impl ScenarioLog {
@@ -89,10 +98,27 @@ impl ScenarioLog {
         Self::default()
     }
 
+    /// Creates an empty log that mirrors every event into `telemetry`.
+    pub fn with_telemetry(telemetry: grinch_telemetry::Telemetry) -> Self {
+        Self {
+            telemetry,
+            ..Self::default()
+        }
+    }
+
+    /// The attached telemetry handle (disabled unless built via
+    /// [`Self::with_telemetry`]).
+    pub fn telemetry(&self) -> &grinch_telemetry::Telemetry {
+        &self.telemetry
+    }
+
     /// Records a victim round start.
     pub fn round_start(&mut self, time_ns: u64, round: usize) {
         self.current_round = Some(round);
-        self.events.push(ScenarioEvent::RoundStart { time_ns, round });
+        self.events
+            .push(ScenarioEvent::RoundStart { time_ns, round });
+        self.telemetry.set_time_ns(time_ns);
+        self.telemetry.counter_inc("victim.rounds");
     }
 
     /// Records completion of an encryption.
@@ -100,10 +126,16 @@ impl ScenarioLog {
         self.current_round = None;
         self.events
             .push(ScenarioEvent::EncryptionDone { time_ns, index });
+        self.telemetry.set_time_ns(time_ns);
+        self.telemetry.counter_inc("victim.encryptions");
     }
 
     /// Records a completed probe pass.
     pub fn probe_complete(&mut self, time_ns: u64, hit_lines: Vec<u64>) {
+        self.telemetry.set_time_ns(time_ns);
+        self.telemetry.counter_inc("attacker.probe_passes");
+        self.telemetry
+            .record_value("attacker.probe_hit_lines", hit_lines.len() as u64);
         self.events.push(ScenarioEvent::ProbeComplete {
             time_ns,
             victim_round: self.current_round,
@@ -113,7 +145,10 @@ impl ScenarioLog {
 
     /// Records a context switch.
     pub fn context_switch(&mut self, time_ns: u64, to: &'static str) {
-        self.events.push(ScenarioEvent::ContextSwitch { time_ns, to });
+        self.events
+            .push(ScenarioEvent::ContextSwitch { time_ns, to });
+        self.telemetry.set_time_ns(time_ns);
+        self.telemetry.counter_inc("scheduler.context_switches");
     }
 
     /// The victim round currently in progress, if any.
@@ -151,6 +186,27 @@ mod tests {
             }
             other => panic!("unexpected event {other:?}"),
         }
+    }
+
+    #[test]
+    fn telemetry_mirrors_events() {
+        let tel = grinch_telemetry::Telemetry::new();
+        let mut log = ScenarioLog::with_telemetry(tel.clone());
+        log.round_start(100, 1);
+        log.probe_complete(150, vec![8, 16]);
+        log.context_switch(180, "victim");
+        log.encryption_done(900, 0);
+        assert_eq!(tel.counter("victim.rounds"), 1);
+        assert_eq!(tel.counter("victim.encryptions"), 1);
+        assert_eq!(tel.counter("attacker.probe_passes"), 1);
+        assert_eq!(tel.counter("scheduler.context_switches"), 1);
+        assert_eq!(tel.now_ns(), 900);
+        let snap = tel.snapshot();
+        let hist = snap.histogram("attacker.probe_hit_lines").unwrap();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max(), Some(2));
+        // The event timeline itself is unchanged by the mirroring.
+        assert_eq!(log.events().len(), 4);
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct MeshNoc {
     router_ns: u64,
     /// Total flits forwarded (for utilisation reporting).
     packets: u64,
+    /// Simulated time until which the mesh is draining an earlier packet;
+    /// only [`Self::send_at`] consults or advances it.
+    busy_until_ns: u64,
+    telemetry: grinch_telemetry::Telemetry,
 }
 
 impl MeshNoc {
@@ -67,7 +71,17 @@ impl MeshNoc {
             link_ns,
             router_ns,
             packets: 0,
+            busy_until_ns: 0,
+            telemetry: grinch_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: packets are counted under
+    /// `noc.packets` with a `noc.send_ns` latency histogram, and
+    /// congestion seen by [`Self::send_at`] lands in
+    /// `noc.contention_stalls` plus a `noc.stall_ns` histogram.
+    pub fn set_telemetry(&mut self, telemetry: grinch_telemetry::Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The paper's MPSoC mesh (3×3) with calibrated latencies.
@@ -110,7 +124,10 @@ impl MeshNoc {
     /// Number of links an XY-routed packet traverses from `src` to `dst`
     /// (the Manhattan distance).
     pub fn hops(&self, src: TileId, dst: TileId) -> u64 {
-        assert!(self.contains(src) && self.contains(dst), "tile outside mesh");
+        assert!(
+            self.contains(src) && self.contains(dst),
+            "tile outside mesh"
+        );
         (u64::from(src.x.abs_diff(dst.x))) + (u64::from(src.y.abs_diff(dst.y)))
     }
 
@@ -118,7 +135,28 @@ impl MeshNoc {
     /// router stage per hop. Also counts the packet.
     pub fn send(&mut self, src: TileId, dst: TileId) -> u64 {
         self.packets += 1;
-        self.hops(src, dst) * (self.link_ns + self.router_ns)
+        let latency = self.hops(src, dst) * (self.link_ns + self.router_ns);
+        self.telemetry.counter_inc("noc.packets");
+        self.telemetry.record_value("noc.send_ns", latency);
+        latency
+    }
+
+    /// Latency of a packet injected at `now_ns`, including any stall while
+    /// the mesh drains an earlier packet along a conflicting XY route.
+    /// Unlike [`Self::send`], this models congestion between back-to-back
+    /// senders.
+    pub fn send_at(&mut self, now_ns: u64, src: TileId, dst: TileId) -> u64 {
+        let transit = self.hops(src, dst) * (self.link_ns + self.router_ns);
+        let stall = self.busy_until_ns.saturating_sub(now_ns);
+        self.busy_until_ns = now_ns + stall + transit;
+        self.packets += 1;
+        self.telemetry.counter_inc("noc.packets");
+        self.telemetry.record_value("noc.send_ns", stall + transit);
+        if stall > 0 {
+            self.telemetry.counter_inc("noc.contention_stalls");
+            self.telemetry.record_value("noc.stall_ns", stall);
+        }
+        stall + transit
     }
 
     /// One-way latency without counting a packet.
@@ -207,7 +245,10 @@ mod tests {
         let path = n.route(TileId::new(2, 2), TileId::new(0, 1));
         assert_eq!(path.first(), Some(&TileId::new(2, 2)));
         assert_eq!(path.last(), Some(&TileId::new(0, 1)));
-        assert_eq!(path.len() as u64, n.hops(TileId::new(2, 2), TileId::new(0, 1)) + 1);
+        assert_eq!(
+            path.len() as u64,
+            n.hops(TileId::new(2, 2), TileId::new(0, 1)) + 1
+        );
         // X must be fully resolved before Y moves.
         assert_eq!(path[1], TileId::new(1, 2));
         assert_eq!(path[2], TileId::new(0, 2));
@@ -231,8 +272,7 @@ mod tests {
                     for dy in 0..3u8 {
                         let s = TileId::new(sx, sy);
                         let d = TileId::new(dx, dy);
-                        let manhattan =
-                            u64::from(sx.abs_diff(dx)) + u64::from(sy.abs_diff(dy));
+                        let manhattan = u64::from(sx.abs_diff(dx)) + u64::from(sy.abs_diff(dy));
                         assert_eq!(n.hops(s, d), manhattan);
                         assert_eq!(n.route(s, d).len() as u64, manhattan + 1);
                     }
@@ -247,6 +287,26 @@ mod tests {
         let lat = n.send(TileId::new(0, 0), TileId::new(2, 2));
         assert_eq!(lat, 4 * (60 + 20));
         assert_eq!(n.packets(), 1);
+    }
+
+    #[test]
+    fn congested_sends_stall_and_are_reported() {
+        let tel = grinch_telemetry::Telemetry::new();
+        let mut n = noc();
+        n.set_telemetry(tel.clone());
+        let a = TileId::new(0, 0);
+        let c = TileId::new(1, 1);
+        // 2 hops × (60 + 20) = 160 ns of transit per packet.
+        assert_eq!(n.send_at(0, a, c), 160);
+        // Injected while the first packet is still draining: 110 ns stall.
+        assert_eq!(n.send_at(50, a, c), 110 + 160);
+        // Well after the mesh drained: no stall.
+        assert_eq!(n.send_at(1_000, a, c), 160);
+        assert_eq!(n.packets(), 3);
+        assert_eq!(tel.counter("noc.packets"), 3);
+        assert_eq!(tel.counter("noc.contention_stalls"), 1);
+        let snap = tel.snapshot();
+        assert_eq!(snap.histogram("noc.stall_ns").unwrap().max(), Some(110));
     }
 
     #[test]

@@ -119,7 +119,7 @@ mod tests {
             now_ns: 0,
             clock: Clock::new(10_000_000), // 100 ns period
             cache: &mut cache,
-            mem_access_ns: 40,             // less than one cycle
+            mem_access_ns: 40, // less than one cycle
             log: &mut log,
         };
         assert_eq!(ctx.mem_access_cycles(), 1);

@@ -96,6 +96,28 @@ pub fn run_single_soc(config: &PlatformConfig) -> ScenarioReport {
     run_single_soc_with(config, demo_key(), demo_plaintexts(config.encryptions))
 }
 
+/// Like [`run_single_soc`], but mirrors the whole co-simulation into
+/// `telemetry`: the shared cache publishes `cache.l1.*`, the scenario log
+/// publishes victim/attacker/scheduler counters, and the run is wrapped in
+/// a `scenario.single_soc` span.
+pub fn run_single_soc_traced(
+    config: &PlatformConfig,
+    telemetry: grinch_telemetry::Telemetry,
+) -> ScenarioReport {
+    let _span = grinch_telemetry::span!(
+        telemetry,
+        "scenario.single_soc",
+        encryptions = config.encryptions
+    );
+    run_single_soc_inner(
+        config,
+        demo_key(),
+        demo_plaintexts(config.encryptions),
+        None,
+        telemetry.clone(),
+    )
+}
+
 /// Simulates the single-processor SoC with a third, noise-generating
 /// process in the run queue (the paper's "multiple processes disputing the
 /// processor"). The disturber both delays the attacker's probe slots and
@@ -109,6 +131,7 @@ pub fn run_single_soc_with_disturber(
         demo_key(),
         demo_plaintexts(config.encryptions),
         Some(accesses_per_kcycle),
+        grinch_telemetry::Telemetry::disabled(),
     )
 }
 
@@ -122,7 +145,13 @@ pub fn run_single_soc_with(
     key: Key,
     plaintexts: Vec<u64>,
 ) -> ScenarioReport {
-    run_single_soc_inner(config, key, plaintexts, None)
+    run_single_soc_inner(
+        config,
+        key,
+        plaintexts,
+        None,
+        grinch_telemetry::Telemetry::disabled(),
+    )
 }
 
 fn run_single_soc_inner(
@@ -130,6 +159,7 @@ fn run_single_soc_inner(
     key: Key,
     plaintexts: Vec<u64>,
     disturber: Option<u64>,
+    telemetry: grinch_telemetry::Telemetry,
 ) -> ScenarioReport {
     assert_eq!(config.kind, PlatformKind::SingleSoc, "wrong platform kind");
     let cipher = TableGift64::new(key, config.layout);
@@ -146,7 +176,8 @@ fn run_single_soc_inner(
     );
 
     let mut cache = Cache::new(config.cache);
-    let mut log = ScenarioLog::new();
+    cache.set_telemetry(telemetry.clone(), "cache.l1");
+    let mut log = ScenarioLog::with_telemetry(telemetry);
     let mut processes: Vec<Box<dyn crate::process::Process>> =
         vec![Box::new(victim), Box::new(attacker)];
     if let Some(rate) = disturber {
@@ -214,6 +245,27 @@ pub fn run_mpsoc(config: &PlatformConfig) -> ScenarioReport {
     run_mpsoc_with(config, demo_key(), demo_plaintexts(config.encryptions))
 }
 
+/// Like [`run_mpsoc`], but mirrors the whole co-simulation into
+/// `telemetry`: the shared cache publishes `cache.l1.*`, the scenario log
+/// publishes victim/attacker counters, and the run is wrapped in a
+/// `scenario.mpsoc` span.
+pub fn run_mpsoc_traced(
+    config: &PlatformConfig,
+    telemetry: grinch_telemetry::Telemetry,
+) -> ScenarioReport {
+    let _span = grinch_telemetry::span!(
+        telemetry,
+        "scenario.mpsoc",
+        encryptions = config.encryptions
+    );
+    run_mpsoc_inner(
+        config,
+        demo_key(),
+        demo_plaintexts(config.encryptions),
+        telemetry.clone(),
+    )
+}
+
 /// Simulates the MPSoC: the victim runs uninterrupted on its tile while the
 /// attacker's tile issues continuous Flush+Reload passes through the NoC.
 ///
@@ -225,6 +277,20 @@ pub fn run_mpsoc(config: &PlatformConfig) -> ScenarioReport {
 ///
 /// Panics if `config.kind` is not [`PlatformKind::MpSoc`].
 pub fn run_mpsoc_with(config: &PlatformConfig, key: Key, plaintexts: Vec<u64>) -> ScenarioReport {
+    run_mpsoc_inner(
+        config,
+        key,
+        plaintexts,
+        grinch_telemetry::Telemetry::disabled(),
+    )
+}
+
+fn run_mpsoc_inner(
+    config: &PlatformConfig,
+    key: Key,
+    plaintexts: Vec<u64>,
+    telemetry: grinch_telemetry::Telemetry,
+) -> ScenarioReport {
     assert_eq!(config.kind, PlatformKind::MpSoc, "wrong platform kind");
     let cipher = TableGift64::new(key, config.layout);
     let encryptions = plaintexts.len();
@@ -240,7 +306,8 @@ pub fn run_mpsoc_with(config: &PlatformConfig, key: Key, plaintexts: Vec<u64>) -
     );
 
     let mut cache = Cache::new(config.cache);
-    let mut log = ScenarioLog::new();
+    cache.set_telemetry(telemetry.clone(), "cache.l1");
+    let mut log = ScenarioLog::with_telemetry(telemetry);
 
     // Slice: 500 victim cycles (≈ 1% of a round) keeps interleaving error
     // negligible while staying fast to simulate.
@@ -349,6 +416,34 @@ mod tests {
         assert_eq!(noisy.ciphertexts, clean.ciphertexts);
         // The attacker still gets its quantum-boundary probe.
         assert!(noisy.first_probe_round().is_some());
+    }
+
+    #[test]
+    fn traced_runs_match_untraced_and_fill_the_registry() {
+        let config = PlatformConfig::single_soc(25_000_000);
+        let tel = grinch_telemetry::Telemetry::new();
+        let traced = run_single_soc_traced(&config, tel.clone());
+        let plain = run_single_soc(&config);
+        // Telemetry must not perturb the simulation.
+        assert_eq!(traced.first_probe_round(), plain.first_probe_round());
+        assert_eq!(traced.ciphertexts, plain.ciphertexts);
+        assert_eq!(traced.end_ns, plain.end_ns);
+        assert_eq!(tel.counter("victim.encryptions"), 1);
+        assert!(tel.counter("cache.l1.hits") > 0);
+        assert!(tel.counter("scheduler.quanta") > 0);
+        let snap = tel.snapshot();
+        let span = &snap.spans[0];
+        assert_eq!(span.name, "scenario.single_soc");
+        assert!(span.end_ns.is_some());
+
+        let mtel = grinch_telemetry::Telemetry::new();
+        let mconfig = PlatformConfig::mpsoc(25_000_000);
+        let mtraced = run_mpsoc_traced(&mconfig, mtel.clone());
+        assert_eq!(
+            mtraced.first_probe_round(),
+            run_mpsoc(&mconfig).first_probe_round()
+        );
+        assert!(mtel.counter("attacker.probe_passes") > 0);
     }
 
     #[test]

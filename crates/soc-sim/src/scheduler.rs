@@ -32,7 +32,10 @@ impl RoundRobinScheduler {
         quantum_ns: u64,
         context_switch_cycles: u64,
     ) -> Self {
-        assert!(!processes.is_empty(), "scheduler needs at least one process");
+        assert!(
+            !processes.is_empty(),
+            "scheduler needs at least one process"
+        );
         assert!(quantum_ns > 0, "quantum must be positive");
         Self {
             processes,
@@ -63,6 +66,7 @@ impl RoundRobinScheduler {
         mem_access_ns: u64,
         log: &mut ScenarioLog,
     ) -> u64 {
+        let telemetry = log.telemetry().clone();
         while now_ns < deadline_ns && !self.processes.is_empty() {
             let slice_ns = self.quantum_ns.min(deadline_ns - now_ns);
             let budget = clock.ns_to_cycles(slice_ns);
@@ -76,12 +80,14 @@ impl RoundRobinScheduler {
                 mem_access_ns,
                 log,
             };
+            let running = self.processes[self.current].name();
             let result = self.processes[self.current].run(&mut ctx, budget);
-            debug_assert!(
-                result.used_cycles <= budget,
-                "process exceeded its budget"
-            );
+            debug_assert!(result.used_cycles <= budget, "process exceeded its budget");
             now_ns += clock.cycles_to_ns(result.used_cycles);
+            if telemetry.is_enabled() {
+                telemetry.counter_inc("scheduler.quanta");
+                telemetry.counter_add(&format!("scheduler.cycles.{running}"), result.used_cycles);
+            }
             match result.state {
                 RunState::Finished => {
                     self.processes.remove(self.current);
@@ -119,10 +125,13 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
+    /// Shared log of `(time, budget, process)` run slices.
+    type SliceLog = Rc<RefCell<Vec<(u64, u64, &'static str)>>>;
+
     /// Records the (time, budget) of each run slice it receives.
     struct Recorder {
         name: &'static str,
-        slices: Rc<RefCell<Vec<(u64, u64, &'static str)>>>,
+        slices: SliceLog,
         per_slice_cycles: u64,
         total: u64,
     }
@@ -164,11 +173,8 @@ mod tests {
         };
         // 10 MHz, quantum 1 ms = 10_000 cycles.
         let clock = Clock::new(10_000_000);
-        let mut sched = RoundRobinScheduler::new(
-            vec![mk("a", 25_000), mk("b", 5_000)],
-            1_000_000,
-            100,
-        );
+        let mut sched =
+            RoundRobinScheduler::new(vec![mk("a", 25_000), mk("b", 5_000)], 1_000_000, 100);
         let mut cache = Cache::new(CacheConfig::grinch_default());
         let mut log = ScenarioLog::new();
         let end = sched.run_until(0, 100_000_000, clock, &mut cache, 120, &mut log);
@@ -179,6 +185,30 @@ mod tests {
         assert!(order.iter().filter(|&&n| n == "a").count() >= 3);
         assert!(end > 0);
         assert_eq!(sched.runnable(), 0);
+    }
+
+    #[test]
+    fn telemetry_counts_quanta_and_per_process_cycles() {
+        let tel = grinch_telemetry::Telemetry::new();
+        let slices = Rc::new(RefCell::new(Vec::new()));
+        let mk = |name, total| {
+            Box::new(Recorder {
+                name,
+                slices: Rc::clone(&slices),
+                per_slice_cycles: u64::MAX,
+                total,
+            }) as Box<dyn Process>
+        };
+        let clock = Clock::new(10_000_000);
+        let mut sched =
+            RoundRobinScheduler::new(vec![mk("a", 25_000), mk("b", 5_000)], 1_000_000, 100);
+        let mut cache = Cache::new(CacheConfig::grinch_default());
+        let mut log = ScenarioLog::with_telemetry(tel.clone());
+        sched.run_until(0, 100_000_000, clock, &mut cache, 120, &mut log);
+        assert_eq!(tel.counter("scheduler.cycles.a"), 25_000);
+        assert_eq!(tel.counter("scheduler.cycles.b"), 5_000);
+        assert!(tel.counter("scheduler.quanta") >= 4);
+        assert!(tel.counter("scheduler.context_switches") >= 1);
     }
 
     #[test]

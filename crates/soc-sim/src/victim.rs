@@ -118,7 +118,9 @@ impl Process for GiftVictim {
                         let time = ctx.now_ns + ctx.clock.cycles_to_ns(used);
                         ctx.log.round_start(time, round);
                         let mut obs = CacheObserver::new(ctx.cache);
-                        self.state = self.cipher.run_single_round(self.state, round - 1, &mut obs);
+                        self.state = self
+                            .cipher
+                            .run_single_round(self.state, round - 1, &mut obs);
                         self.phase = Phase::Round {
                             round,
                             remaining,

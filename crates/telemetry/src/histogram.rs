@@ -1,0 +1,240 @@
+//! Log-scale histogram with bounded memory and percentile queries.
+//!
+//! Values are bucketed HdrHistogram-style: exact buckets for `0..4`, then
+//! four linear sub-buckets per power of two. Relative quantization error is
+//! bounded by 25% at any magnitude, which is ample for latency / cycle /
+//! encryption-count distributions, while the whole histogram stays a fixed
+//! 252 `u64`s regardless of how many samples it absorbs.
+
+/// Linear sub-bucket bits per octave.
+const SUB_BITS: u32 = 2;
+/// Sub-buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count (indices for `u64::MAX` land at `62 * 4 + 3`).
+const BUCKETS: usize = 252;
+
+/// Bucket index of a value.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    octave * SUBS + sub
+}
+
+/// Inclusive lower bound of a bucket.
+#[inline]
+fn bucket_lo(index: usize) -> u64 {
+    if index < SUBS {
+        return index as u64;
+    }
+    let octave = (index / SUBS) as u32;
+    let sub = (index % SUBS) as u64;
+    (SUBS as u64 + sub) << (octave - 1)
+}
+
+/// Width (number of distinct values) of a bucket.
+#[inline]
+fn bucket_width(index: usize) -> u64 {
+    if index < SUBS {
+        1
+    } else {
+        1u64 << ((index / SUBS) as u32 - 1)
+    }
+}
+
+/// A log-scale histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Nearest-rank percentile with in-bucket linear interpolation,
+    /// clamped to the exact observed `[min, max]`. `p` is in `[0, 100]`;
+    /// returns `None` for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.count == 0 {
+            return None;
+        }
+        // Nearest-rank: the smallest value with at least ceil(p/100 * n)
+        // samples at or below it (rank 1 for p = 0).
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= target {
+                let into = target - cum; // 1-based position inside bucket
+                let lo = bucket_lo(idx);
+                let width = bucket_width(idx);
+                let interp = lo + (into - 1) * width / n.max(1);
+                return Some(interp.clamp(self.min, self.max));
+            }
+            cum += n;
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_lo(i), n))
+            .collect()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_continuous() {
+        let mut last = 0usize;
+        for v in 0..4096u64 {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket index regressed at {v}");
+            assert!(bucket_lo(b) <= v, "lower bound exceeds value at {v}");
+            assert!(
+                v < bucket_lo(b) + bucket_width(b),
+                "value beyond bucket at {v}"
+            );
+            last = b;
+        }
+        // Extremes.
+        assert_eq!(bucket_of(0), 0);
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 3, 2] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(3));
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LogHistogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn percentiles_are_clamped_to_observed_range() {
+        let mut h = LogHistogram::new();
+        h.record(1000);
+        assert_eq!(h.percentile(0.0), Some(1000));
+        assert_eq!(h.percentile(50.0), Some(1000));
+        assert_eq!(h.percentile(100.0), Some(1000));
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        let mut h = LogHistogram::new();
+        h.record(1_000_000);
+        let p = h.percentile(50.0).unwrap();
+        assert_eq!(p, 1_000_000, "single sample clamps to exact min/max");
+        let mut h2 = LogHistogram::new();
+        h2.record(999_999);
+        h2.record(1_000_001);
+        let p50 = h2.percentile(50.0).unwrap() as f64;
+        assert!((p50 - 1e6).abs() / 1e6 < 0.25, "p50 {p50}");
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(500));
+    }
+}

@@ -1,0 +1,394 @@
+//! Minimal hand-rolled JSON support: escaping + object writing for the
+//! JSONL sink, and a small parser used to round-trip exported lines in
+//! tests and tooling. No external dependencies, no serde.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes `s` into `out` as JSON string contents (no surrounding quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes an `f64` the way JSON expects (no NaN/Inf; those become `null`).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Ensure a decimal point or exponent so the value reads back as a
+        // float, matching what a JSON emitter is expected to produce.
+        let s = format!("{v}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Incremental writer for a single-line JSON object.
+pub struct ObjWriter {
+    buf: String,
+    first: bool,
+}
+
+impl ObjWriter {
+    /// Opens an object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a float field.
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        write_f64(&mut self.buf, v);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a null field.
+    pub fn null(&mut self, k: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim.
+    pub fn raw(&mut self, k: &str, json: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for ObjWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A parsed JSON value (numbers kept as `f64`; integers within 2^53 are
+/// exact, which covers every field the sinks emit from sane runs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object (key order normalised).
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Object field lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document. Returns `None` on any syntax error or
+/// trailing garbage.
+pub fn parse(input: &str) -> Option<JsonValue> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    (p.pos == p.bytes.len()).then_some(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> Option<()> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        self.skip_ws();
+        match self.peek()? {
+            b'n' => self.eat("null").map(|_| JsonValue::Null),
+            b't' => self.eat("true").map(|_| JsonValue::Bool(true)),
+            b'f' => self.eat("false").map(|_| JsonValue::Bool(false)),
+            b'"' => self.string().map(JsonValue::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if self.bump()? != b'"' {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Some(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        self.pos += 4;
+                        // Surrogate pairs are not emitted by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return None,
+                },
+                b => {
+                    // Re-read as UTF-8: back up one byte and take the char.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        self.pos -= 1;
+                        let s = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                        let c = s.chars().next()?;
+                        self.pos += c.len_utf8();
+                        out.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<JsonValue> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        s.parse::<f64>().ok().map(JsonValue::Num)
+    }
+
+    fn array(&mut self) -> Option<JsonValue> {
+        self.bump()?; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Some(JsonValue::Arr(items)),
+                _ => return None,
+            }
+        }
+    }
+
+    fn object(&mut self) -> Option<JsonValue> {
+        self.bump()?; // '{'
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(JsonValue::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if self.bump()? != b':' {
+                return None;
+            }
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Some(JsonValue::Obj(map)),
+                _ => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_escapes_and_parser_unescapes() {
+        let mut w = ObjWriter::new();
+        w.str("name", "line\n\"quoted\"\\tab\t")
+            .u64("n", 42)
+            .i64("neg", -7)
+            .f64("f", 1.5)
+            .bool("ok", true)
+            .null("missing");
+        let line = w.finish();
+        let v = parse(&line).expect("parses");
+        assert_eq!(
+            v.get("name").unwrap().as_str(),
+            Some("line\n\"quoted\"\\tab\t")
+        );
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("neg").unwrap().as_f64(), Some(-7.0));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("missing"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_arrays() {
+        let v = parse(r#"{"a": [1, 2.5, "x", {"b": false}], "c": {}}"#).unwrap();
+        let arr = match v.get("a").unwrap() {
+            JsonValue::Arr(a) => a,
+            other => panic!("not an array: {other:?}"),
+        };
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[3].get("b"), Some(&JsonValue::Bool(false)));
+        assert_eq!(v.get("c"), Some(&JsonValue::Obj(Default::default())));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert_eq!(parse("{"), None);
+        assert_eq!(parse("{} extra"), None);
+        assert_eq!(parse(r#"{"a"}"#), None);
+        assert_eq!(parse(""), None);
+    }
+
+    #[test]
+    fn floats_render_with_decimal_point() {
+        let mut w = ObjWriter::new();
+        w.f64("v", 3.0);
+        assert_eq!(w.finish(), r#"{"v":3.0}"#);
+    }
+}

@@ -1,0 +1,647 @@
+//! Unified telemetry layer for the GRINCH reproduction.
+//!
+//! One cloneable [`Telemetry`] handle carries three instruments across the
+//! workspace — `cache-sim`, `soc-sim` and `grinch` all publish into it:
+//!
+//! * a **metrics registry** — named [counters](Telemetry::counter_add),
+//!   [gauges](Telemetry::gauge_set) and log-scale
+//!   [histograms](Telemetry::record_value) with percentile queries
+//!   ([`LogHistogram`]);
+//! * **hierarchical trace spans** — [`span!`] /
+//!   [`Telemetry::span`] guards stamped with *simulated* nanoseconds
+//!   (the simulations advance the clock; wall time never appears);
+//! * **sinks** — a JSONL exporter (one metric/span per line), a
+//!   human-readable summary table and a null sink
+//!   ([`Telemetry::disabled`]) that compiles instrumentation down to a
+//!   pointer null-check.
+//!
+//! The handle is `Rc`-based: simulations here are single-threaded, and a
+//! shared-nothing benchmark can always use one handle per thread and
+//! [`Snapshot`]-merge afterwards.
+//!
+//! ```
+//! use grinch_telemetry::{span, Telemetry};
+//!
+//! let tel = Telemetry::new();
+//! tel.advance_time_ns(10);
+//! {
+//!     let _attack = span!(tel, "attack.stage", round = 1u64);
+//!     tel.counter_add("probes", 3);
+//!     tel.record_value("probe.latency_ns", 120);
+//!     tel.advance_time_ns(500);
+//! }
+//! let snap = tel.snapshot();
+//! assert_eq!(snap.counters[0], ("probes".into(), 3));
+//! assert_eq!(snap.spans[0].end_ns, Some(510));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+pub mod histogram;
+pub mod json;
+pub mod sink;
+
+pub use histogram::LogHistogram;
+pub use sink::{snapshot_to_jsonl, summary_string, JsonlSink, NullSink, Sink, SummarySink};
+
+/// A typed span/event field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl core::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::U64(v) => write!(f, "{v}"),
+            Self::I64(v) => write!(f, "{v}"),
+            Self::F64(v) => write!(f, "{v}"),
+            Self::Bool(v) => write!(f, "{v}"),
+            Self::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+macro_rules! impl_field_from {
+    ($($t:ty => $variant:ident as $conv:ty),+ $(,)?) => {
+        $(impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                Self::$variant(v as $conv)
+            }
+        })+
+    };
+}
+
+impl_field_from! {
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+    u64 => U64 as u64, usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64,
+    i64 => I64 as i64, isize => I64 as i64,
+    f32 => F64 as f64, f64 => F64 as f64,
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+/// One recorded trace span. `end_ns` is `None` while the span is open
+/// (or if the guard leaked past the snapshot).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Id, equal to the span's index in [`Snapshot::spans`] (entry order).
+    pub id: usize,
+    /// Enclosing span's id, if nested.
+    pub parent: Option<usize>,
+    /// Nesting depth (root spans are 0).
+    pub depth: usize,
+    /// Span name, dot-separated by convention (`"attack.stage"`).
+    pub name: String,
+    /// Structured fields attached at entry.
+    pub fields: Vec<(String, FieldValue)>,
+    /// Simulated-ns timestamp at entry.
+    pub start_ns: u64,
+    /// Simulated-ns timestamp at exit.
+    pub end_ns: Option<u64>,
+}
+
+impl SpanRecord {
+    /// Span duration in simulated ns, if closed.
+    pub fn duration_ns(&self) -> Option<u64> {
+        self.end_ns.map(|e| e.saturating_sub(self.start_ns))
+    }
+}
+
+/// An immutable copy of everything a [`Telemetry`] handle has recorded.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Simulated clock at snapshot time.
+    pub sim_time_ns: u64,
+    /// Counters, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, name-sorted.
+    pub histograms: Vec<(String, LogHistogram)>,
+    /// Spans in entry order (ids are indices).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Snapshot {
+    /// Looks up a counter value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Looks up a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Merges another snapshot: counters add, gauges take `other`'s value,
+    /// histograms merge, spans append (re-based ids), clock takes the max.
+    pub fn merge(&mut self, other: &Snapshot) {
+        self.sim_time_ns = self.sim_time_ns.max(other.sim_time_ns);
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine = *v,
+                None => self.gauges.push((name.clone(), *v)),
+            }
+        }
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let base = self.spans.len();
+        for span in &other.spans {
+            let mut s = span.clone();
+            s.id += base;
+            s.parent = s.parent.map(|p| p + base);
+            self.spans.push(s);
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    now_ns: u64,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LogHistogram>,
+    spans: Vec<SpanRecord>,
+    open: Vec<usize>,
+}
+
+/// The shared telemetry handle.
+///
+/// Cloning is a pointer copy; every clone publishes into the same
+/// registry. [`Telemetry::disabled`] (also [`Default`]) carries no
+/// registry at all, so each instrumentation call reduces to one
+/// `Option` check — the "null sink" of the design.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl Telemetry {
+    /// An enabled handle with an empty registry.
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Rc::new(RefCell::new(Inner::default()))),
+        }
+    }
+
+    /// A disabled handle: every operation is a no-op.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    // ---- simulated clock ------------------------------------------------
+
+    /// Sets the simulated clock (monotonicity is the caller's contract).
+    pub fn set_time_ns(&self, ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().now_ns = ns;
+        }
+    }
+
+    /// Advances the simulated clock.
+    pub fn advance_time_ns(&self, delta_ns: u64) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.borrow_mut();
+            inner.now_ns += delta_ns;
+        }
+    }
+
+    /// Current simulated time (0 when disabled).
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.borrow().now_ns)
+    }
+
+    // ---- metrics --------------------------------------------------------
+
+    /// Adds `delta` to a named counter (created at 0).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.borrow_mut();
+            match inner.counters.get_mut(name) {
+                Some(c) => *c += delta,
+                None => {
+                    inner.counters.insert(name.to_string(), delta);
+                }
+            }
+        }
+    }
+
+    /// Increments a named counter by one.
+    pub fn counter_inc(&self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Sets a named gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Records `value` into a named log-scale histogram.
+    pub fn record_value(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.borrow_mut();
+            match inner.histograms.get_mut(name) {
+                Some(h) => h.record(value),
+                None => {
+                    let mut h = LogHistogram::new();
+                    h.record(value);
+                    inner.histograms.insert(name.to_string(), h);
+                }
+            }
+        }
+    }
+
+    // ---- spans ----------------------------------------------------------
+
+    /// Opens a span; it closes (stamps `end_ns`) when the guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_with(name, Vec::new())
+    }
+
+    /// Opens a span with structured fields. Prefer the [`span!`] macro,
+    /// which builds the field vector from `key = value` syntax.
+    pub fn span_with(&self, name: &str, fields: Vec<(&'static str, FieldValue)>) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { inner: None, id: 0 };
+        };
+        let mut borrow = inner.borrow_mut();
+        let id = borrow.spans.len();
+        let parent = borrow.open.last().copied();
+        let depth = borrow.open.len();
+        let start_ns = borrow.now_ns;
+        borrow.spans.push(SpanRecord {
+            id,
+            parent,
+            depth,
+            name: name.to_string(),
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            start_ns,
+            end_ns: None,
+        });
+        borrow.open.push(id);
+        SpanGuard {
+            inner: Some(Rc::clone(inner)),
+            id,
+        }
+    }
+
+    // ---- queries & export ----------------------------------------------
+
+    /// Copies out everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let inner = inner.borrow();
+        Snapshot {
+            sim_time_ns: inner.now_ns,
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            spans: inner.spans.clone(),
+        }
+    }
+
+    /// Current value of a counter (0 if never touched or disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.borrow().counters.get(name).copied().unwrap_or(0))
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.borrow().gauges.get(name).copied())
+    }
+
+    /// Renders the whole registry as JSONL (see [`snapshot_to_jsonl`]).
+    pub fn to_jsonl(&self) -> String {
+        snapshot_to_jsonl(&self.snapshot())
+    }
+
+    /// Writes the JSONL export to a file.
+    pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Renders the human-readable summary table.
+    pub fn summary(&self) -> String {
+        summary_string(&self.snapshot())
+    }
+}
+
+/// Closes its span (stamping `end_ns` with the simulated clock) on drop.
+/// Inert for disabled handles.
+#[must_use = "a span closes when its guard drops; binding to _ closes it immediately"]
+pub struct SpanGuard {
+    inner: Option<Rc<RefCell<Inner>>>,
+    id: usize,
+}
+
+impl SpanGuard {
+    /// The span's id in the snapshot, if recording.
+    pub fn id(&self) -> Option<usize> {
+        self.inner.as_ref().map(|_| self.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.borrow_mut();
+            let now = inner.now_ns;
+            if let Some(span) = inner.spans.get_mut(self.id) {
+                span.end_ns = Some(now);
+            }
+            // Guards drop in LIFO order in correct code; tolerate leaks by
+            // removing this id wherever it sits in the open stack.
+            if let Some(pos) = inner.open.iter().rposition(|&i| i == self.id) {
+                inner.open.remove(pos);
+            }
+        }
+    }
+}
+
+/// Opens a trace span on a [`Telemetry`] handle:
+/// `span!(tel, "attack.stage", round = r, segment = s)`.
+///
+/// Field keys are identifiers; values are anything `Into<FieldValue>`
+/// (integers, floats, bools, strings). Returns a [`SpanGuard`].
+#[macro_export]
+macro_rules! span {
+    ($tel:expr, $name:expr $(,)?) => {
+        $tel.span($name)
+    };
+    ($tel:expr, $name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $tel.span_with(
+            $name,
+            vec![$((stringify!($key), $crate::FieldValue::from($value))),+],
+        )
+    };
+}
+
+/// The publishing interface components depend on, so simulation crates can
+/// stay generic over "something that records" without naming [`Telemetry`].
+/// Implemented by [`Telemetry`] (records) and [`NullRecorder`] (discards).
+pub trait Recorder {
+    /// Adds `delta` to a named counter.
+    fn counter_add(&self, name: &str, delta: u64);
+    /// Sets a named gauge.
+    fn gauge_set(&self, name: &str, value: f64);
+    /// Records a histogram sample.
+    fn record_value(&self, name: &str, value: u64);
+    /// Advances the simulated clock.
+    fn advance_time_ns(&self, delta_ns: u64);
+    /// Reads the simulated clock.
+    fn now_ns(&self) -> u64;
+}
+
+impl Recorder for Telemetry {
+    fn counter_add(&self, name: &str, delta: u64) {
+        Telemetry::counter_add(self, name, delta);
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        Telemetry::gauge_set(self, name, value);
+    }
+
+    fn record_value(&self, name: &str, value: u64) {
+        Telemetry::record_value(self, name, value);
+    }
+
+    fn advance_time_ns(&self, delta_ns: u64) {
+        Telemetry::advance_time_ns(self, delta_ns);
+    }
+
+    fn now_ns(&self) -> u64 {
+        Telemetry::now_ns(self)
+    }
+}
+
+/// A [`Recorder`] that discards everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn counter_add(&self, _name: &str, _delta: u64) {}
+
+    fn gauge_set(&self, _name: &str, _value: f64) {}
+
+    fn record_value(&self, _name: &str, _value: u64) {}
+
+    fn advance_time_ns(&self, _delta_ns: u64) {}
+
+    fn now_ns(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_register() {
+        let tel = Telemetry::new();
+        tel.counter_add("cache.l1.hits", 5);
+        tel.counter_inc("cache.l1.hits");
+        tel.gauge_set("attack.entropy_bits", 17.5);
+        tel.record_value("probe.latency", 80);
+        tel.record_value("probe.latency", 200);
+
+        assert_eq!(tel.counter("cache.l1.hits"), 6);
+        assert_eq!(tel.gauge("attack.entropy_bits"), Some(17.5));
+        let snap = tel.snapshot();
+        let h = snap.histogram("probe.latency").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(80));
+        assert_eq!(h.max(), Some(200));
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let tel = Telemetry::new();
+        let other = tel.clone();
+        other.counter_inc("shared");
+        assert_eq!(tel.counter("shared"), 1);
+    }
+
+    #[test]
+    fn spans_nest_and_order() {
+        let tel = Telemetry::new();
+        tel.set_time_ns(100);
+        let outer = span!(tel, "attack", stage = 1u64);
+        tel.advance_time_ns(50);
+        {
+            let _inner = span!(tel, "attack.round", round = 3u64, forced = true);
+            tel.advance_time_ns(25);
+        }
+        tel.advance_time_ns(25);
+        drop(outer);
+
+        let snap = tel.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let outer = &snap.spans[0];
+        let inner = &snap.spans[1];
+        assert_eq!(outer.name, "attack");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(outer.parent, None);
+        assert_eq!((outer.start_ns, outer.end_ns), (100, Some(200)));
+        assert_eq!(inner.name, "attack.round");
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!((inner.start_ns, inner.end_ns), (150, Some(175)));
+        assert_eq!(
+            inner.fields,
+            vec![
+                ("round".to_string(), FieldValue::U64(3)),
+                ("forced".to_string(), FieldValue::Bool(true)),
+            ]
+        );
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let tel = Telemetry::new();
+        let root = tel.span("root");
+        let a_id = {
+            let a = tel.span("a");
+            a.id().unwrap()
+        };
+        let b = tel.span("b");
+        let b_id = b.id().unwrap();
+        drop(b);
+        drop(root);
+        let snap = tel.snapshot();
+        assert_eq!(snap.spans[a_id].parent, Some(0));
+        assert_eq!(snap.spans[b_id].parent, Some(0));
+        assert_eq!(snap.spans[b_id].depth, 1);
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tel = Telemetry::disabled();
+        tel.counter_add("x", 10);
+        tel.gauge_set("y", 1.0);
+        tel.record_value("z", 5);
+        tel.advance_time_ns(100);
+        let _span = span!(tel, "dead", k = 1u64);
+        drop(_span);
+        assert!(!tel.is_enabled());
+        assert_eq!(tel.now_ns(), 0);
+        assert_eq!(tel.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn null_recorder_is_a_recorder() {
+        fn exercise(r: &dyn Recorder) {
+            r.counter_add("a", 1);
+            r.gauge_set("b", 2.0);
+            r.record_value("c", 3);
+            r.advance_time_ns(4);
+            let _ = r.now_ns();
+        }
+        exercise(&NullRecorder);
+        let tel = Telemetry::new();
+        exercise(&tel);
+        assert_eq!(tel.counter("a"), 1);
+        assert_eq!(tel.now_ns(), 4);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_registries() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        a.counter_add("n", 1);
+        b.counter_add("n", 2);
+        b.counter_add("only_b", 7);
+        a.record_value("h", 10);
+        b.record_value("h", 1000);
+        let _s = b.span("remote");
+        drop(_s);
+        b.advance_time_ns(99);
+
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counter("n"), 3);
+        assert_eq!(snap.counter("only_b"), 7);
+        assert_eq!(snap.histogram("h").unwrap().count(), 2);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.sim_time_ns, 99);
+    }
+}

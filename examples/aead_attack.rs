@@ -26,7 +26,11 @@ fn main() {
     // The victim seals a message the attacker would like to read.
     let nonce = 0x0102_0304_0506_0708_090a_0b0c_0d0e_0f10u128;
     let (ciphertext, tag) = aead.seal(nonce, b"session-42", b"launch code: 0000");
-    println!("victim sealed {} bytes, tag {:016x}", ciphertext.len(), tag.0);
+    println!(
+        "victim sealed {} bytes, tag {:016x}",
+        ciphertext.len(),
+        tag.0
+    );
 
     // The cache side channel: each seal's first internal call is
     // E_K(nonce). The oracle models exactly that call's S-box traffic (the
@@ -35,7 +39,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xaead);
     let outcome = recover_full_key_128(&mut oracle, 1_000_000, &mut rng);
 
-    let key = outcome.key.expect("recovery should succeed in the ideal setting");
+    let key = outcome
+        .key
+        .expect("recovery should succeed in the ideal setting");
     println!(
         "key recovered from {} crafted nonce encryptions: {key}",
         outcome.encryptions

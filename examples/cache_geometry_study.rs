@@ -51,7 +51,10 @@ fn main() {
             ..ObservationConfig::ideal()
         };
         let (ok, n) = first_round_effort(obs, 0x200);
-        println!("  {name}: {} ({n} encryptions)", if ok { "ok" } else { "failed" });
+        println!(
+            "  {name}: {} ({n} encryptions)",
+            if ok { "ok" } else { "failed" }
+        );
     }
 
     println!("\nreplacement policy (1 word/line):");
@@ -63,7 +66,10 @@ fn main() {
         let mut obs = ObservationConfig::ideal();
         obs.cache.replacement = policy;
         let (ok, n) = first_round_effort(obs, 0x300);
-        println!("  {name}: {} ({n} encryptions)", if ok { "ok" } else { "failed" });
+        println!(
+            "  {name}: {} ({n} encryptions)",
+            if ok { "ok" } else { "failed" }
+        );
     }
 
     println!("\nWider lines blur the observed index and raise the effort (Table I).");

@@ -18,7 +18,10 @@ fn main() {
     let reference = Gift64::new(key);
     let mut trace = RecordingObserver::new();
     let pt = 0xdead_beef_0bad_f00d;
-    assert_eq!(protected.encrypt_with(pt, &mut trace), reference.encrypt(pt));
+    assert_eq!(
+        protected.encrypt_with(pt, &mut trace),
+        reference.encrypt(pt)
+    );
     // ... but its whole table lives in 8 bytes = one cache line.
     let mut addrs = trace.sbox_addrs();
     addrs.sort_unstable();
@@ -41,7 +44,10 @@ fn main() {
     // Full ablation: attack each configuration.
     println!("\nrunning the four-stage attack against each configuration ...\n");
     let rows = run(&AblationConfig::default());
-    println!("{:>22} {:>14} {:>14}", "protection", "key recovered", "encryptions");
+    println!(
+        "{:>22} {:>14} {:>14}",
+        "protection", "key recovered", "encryptions"
+    );
     for row in rows {
         println!(
             "{:>22} {:>14} {:>14}",

@@ -19,7 +19,10 @@ fn main() {
 
     for (kind, label) in [
         (PlatformKind::MpSoc, "MPSoC (7 cores, 3x3 mesh NoC)"),
-        (PlatformKind::SingleSoc, "single-processor SoC (RTOS, 10 ms quantum)"),
+        (
+            PlatformKind::SingleSoc,
+            "single-processor SoC (RTOS, 10 ms quantum)",
+        ),
     ] {
         println!("== {label} ==");
         for freq in [10_000_000u64, 25_000_000, 50_000_000] {

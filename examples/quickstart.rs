@@ -3,10 +3,16 @@
 //! ```text
 //! cargo run -p grinch --release --example quickstart
 //! ```
+//!
+//! The run is fully instrumented: a JSONL trace (counters, gauges,
+//! histograms, nested attack-stage spans) lands in
+//! `results/quickstart.telemetry.jsonl` and a summary table prints at the
+//! end.
 
 use gift_cipher::{Gift64, Key};
 use grinch::attack::{recover_full_key, AttackConfig};
 use grinch::oracle::{ObservationConfig, VictimOracle};
+use grinch_telemetry::Telemetry;
 
 fn main() {
     // 1. The victim: GIFT-64 with a secret 128-bit key.
@@ -19,8 +25,11 @@ fn main() {
 
     // 2. The attack surface: a lookup-table implementation whose S-box
     //    accesses hit a shared cache, probed with Flush+Reload at the
-    //    paper's ideal moment (probing round 1, with flush).
+    //    paper's ideal moment (probing round 1, with flush). Telemetry
+    //    records every probe, cache event, and stage span.
+    let telemetry = Telemetry::new();
     let mut oracle = VictimOracle::new(secret, ObservationConfig::ideal());
+    oracle.set_telemetry(telemetry.clone());
 
     // 3. GRINCH: four stages, 32 key bits each.
     let outcome = recover_full_key(&mut oracle, &AttackConfig::default());
@@ -40,5 +49,33 @@ fn main() {
             );
         }
         None => println!("attack failed (unexpected in the ideal setting)"),
+    }
+
+    // 4. What the telemetry saw.
+    let snapshot = telemetry.snapshot();
+    println!("\n--- telemetry ---");
+    println!("probes issued: {}", snapshot.counter("attack.probes"));
+    let hits = snapshot.counter("cache.l1.hits");
+    let misses = snapshot.counter("cache.l1.misses");
+    if hits + misses > 0 {
+        println!(
+            "L1 hit rate: {:.1}% ({hits} hits / {misses} misses)",
+            100.0 * hits as f64 / (hits + misses) as f64
+        );
+    }
+    print!("entropy remaining after each stage:");
+    for stage in 1..=4 {
+        if let Some(bits) = snapshot.gauge(&format!("attack.entropy_bits.stage{stage}")) {
+            print!(" {bits:.0}");
+        }
+    }
+    println!(" bits");
+    println!("\n{}", telemetry.summary());
+
+    let dir = std::path::Path::new("results");
+    let path = dir.join("quickstart.telemetry.jsonl");
+    match std::fs::create_dir_all(dir).and_then(|()| telemetry.write_jsonl(&path)) {
+        Ok(()) => println!("telemetry trace: {}", path.display()),
+        Err(e) => eprintln!("telemetry: write to {} failed: {e}", path.display()),
     }
 }
