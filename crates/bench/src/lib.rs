@@ -19,24 +19,53 @@ pub fn bench_telemetry() -> grinch_telemetry::Telemetry {
     }
 }
 
-/// Writes `telemetry`'s snapshot to `results/<name>.telemetry.jsonl` — one
-/// metric or span per line — and prints where the trace went. A disabled
-/// handle is a no-op; I/O errors are reported to stderr, not fatal, so a
-/// read-only checkout still prints its tables.
+/// Writes `telemetry`'s snapshot to `<results>/<name>.telemetry.jsonl` —
+/// one metric or span per line — plus the distilled `BENCH_<name>.json`
+/// report the regression gate consumes, and prints where both went.
+///
+/// The results directory comes from [`grinch_obs::paths::results_dir`]
+/// (workspace-rooted, `GRINCH_RESULTS_DIR` to override), so every bench
+/// binary lands its artifacts in the same place no matter which directory
+/// it was launched from. A disabled handle is a no-op; I/O errors are
+/// reported to stderr, not fatal, so a read-only checkout still prints its
+/// tables.
 pub fn emit_telemetry_report(telemetry: &grinch_telemetry::Telemetry, name: &str) {
     if !telemetry.is_enabled() {
         return;
     }
-    let dir = std::path::Path::new("results");
-    if let Err(e) = std::fs::create_dir_all(dir) {
+    let dir = grinch_obs::paths::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("telemetry: cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{name}.telemetry.jsonl"));
     match telemetry.write_jsonl(&path) {
         Ok(()) => println!("\ntelemetry trace: {}", path.display()),
-        Err(e) => eprintln!("telemetry: write to {} failed: {e}", path.display()),
+        Err(e) => {
+            eprintln!("telemetry: write to {} failed: {e}", path.display());
+            return;
+        }
     }
+    let report =
+        grinch_obs::BenchReport::from_snapshot(&name_sanitized(name), &telemetry.snapshot());
+    let report_path = dir.join(format!("BENCH_{}.json", name_sanitized(name)));
+    match std::fs::write(&report_path, report.to_json()) {
+        Ok(()) => println!("bench report:    {}", report_path.display()),
+        Err(e) => eprintln!("telemetry: write to {} failed: {e}", report_path.display()),
+    }
+}
+
+/// Bench names come from the binaries' own constants; keep them path-safe.
+fn name_sanitized(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 /// Formats an encryption-count cell the way the paper prints it: plain
@@ -74,6 +103,19 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_names_stay_path_safe() {
+        assert_eq!(name_sanitized("table2"), "table2");
+        assert_eq!(name_sanitized("present_compare"), "present_compare");
+        assert_eq!(name_sanitized("weird/..name"), "weird___name");
+    }
+
+    #[test]
+    fn disabled_telemetry_emits_nothing() {
+        // Must not create a results directory or crash.
+        emit_telemetry_report(&grinch_telemetry::Telemetry::disabled(), "unit-noop");
+    }
 
     #[test]
     fn thousands_grouping() {

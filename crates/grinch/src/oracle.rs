@@ -128,6 +128,17 @@ impl ObservationConfig {
         (addr / lb) * lb
     }
 
+    /// Index of a monitored line within [`ObservationConfig::probe_line_addrs`]
+    /// (0 = the line holding S-box entry 0). `None` for addresses outside
+    /// the monitored range.
+    pub fn line_index_of_addr(&self, addr: u64) -> Option<usize> {
+        let lb = self.cache.line_bytes as u64;
+        let first = self.layout.sbox_base / lb;
+        let line = addr / lb;
+        let count = ((self.layout.sbox_base + self.sbox_span_bytes() - 1) / lb) + 1 - first;
+        (line >= first && line - first < count).then(|| (line - first) as usize)
+    }
+
     fn sbox_span_bytes(&self) -> u64 {
         match self.variant {
             VictimVariant::WideLine => 8,
@@ -190,6 +201,45 @@ pub struct VictimOracle {
     /// monitored set.
     prime_groups: Vec<(u64, Vec<u64>)>,
     telemetry: grinch_telemetry::Telemetry,
+    /// Per-stage metric names, rendered once per stage so the
+    /// per-observation hot path never formats strings.
+    stage_metrics: std::collections::BTreeMap<usize, StageMetricNames>,
+}
+
+/// Pre-rendered counter names for one stage's observability feed: the
+/// per-line probe-hit counters (`attack.stage<r>.line_hits.l<idx>.s<set>`)
+/// the leakage heatmap is built from, plus per-stage probe/encryption
+/// totals.
+struct StageMetricNames {
+    probes: String,
+    probe_hits: String,
+    encryptions: String,
+    /// Indexed by monitored-line index (see
+    /// [`ObservationConfig::line_index_of_addr`]); the name carries both
+    /// the line index and the cache set it maps to.
+    line_hits: Vec<String>,
+}
+
+impl StageMetricNames {
+    fn new(config: &ObservationConfig, stage_round: usize) -> Self {
+        let line_hits = config
+            .probe_line_addrs()
+            .iter()
+            .map(|&addr| {
+                format!(
+                    "attack.stage{stage_round}.line_hits.l{:02}.s{:03}",
+                    config.line_index_of_addr(addr).expect("monitored line"),
+                    config.cache.set_of(addr)
+                )
+            })
+            .collect();
+        Self {
+            probes: format!("attack.stage{stage_round}.probes"),
+            probe_hits: format!("attack.stage{stage_round}.probe_hits"),
+            encryptions: format!("attack.stage{stage_round}.encryptions"),
+            line_hits,
+        }
+    }
 }
 
 impl VictimOracle {
@@ -226,6 +276,7 @@ impl VictimOracle {
             encryptions: 0,
             prime_groups,
             telemetry: grinch_telemetry::Telemetry::disabled(),
+            stage_metrics: std::collections::BTreeMap::new(),
         }
     }
 
@@ -363,10 +414,26 @@ impl VictimOracle {
             }
         };
         if self.telemetry.is_enabled() {
-            self.telemetry
-                .counter_add("attack.probes", self.config.probe_line_addrs().len() as u64);
+            let probes = self.config.probe_line_addrs().len() as u64;
+            self.telemetry.counter_add("attack.probes", probes);
             self.telemetry
                 .counter_add("attack.probe_hits", observed.len() as u64);
+            // Per-stage feed for the leakage profiler (`grinch-obs`):
+            // which monitored lines lit up, keyed by line index and set.
+            let telemetry = self.telemetry.clone();
+            let config = &self.config;
+            let names = self
+                .stage_metrics
+                .entry(stage_round)
+                .or_insert_with(|| StageMetricNames::new(config, stage_round));
+            telemetry.counter_add(&names.probes, probes);
+            telemetry.counter_add(&names.probe_hits, observed.len() as u64);
+            telemetry.counter_inc(&names.encryptions);
+            for &addr in &observed {
+                if let Some(idx) = self.config.line_index_of_addr(addr) {
+                    telemetry.counter_inc(&names.line_hits[idx]);
+                }
+            }
         }
         observed
     }

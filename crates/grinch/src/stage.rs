@@ -168,6 +168,25 @@ pub fn run_stage<R: Rng + ?Sized>(
     let entropy_gauge = telemetry
         .is_enabled()
         .then(|| format!("attack.entropy_bits.stage{stage_round}"));
+    // Observability feed for `grinch-obs`: joint (forced pattern, observed
+    // line) counts drive the per-stage mutual-information estimate, the
+    // elimination histogram the entropy-vs-probe trajectory. All names are
+    // rendered once, before the campaign loop.
+    let obs_names = telemetry.is_enabled().then(|| {
+        let lines = oracle.config().probe_line_addrs().len();
+        let joint: Vec<Vec<String>> = (0..16)
+            .map(|p| {
+                (0..lines)
+                    .map(|l| format!("attack.stage{stage_round}.joint.p{p:x}.l{l:02}"))
+                    .collect()
+            })
+            .collect();
+        (
+            joint,
+            format!("attack.stage{stage_round}.eliminations"),
+            format!("attack.stage{stage_round}.elimination_encryptions"),
+        )
+    });
     let mut candidates: [CandidateSet; GIFT64_SEGMENTS] =
         core::array::from_fn(|_| CandidateSet::full());
     let mut capped = false;
@@ -212,6 +231,25 @@ pub fn run_stage<R: Rng + ?Sized>(
                     let pt = craft_plaintext(&specs, known_round_keys, rng)
                         .expect("batched targets have disjoint sources");
                     let observed = oracle.observe_stage(pt, stage_round);
+                    if let Some((joint, _, _)) = &obs_names {
+                        // Joint (pattern, line) counts: with a leaky victim
+                        // the forced pattern determines the signal line, so
+                        // the profiler's I(pattern; line) comes out high;
+                        // pattern-independent footprints (preload, wide
+                        // lines) drive it towards zero.
+                        for spec in &specs {
+                            let p = spec
+                                .forced
+                                .iter()
+                                .enumerate()
+                                .fold(0usize, |acc, (b, &v)| acc | (usize::from(v) << b));
+                            for &addr in &observed {
+                                if let Some(l) = oracle.config().line_index_of_addr(addr) {
+                                    telemetry.counter_inc(&joint[p][l]);
+                                }
+                            }
+                        }
+                    }
                     let mut progressed = 0;
                     for spec in &specs {
                         progressed += candidates[spec.segment].eliminate(oracle, spec, &observed);
@@ -223,6 +261,11 @@ pub fn run_stage<R: Rng + ?Sized>(
                         if let Some(gauge) = &entropy_gauge {
                             telemetry.counter_add("attack.eliminations", progressed as u64);
                             telemetry.gauge_set(gauge, entropy_bits(&candidates));
+                        }
+                        if let Some((_, eliminations, trajectory)) = &obs_names {
+                            telemetry.counter_add(eliminations, progressed as u64);
+                            telemetry
+                                .record_value(trajectory, oracle.encryptions() - start_encryptions);
                         }
                     }
                     if batch.iter().any(|&s| candidates[s].is_empty()) {
@@ -329,6 +372,47 @@ mod tests {
             assert!(keys.contains(&truth));
         }
         assert_eq!(result.enumerate_round_keys(0), None);
+    }
+
+    #[test]
+    fn stage_publishes_per_line_and_joint_observability_counters() {
+        let tel = grinch_telemetry::Telemetry::new();
+        let mut oracle = VictimOracle::new(key(), ObservationConfig::ideal());
+        oracle.set_telemetry(tel.clone());
+        let mut rng = StdRng::seed_from_u64(6);
+        let result = run_stage(&mut oracle, &[], 1, &StageConfig::new(), &mut rng);
+        assert!(result.is_resolved());
+
+        let snap = tel.snapshot();
+        // Per-line probe-hit counters cover the stage and sum to the
+        // stage's probe hits.
+        let line_hits: u64 = snap
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("attack.stage1.line_hits."))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(line_hits, snap.counter("attack.stage1.probe_hits"));
+        assert!(line_hits > 0);
+        // Joint (pattern, line) counters exist and stay within bounds.
+        let joint: u64 = snap
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("attack.stage1.joint."))
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(joint > 0, "joint counters must be populated");
+        // Per-stage totals mirror the stage result.
+        assert_eq!(
+            snap.counter("attack.stage1.encryptions"),
+            result.encryptions
+        );
+        assert_eq!(snap.counter("attack.stage1.eliminations"), 48);
+        let trajectory = snap
+            .histogram("attack.stage1.elimination_encryptions")
+            .expect("trajectory histogram");
+        assert!(trajectory.count() > 0);
+        assert!(trajectory.max().unwrap() <= result.encryptions);
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! `grinch-report` — the workspace's trace-analysis CLI.
+//!
+//! ```text
+//! grinch-report trace <trace.jsonl> [--chrome OUT.json]
+//! grinch-report heatmap <trace.jsonl> [--svg OUT.svg]
+//! grinch-report leakage <trace.jsonl>
+//! grinch-report dashboard <trace.jsonl>
+//! grinch-report bench [--results DIR] [--baselines DIR] [--check]
+//!                     [--write-baselines] [--tolerance FRACTION]
+//! ```
+//!
+//! Exit codes: `0` success (including baseline bootstrap), `1` regression
+//! gate failure, `2` usage or I/O error. Argument parsing is hand-rolled —
+//! the build environment is offline and the surface is five subcommands.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use grinch_obs::bench::check_or_bootstrap;
+use grinch_obs::{chrome_trace_json, dashboard, leakage, paths, BenchReport, GateOutcome, Heatmap};
+use grinch_telemetry::Snapshot;
+
+const USAGE: &str = "\
+grinch-report: analyse GRINCH telemetry traces
+
+usage:
+  grinch-report trace <trace.jsonl> [--chrome OUT.json]
+      summarise a trace; --chrome exports Chrome Trace Event Format
+      (load the file in chrome://tracing or https://ui.perfetto.dev)
+  grinch-report heatmap <trace.jsonl> [--svg OUT.svg]
+      per-stage / per-line probe-hit heatmap (ASCII; --svg writes SVG)
+  grinch-report leakage <trace.jsonl>
+      per-stage mutual information I(forced pattern; observed line)
+  grinch-report dashboard <trace.jsonl>
+      attack-progress report: budgets, entropy trajectory, hit rates
+  grinch-report bench [--results DIR] [--baselines DIR] [--check]
+                      [--write-baselines] [--tolerance FRACTION]
+      aggregate every results/*.telemetry.jsonl into BENCH_<name>.json
+      and gate against bench/baselines/ (default tolerance 0.05 = 5%)
+
+environment:
+  GRINCH_RESULTS_DIR / GRINCH_BASELINES_DIR override the default
+  workspace-rooted locations.
+";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("grinch-report: {message}");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Snapshot, String> {
+    Snapshot::from_jsonl_file(path).map_err(|e| format!("cannot read trace: {e}"))
+}
+
+/// Pulls the value following a `--flag` out of `args`, if present.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn reject_leftover(args: &[String]) -> Result<(), String> {
+    match args.first() {
+        Some(unknown) => Err(format!("unexpected argument {unknown:?}")),
+        None => Ok(()),
+    }
+}
+
+fn cmd_trace(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let chrome_out = take_value(&mut args, "--chrome")?;
+    let trace = args.pop().ok_or("trace: missing <trace.jsonl>")?;
+    reject_leftover(&args)?;
+    let snapshot = load(&trace)?;
+    println!(
+        "{trace}: {} spans, {} counters, {} gauges, {} histograms, {:.3} ms simulated",
+        snapshot.spans.len(),
+        snapshot.counters.len(),
+        snapshot.gauges.len(),
+        snapshot.histograms.len(),
+        snapshot.sim_time_ns as f64 / 1e6
+    );
+    if let Some(out) = chrome_out {
+        let doc = chrome_trace_json(&snapshot);
+        std::fs::write(&out, &doc).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote Chrome trace: {out} ({} bytes)", doc.len());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_heatmap(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let svg_out = take_value(&mut args, "--svg")?;
+    let trace = args.pop().ok_or("heatmap: missing <trace.jsonl>")?;
+    reject_leftover(&args)?;
+    let heat = Heatmap::from_snapshot(&load(&trace)?);
+    print!("{}", heat.ascii());
+    if let Some(out) = svg_out {
+        std::fs::write(&out, heat.svg()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote SVG heatmap: {out}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_leakage(args: Vec<String>) -> Result<ExitCode, String> {
+    let [trace] = args.as_slice() else {
+        return Err("leakage: expected exactly one <trace.jsonl>".into());
+    };
+    print!("{}", leakage::leakage_report(&load(trace)?));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_dashboard(args: Vec<String>) -> Result<ExitCode, String> {
+    let [trace] = args.as_slice() else {
+        return Err("dashboard: expected exactly one <trace.jsonl>".into());
+    };
+    print!("{}", dashboard(&load(trace)?));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn telemetry_traces(results: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut traces = Vec::new();
+    let entries = std::fs::read_dir(results)
+        .map_err(|e| format!("cannot read results dir {}: {e}", results.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let Some(file) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(stem) = file.strip_suffix(".telemetry.jsonl") {
+            traces.push((stem.to_string(), path.clone()));
+        }
+    }
+    traces.sort();
+    Ok(traces)
+}
+
+fn cmd_bench(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let results =
+        take_value(&mut args, "--results")?.map_or_else(paths::results_dir, PathBuf::from);
+    let baselines =
+        take_value(&mut args, "--baselines")?.map_or_else(paths::baselines_dir, PathBuf::from);
+    let tolerance = match take_value(&mut args, "--tolerance")? {
+        Some(raw) => raw
+            .parse::<f64>()
+            .ok()
+            .filter(|t| (0.0..1.0).contains(t))
+            .ok_or(format!(
+                "--tolerance must be a fraction in [0, 1), got {raw:?}"
+            ))?,
+        None => 0.05,
+    };
+    let check = take_switch(&mut args, "--check");
+    let write_baselines = take_switch(&mut args, "--write-baselines");
+    reject_leftover(&args)?;
+
+    let traces = telemetry_traces(&results)?;
+    if traces.is_empty() {
+        return Err(format!(
+            "no *.telemetry.jsonl traces in {} — run the bench binaries first \
+             (e.g. cargo run --release -p grinch-bench --bin quickstart)",
+            results.display()
+        ));
+    }
+
+    let mut regressions = 0usize;
+    for (name, trace_path) in &traces {
+        let snapshot =
+            Snapshot::from_jsonl_file(trace_path).map_err(|e| format!("cannot read trace: {e}"))?;
+        let report = BenchReport::from_snapshot(name, &snapshot);
+
+        let report_path = results.join(format!("BENCH_{name}.json"));
+        std::fs::write(&report_path, report.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", report_path.display()))?;
+
+        let baseline_path = baselines.join(format!("BENCH_{name}.json"));
+        if write_baselines {
+            if let Some(parent) = baseline_path.parent() {
+                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+            }
+            std::fs::write(&baseline_path, report.to_json())
+                .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+            println!(
+                "{name}: baseline refreshed ({} metrics)",
+                report.metrics.len()
+            );
+            continue;
+        }
+
+        match check_or_bootstrap(&report, &baseline_path, tolerance)
+            .map_err(|e| format!("{name}: {e}"))?
+        {
+            GateOutcome::Pass { compared } => {
+                println!(
+                    "{name}: PASS ({compared} metrics within {:.0}%)",
+                    tolerance * 100.0
+                );
+            }
+            GateOutcome::Bootstrapped => {
+                println!(
+                    "{name}: baseline bootstrapped at {}",
+                    baseline_path.display()
+                );
+            }
+            GateOutcome::Regressed(failures) => {
+                regressions += 1;
+                println!(
+                    "{name}: REGRESSED ({} metrics outside {:.0}%)",
+                    failures.len(),
+                    tolerance * 100.0
+                );
+                for f in &failures {
+                    println!("  {}", f.describe());
+                }
+            }
+        }
+    }
+
+    if regressions > 0 {
+        if check {
+            eprintln!("grinch-report: {regressions} bench(es) regressed");
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("(informational: pass --check to turn regressions into a failing exit code)");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if argv.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let command = argv.remove(0);
+    let result = match command.as_str() {
+        "trace" => cmd_trace(argv),
+        "heatmap" => cmd_heatmap(argv),
+        "leakage" => cmd_leakage(argv),
+        "dashboard" => cmd_dashboard(argv),
+        "bench" => cmd_bench(argv),
+        other => {
+            return fail(&format!("unknown command {other:?} (try --help)"));
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => fail(&message),
+    }
+}

@@ -1,0 +1,290 @@
+//! Attack-progress dashboard: a plain-text report of a full run.
+//!
+//! Sections, in order:
+//!
+//! 1. header — simulated wall time, total encryptions/probes, whether the
+//!    full key was recovered;
+//! 2. cache hit rates, one row per instrumented cache label
+//!    (`cache.l1.hits` / `.misses` etc.);
+//! 3. the per-stage budget table — encryptions, probes, probe hits,
+//!    eliminations and the stage's final candidate entropy;
+//! 4. the entropy-vs-probe trajectory: each stage's
+//!    `attack.stage<r>.elimination_encryptions` histogram records at which
+//!    within-stage encryption count eliminations happened, rendered as an
+//!    ASCII sparkline of elimination density over the stage's lifetime.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use grinch_telemetry::Snapshot;
+
+/// Counter suffixes that identify a cache-style label (`<label>.hits`).
+const CACHE_SUFFIXES: [&str; 2] = [".hits", ".misses"];
+
+fn stage_numbers(snapshot: &Snapshot) -> Vec<usize> {
+    let mut stages = BTreeSet::new();
+    for (name, _) in &snapshot.counters {
+        if let Some(rest) = name.strip_prefix("attack.stage") {
+            if let Some((digits, _)) = rest.split_once('.') {
+                if let Ok(stage) = digits.parse::<usize>() {
+                    stages.insert(stage);
+                }
+            }
+        }
+    }
+    stages.into_iter().collect()
+}
+
+fn cache_labels(snapshot: &Snapshot) -> Vec<String> {
+    let mut labels = BTreeSet::new();
+    for (name, _) in &snapshot.counters {
+        for suffix in CACHE_SUFFIXES {
+            if let Some(label) = name.strip_suffix(suffix) {
+                if !label.starts_with("attack.") {
+                    labels.insert(label.to_string());
+                }
+            }
+        }
+    }
+    labels.into_iter().collect()
+}
+
+fn sparkline(histogram: &grinch_telemetry::LogHistogram, cols: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let buckets = histogram.nonzero_buckets();
+    let (Some(min), Some(max)) = (histogram.min(), histogram.max()) else {
+        return String::new();
+    };
+    // Project each bucket's lower bound onto `cols` columns spanning
+    // [min, max], accumulating elimination counts per column.
+    let span = (max - min).max(1);
+    let mut columns = vec![0u64; cols.max(1)];
+    for (lo, count) in buckets {
+        let pos = lo.clamp(min, max) - min;
+        let col = ((pos as u128 * (cols as u128 - 1)) / span as u128) as usize;
+        columns[col.min(cols - 1)] += count;
+    }
+    let peak = columns.iter().copied().max().unwrap_or(0).max(1);
+    columns
+        .iter()
+        .map(|&c| {
+            let idx = if c == 0 {
+                0
+            } else {
+                (c * (RAMP.len() as u64 - 1)).div_ceil(peak).clamp(1, 9)
+            };
+            RAMP[idx as usize] as char
+        })
+        .collect()
+}
+
+/// Renders the attack-progress dashboard for a snapshot.
+pub fn dashboard(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== GRINCH attack dashboard ===");
+    let _ = writeln!(
+        out,
+        "simulated time : {:.3} ms",
+        snapshot.sim_time_ns as f64 / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "probes         : {} ({} hits)",
+        snapshot.counter("attack.probes"),
+        snapshot.counter("attack.probe_hits")
+    );
+    let _ = writeln!(
+        out,
+        "eliminations   : {}",
+        snapshot.counter("attack.eliminations")
+    );
+    match snapshot.gauge("attack.key_recovered") {
+        Some(v) => {
+            let _ = writeln!(
+                out,
+                "key recovered  : {}",
+                if v == 1.0 { "yes" } else { "no" }
+            );
+        }
+        None => {
+            let _ = writeln!(out, "key recovered  : (not reported)");
+        }
+    }
+
+    let labels = cache_labels(snapshot);
+    if !labels.is_empty() {
+        let _ = writeln!(out, "\ncache hit rates:");
+        for label in labels {
+            let hits = snapshot.counter(&format!("{label}.hits"));
+            let misses = snapshot.counter(&format!("{label}.misses"));
+            let total = hits + misses;
+            if total == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {label:<24} {hits:>12} hits {misses:>12} misses  {:>6.2}%",
+                hits as f64 / total as f64 * 100.0
+            );
+        }
+    }
+
+    let stages = stage_numbers(snapshot);
+    if !stages.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:>7} {:>12} {:>10} {:>10} {:>12} {:>13}",
+            "stage", "encryptions", "probes", "hits", "eliminations", "entropy bits"
+        );
+        for &stage in &stages {
+            let entropy = snapshot
+                .gauge(&format!("attack.entropy_bits.stage{stage}"))
+                .map_or_else(|| "-".into(), |v| format!("{v:.2}"));
+            let _ = writeln!(
+                out,
+                "{:>7} {:>12} {:>10} {:>10} {:>12} {:>13}",
+                stage,
+                snapshot.counter(&format!("attack.stage{stage}.encryptions")),
+                snapshot.counter(&format!("attack.stage{stage}.probes")),
+                snapshot.counter(&format!("attack.stage{stage}.probe_hits")),
+                snapshot.counter(&format!("attack.stage{stage}.eliminations")),
+                entropy,
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "\nelimination trajectory (x: within-stage encryption count, \
+             shade: eliminations):"
+        );
+        for &stage in &stages {
+            let Some(hist) =
+                snapshot.histogram(&format!("attack.stage{stage}.elimination_encryptions"))
+            else {
+                continue;
+            };
+            if hist.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  stage {stage} [{}] {}..{} enc, {} events",
+                sparkline(hist, 48),
+                hist.min().unwrap_or(0),
+                hist.max().unwrap_or(0),
+                hist.count()
+            );
+        }
+    }
+
+    // Span budget summary: total simulated time per span name.
+    let mut span_totals: Vec<(String, u64, u64)> = Vec::new();
+    for span in &snapshot.spans {
+        let dur = span
+            .end_ns
+            .map(|end| end.saturating_sub(span.start_ns))
+            .unwrap_or(0);
+        match span_totals.iter_mut().find(|(n, _, _)| n == &span.name) {
+            Some((_, total, count)) => {
+                *total += dur;
+                *count += 1;
+            }
+            None => span_totals.push((span.name.clone(), dur, 1)),
+        }
+    }
+    if !span_totals.is_empty() {
+        let _ = writeln!(out, "\nspan budgets (simulated):");
+        for (name, total, count) in &span_totals {
+            let _ = writeln!(
+                out,
+                "  {name:<28} {count:>4} x  {:>12.3} ms total",
+                *total as f64 / 1e6
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grinch_telemetry::Telemetry;
+
+    fn sample() -> Snapshot {
+        let tel = Telemetry::new();
+        tel.set_time_ns(2_000_000);
+        tel.counter_add("attack.probes", 5_000);
+        tel.counter_add("attack.probe_hits", 1_200);
+        tel.counter_add("attack.eliminations", 96);
+        tel.gauge_set("attack.key_recovered", 1.0);
+        tel.counter_add("cache.l1.hits", 900);
+        tel.counter_add("cache.l1.misses", 100);
+        for stage in 1..=2usize {
+            tel.counter_add(&format!("attack.stage{stage}.encryptions"), 150);
+            tel.counter_add(&format!("attack.stage{stage}.probes"), 2_400);
+            tel.counter_add(&format!("attack.stage{stage}.probe_hits"), 600);
+            tel.counter_add(&format!("attack.stage{stage}.eliminations"), 48);
+            tel.gauge_set(&format!("attack.entropy_bits.stage{stage}"), 0.0);
+            for enc in [3u64, 9, 20, 41, 90, 144] {
+                tel.record_value(&format!("attack.stage{stage}.elimination_encryptions"), enc);
+            }
+        }
+        {
+            let _s = tel.span("attack");
+            tel.advance_time_ns(1_000_000);
+        }
+        tel.snapshot()
+    }
+
+    #[test]
+    fn dashboard_reports_every_section() {
+        let text = dashboard(&sample());
+        assert!(text.contains("key recovered  : yes"));
+        assert!(text.contains("cache.l1"));
+        assert!(text.contains("90.00%"), "l1 hit rate:\n{text}");
+        assert!(text.contains("elimination trajectory"));
+        assert!(text.contains("stage 1 ["));
+        assert!(text.contains("span budgets"));
+        assert!(text.contains("attack"));
+        // Both stage rows present with their budgets.
+        for stage_row in text
+            .lines()
+            .filter(|l| l.trim_start().starts_with(['1', '2']))
+        {
+            assert!(stage_row.contains("2400"), "stage row: {stage_row}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_degrades_gracefully() {
+        let text = dashboard(&Snapshot::default());
+        assert!(text.contains("key recovered  : (not reported)"));
+        assert!(!text.contains("cache hit rates"));
+        assert!(!text.contains("elimination trajectory"));
+    }
+
+    #[test]
+    fn sparkline_projects_buckets_onto_columns() {
+        let tel = Telemetry::new();
+        for v in [1u64, 1, 1, 1, 500] {
+            tel.record_value("h", v);
+        }
+        let snap = tel.snapshot();
+        let hist = snap.histogram("h").unwrap();
+        let line = sparkline(hist, 10);
+        assert_eq!(line.len(), 10);
+        assert_eq!(&line[0..1], "@", "dense low bucket is the peak: {line:?}");
+        // The lone high value projects near the right edge (bucket lower
+        // bounds, so not necessarily the final column).
+        let populated: Vec<usize> = line
+            .char_indices()
+            .filter(|&(_, c)| c != ' ')
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(populated.len(), 2, "two populated columns: {line:?}");
+        assert!(
+            *populated.last().unwrap() >= 7,
+            "high value lands right: {line:?}"
+        );
+    }
+}

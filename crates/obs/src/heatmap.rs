@@ -1,0 +1,311 @@
+//! Per-stage / per-line cache heatmaps.
+//!
+//! The instrumented oracle counts every probe hit per monitored S-box line
+//! under `attack.stage<r>.line_hits.l<line>.s<set>`. This module
+//! reconstructs those counters into a stage × line matrix and renders it
+//! as an ASCII grid (for terminals and reports) or a self-contained SVG
+//! (for docs and CI artifacts). Hot lines are where the victim's
+//! key-dependent S-box accesses landed — the attack's observable signal,
+//! made visible.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use grinch_telemetry::Snapshot;
+
+/// Probe hits for one monitored line in one stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeatCell {
+    /// Monitored-line index (0 = the line holding S-box entry 0).
+    pub line: usize,
+    /// Cache set the line maps to.
+    pub set: usize,
+    /// Probe hits observed on this line during the stage.
+    pub hits: u64,
+}
+
+/// One stage's row of the heatmap.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageHeat {
+    /// Stage number (1-based, = attacked round).
+    pub stage: usize,
+    /// Cells, ascending by line index. Lines that were never hit still
+    /// appear with `hits = 0` so rows are rectangular.
+    pub cells: Vec<HeatCell>,
+    /// Total probes the stage issued (`attack.stage<r>.probes`).
+    pub probes: u64,
+    /// Observed encryptions the stage consumed.
+    pub encryptions: u64,
+}
+
+impl StageHeat {
+    /// Largest per-line hit count in the row.
+    pub fn max_hits(&self) -> u64 {
+        self.cells.iter().map(|c| c.hits).max().unwrap_or(0)
+    }
+
+    /// Sum of hits across the row.
+    pub fn total_hits(&self) -> u64 {
+        self.cells.iter().map(|c| c.hits).sum()
+    }
+}
+
+/// A stage × line probe-hit matrix reconstructed from a snapshot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Heatmap {
+    /// Rows, ascending by stage.
+    pub stages: Vec<StageHeat>,
+}
+
+/// Parses `attack.stage<r>.line_hits.l<line>.s<set>` into its components.
+fn parse_line_hits(name: &str) -> Option<(usize, usize, usize)> {
+    let rest = name.strip_prefix("attack.stage")?;
+    let (stage, rest) = rest.split_once(".line_hits.l")?;
+    let (line, set) = rest.split_once(".s")?;
+    Some((stage.parse().ok()?, line.parse().ok()?, set.parse().ok()?))
+}
+
+impl Heatmap {
+    /// Builds the matrix from a snapshot's counters. Returns an empty
+    /// heatmap when the trace carries no per-line instrumentation (traces
+    /// from `soc-sim` scenarios, disabled telemetry, pre-profiler traces).
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let mut rows: BTreeMap<usize, BTreeMap<usize, (usize, u64)>> = BTreeMap::new();
+        for (name, value) in &snapshot.counters {
+            if let Some((stage, line, set)) = parse_line_hits(name) {
+                rows.entry(stage).or_default().insert(line, (set, *value));
+            }
+        }
+        let stages = rows
+            .into_iter()
+            .map(|(stage, lines)| {
+                let width = lines.keys().max().map_or(0, |m| m + 1);
+                let mut cells: Vec<HeatCell> = (0..width)
+                    .map(|line| HeatCell {
+                        line,
+                        set: line, // refined below when the counter names a set
+                        hits: 0,
+                    })
+                    .collect();
+                for (line, (set, hits)) in lines {
+                    cells[line] = HeatCell { line, set, hits };
+                }
+                StageHeat {
+                    stage,
+                    cells,
+                    probes: snapshot.counter(&format!("attack.stage{stage}.probes")),
+                    encryptions: snapshot.counter(&format!("attack.stage{stage}.encryptions")),
+                }
+            })
+            .collect();
+        Self { stages }
+    }
+
+    /// Whether any per-line data was found.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Renders the matrix as an ASCII grid: one row per stage, one column
+    /// per monitored line, shaded by per-row relative intensity.
+    pub fn ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("no per-line probe counters in this trace\n");
+            return out;
+        }
+        let width = self.stages.iter().map(|s| s.cells.len()).max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "probe-hit heatmap (rows: stage, cols: S-box line; '@' = row max)"
+        );
+        let _ = write!(out, "{:>9} ", "");
+        for line in 0..width {
+            let _ = write!(out, "{}", line % 10);
+        }
+        let _ = writeln!(out, "   max-hits total probes");
+        for row in &self.stages {
+            let max = row.max_hits().max(1);
+            let _ = write!(out, "{:>9} ", format!("stage {}", row.stage));
+            for line in 0..width {
+                let hits = row.cells.get(line).map_or(0, |c| c.hits);
+                let shade = if hits == 0 {
+                    0
+                } else {
+                    // Non-zero cells always render visibly (index >= 1).
+                    let idx = (hits * (RAMP.len() as u64 - 1)).div_ceil(max);
+                    idx.clamp(1, RAMP.len() as u64 - 1) as usize
+                };
+                out.push(RAMP[shade] as char);
+            }
+            let _ = writeln!(
+                out,
+                "   {:>8} {:>5} {:>6}",
+                row.max_hits(),
+                row.total_hits(),
+                row.probes
+            );
+        }
+        // The line → set mapping, when any counter carried a set index
+        // that differs from the line index (coarse-line geometries).
+        if self
+            .stages
+            .iter()
+            .flat_map(|s| &s.cells)
+            .any(|c| c.set != c.line)
+        {
+            let _ = writeln!(out, "line -> cache set:");
+            if let Some(row) = self.stages.first() {
+                for c in &row.cells {
+                    let _ = writeln!(out, "  l{:02} -> s{:03}", c.line, c.set);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the matrix as a self-contained SVG document (no external
+    /// fonts, scripts or styles): one shaded rectangle per cell with a
+    /// `<title>` tooltip carrying the exact counts.
+    pub fn svg(&self) -> String {
+        const CELL: usize = 26;
+        const LEFT: usize = 86;
+        const TOP: usize = 48;
+        let width = self.stages.iter().map(|s| s.cells.len()).max().unwrap_or(0);
+        let svg_w = LEFT + width * CELL + 20;
+        let svg_h = TOP + self.stages.len() * CELL + 40;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{svg_w}" height="{svg_h}" viewBox="0 0 {svg_w} {svg_h}">"#
+        );
+        let _ = writeln!(
+            out,
+            r##"<rect width="{svg_w}" height="{svg_h}" fill="#ffffff"/>"##
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{LEFT}" y="20" font-family="monospace" font-size="13">S-box probe-hit heatmap (stage x cache line)</text>"#
+        );
+        for (li, _) in (0..width).enumerate() {
+            let x = LEFT + li * CELL + CELL / 2;
+            let _ = writeln!(
+                out,
+                r#"<text x="{x}" y="{}" font-family="monospace" font-size="10" text-anchor="middle">l{li:02}</text>"#,
+                TOP - 6
+            );
+        }
+        for (ri, row) in self.stages.iter().enumerate() {
+            let y = TOP + ri * CELL;
+            let _ = writeln!(
+                out,
+                r#"<text x="{}" y="{}" font-family="monospace" font-size="11" text-anchor="end">stage {}</text>"#,
+                LEFT - 8,
+                y + CELL / 2 + 4,
+                row.stage
+            );
+            let max = row.max_hits().max(1);
+            for cell in &row.cells {
+                let x = LEFT + cell.line * CELL;
+                let t = cell.hits as f64 / max as f64;
+                // White → deep red ramp.
+                let r = 255.0 - t * (255.0 - 177.0);
+                let g = 255.0 - t * 255.0;
+                let b = 255.0 - t * (255.0 - 38.0);
+                let _ = writeln!(
+                    out,
+                    r##"<rect x="{x}" y="{y}" width="{CELL}" height="{CELL}" fill="rgb({},{},{})" stroke="#cccccc" stroke-width="0.5"><title>stage {} line {:02} (set {:03}): {} hits / {} probes</title></rect>"##,
+                    r as u32,
+                    g as u32,
+                    b as u32,
+                    row.stage,
+                    cell.line,
+                    cell.set,
+                    cell.hits,
+                    row.probes
+                );
+            }
+        }
+        let legend_y = TOP + self.stages.len() * CELL + 24;
+        let _ = writeln!(
+            out,
+            r#"<text x="{LEFT}" y="{legend_y}" font-family="monospace" font-size="10">shade = probe hits relative to the row maximum; hover a cell for exact counts</text>"#
+        );
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_snapshot() -> Snapshot {
+        let tel = grinch_telemetry::Telemetry::new();
+        for (line, hits) in [(0usize, 5u64), (3, 120), (15, 60)] {
+            tel.counter_add(
+                &format!("attack.stage1.line_hits.l{line:02}.s{:03}", line % 64),
+                hits,
+            );
+        }
+        tel.counter_add("attack.stage1.probes", 1600);
+        tel.counter_add("attack.stage1.encryptions", 100);
+        tel.counter_add("attack.stage2.line_hits.l07.s007", 9);
+        tel.snapshot()
+    }
+
+    #[test]
+    fn counters_reconstruct_the_matrix() {
+        let heat = Heatmap::from_snapshot(&synthetic_snapshot());
+        assert_eq!(heat.stages.len(), 2);
+        let s1 = &heat.stages[0];
+        assert_eq!(s1.stage, 1);
+        assert_eq!(s1.cells.len(), 16, "rectangular up to the last line");
+        assert_eq!(s1.cells[3].hits, 120);
+        assert_eq!(s1.cells[1].hits, 0, "unseen lines are zero-filled");
+        assert_eq!(s1.max_hits(), 120);
+        assert_eq!(s1.total_hits(), 185);
+        assert_eq!(s1.probes, 1600);
+        assert_eq!(s1.encryptions, 100);
+        assert_eq!(heat.stages[1].cells.len(), 8);
+    }
+
+    #[test]
+    fn ascii_grid_shades_hot_lines() {
+        let heat = Heatmap::from_snapshot(&synthetic_snapshot());
+        let art = heat.ascii();
+        assert!(art.contains("stage 1"));
+        assert!(art.contains("stage 2"));
+        let row = art.lines().find(|l| l.contains("stage 1")).unwrap();
+        assert!(row.contains('@'), "row max renders as '@': {row}");
+        // Empty traces degrade gracefully.
+        assert!(Heatmap::from_snapshot(&Snapshot::default())
+            .ascii()
+            .contains("no per-line probe counters"));
+    }
+
+    #[test]
+    fn svg_is_self_contained_and_has_one_rect_per_cell() {
+        let heat = Heatmap::from_snapshot(&synthetic_snapshot());
+        let svg = heat.svg();
+        assert!(svg.starts_with("<svg xmlns=\"http://www.w3.org/2000/svg\""));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        let cells: usize = heat.stages.iter().map(|s| s.cells.len()).sum();
+        assert_eq!(svg.matches("<rect x=").count(), cells);
+        assert!(
+            !svg.contains("http://") || svg.contains("xmlns"),
+            "no external refs"
+        );
+        assert!(svg.contains("<title>stage 1 line 03"));
+    }
+
+    #[test]
+    fn malformed_names_are_ignored() {
+        let tel = grinch_telemetry::Telemetry::new();
+        tel.counter_add("attack.stageX.line_hits.l00.s000", 5);
+        tel.counter_add("attack.stage1.line_hits.lXX.s000", 5);
+        tel.counter_add("attack.stage1.line_hits", 5);
+        assert!(Heatmap::from_snapshot(&tel.snapshot()).is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! # grinch-obs
+//!
+//! The consumption side of the GRINCH telemetry contract. `grinch-telemetry`
+//! makes every layer of the workspace *emit* JSONL traces; this crate is
+//! what *reads* them and turns them into actionable observability artifacts:
+//!
+//! * [`chrome`] — a Chrome Trace Event Format exporter, so any run's span
+//!   tree opens in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev);
+//! * [`heatmap`] — per-stage / per-line cache heatmaps (ASCII and
+//!   self-contained SVG) reconstructed from the oracle's
+//!   `attack.stage<r>.line_hits.*` counters;
+//! * [`leakage`] — an empirical mutual-information estimate between
+//!   key-nibble hypotheses (the crafted forced patterns) and observed
+//!   S-box line indices, per attack stage — the quantitative "how much does
+//!   this channel leak" number;
+//! * [`dashboard`] — a text attack-progress report: entropy trajectory,
+//!   per-stage probe / cycle budgets, cache hit rates;
+//! * [`bench`] — the regression gate: aggregates a run's telemetry into a
+//!   schema'd `BENCH_<name>.json` and compares it against committed
+//!   baselines with configurable tolerances;
+//! * [`paths`] — canonical locations (`results/`, `bench/baselines/`) that
+//!   stay correct regardless of the invoking working directory.
+//!
+//! The `grinch-report` binary wires all of this into a CLI:
+//!
+//! ```text
+//! grinch-report trace results/quickstart.telemetry.jsonl --chrome out.json
+//! grinch-report heatmap results/quickstart.telemetry.jsonl --svg heat.svg
+//! grinch-report leakage results/quickstart.telemetry.jsonl
+//! grinch-report dashboard results/quickstart.telemetry.jsonl
+//! grinch-report bench --check
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod chrome;
+pub mod dashboard;
+pub mod heatmap;
+pub mod leakage;
+pub mod paths;
+
+pub use bench::{BenchReport, GateOutcome, MetricDeviation};
+pub use chrome::chrome_trace_json;
+pub use dashboard::dashboard;
+pub use heatmap::Heatmap;
+pub use leakage::{JointCounts, StageLeakage};

@@ -1,0 +1,68 @@
+//! Canonical artifact locations, stable across working directories.
+//!
+//! The bench binaries and `grinch-report` can be launched from the
+//! workspace root, a crate directory, or a CI checkout; artifacts must
+//! land in one place regardless. Resolution order, most explicit first:
+//!
+//! 1. an environment variable (`GRINCH_RESULTS_DIR` / `GRINCH_BASELINES_DIR`);
+//! 2. the compile-time workspace root, when it still exists on disk
+//!    (the normal case for a local checkout);
+//! 3. the path relative to the current directory (fresh relocated
+//!    checkouts, containers built from a copy).
+
+use std::path::PathBuf;
+
+/// The workspace root this crate was compiled from, if it still exists.
+pub fn workspace_root() -> Option<PathBuf> {
+    let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    root.canonicalize().ok().filter(|p| p.is_dir())
+}
+
+fn resolve(env_var: &str, relative: &str) -> PathBuf {
+    if let Ok(dir) = std::env::var(env_var) {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    match workspace_root() {
+        Some(root) => root.join(relative),
+        None => PathBuf::from(relative),
+    }
+}
+
+/// Where telemetry traces and `BENCH_*.json` reports are written
+/// (`results/` at the workspace root; override with `GRINCH_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    resolve("GRINCH_RESULTS_DIR", "results")
+}
+
+/// Where committed bench baselines live (`bench/baselines/` at the
+/// workspace root; override with `GRINCH_BASELINES_DIR`).
+pub fn baselines_dir() -> PathBuf {
+    resolve("GRINCH_BASELINES_DIR", "bench/baselines")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_holds_the_cargo_manifest() {
+        let root = workspace_root().expect("compiled from a live checkout");
+        assert!(root.join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn default_dirs_hang_off_the_workspace_root() {
+        // Do not mutate the environment here: tests in this binary run
+        // concurrently and env vars are process-global.
+        let results = results_dir();
+        let baselines = baselines_dir();
+        if std::env::var("GRINCH_RESULTS_DIR").is_err() {
+            assert!(results.ends_with("results"));
+        }
+        if std::env::var("GRINCH_BASELINES_DIR").is_err() {
+            assert!(baselines.ends_with("bench/baselines"));
+        }
+    }
+}

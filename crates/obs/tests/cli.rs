@@ -1,0 +1,222 @@
+//! End-to-end tests of the `grinch-report` binary: a synthetic telemetry
+//! trace goes in, a loadable Chrome trace and a working regression gate
+//! come out. Exercises the exact flows the CI `report` job runs.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use grinch_telemetry::json::{parse, JsonValue};
+use grinch_telemetry::Telemetry;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_grinch-report")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grinch-report-cli-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .env_remove("GRINCH_RESULTS_DIR")
+        .env_remove("GRINCH_BASELINES_DIR")
+        .output()
+        .expect("grinch-report runs")
+}
+
+/// A miniature attack trace with every record type the report consumes.
+fn write_trace(path: &Path) {
+    let tel = Telemetry::new();
+    tel.set_time_ns(0);
+    {
+        let _attack = tel.span("attack");
+        {
+            let _stage = tel.span("attack.stage");
+            tel.advance_time_ns(40_000);
+        }
+        tel.counter_add("attack.probes", 640);
+        tel.counter_add("attack.probe_hits", 80);
+        tel.counter_add("attack.stage1.probes", 640);
+        tel.counter_add("attack.stage1.probe_hits", 80);
+        tel.counter_add("attack.stage1.encryptions", 40);
+        tel.counter_add("attack.stage1.eliminations", 15);
+        tel.gauge_set("attack.entropy_bits.stage1", 0.0);
+        tel.gauge_set("attack.key_recovered", 1.0);
+        for line in 0..4usize {
+            tel.counter_add(
+                &format!("attack.stage1.line_hits.l{line:02}.s{line:03}"),
+                20,
+            );
+            tel.counter_add(&format!("attack.stage1.joint.p{line:x}.l{line:02}"), 20);
+        }
+        tel.record_value("attack.stage1.elimination_encryptions", 12);
+        tel.advance_time_ns(10_000);
+    }
+    std::fs::write(path, tel.to_jsonl()).unwrap();
+}
+
+#[test]
+fn trace_subcommand_exports_loadable_chrome_json() {
+    let dir = scratch("trace");
+    let trace = dir.join("quickstart.telemetry.jsonl");
+    write_trace(&trace);
+    let chrome = dir.join("out.json");
+
+    let out = run(&[
+        "trace",
+        trace.to_str().unwrap(),
+        "--chrome",
+        chrome.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let doc = std::fs::read_to_string(&chrome).unwrap();
+    let value = parse(&doc).expect("chrome export is valid JSON");
+    let events = match value.get("traceEvents") {
+        Some(JsonValue::Arr(events)) => events.clone(),
+        other => panic!("no traceEvents array: {other:?}"),
+    };
+    assert!(events.len() > 4);
+    assert!(events.iter().any(|e| {
+        e.get("ph").and_then(JsonValue::as_str) == Some("X")
+            && e.get("name").and_then(JsonValue::as_str) == Some("attack.stage")
+    }));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analysis_subcommands_read_the_trace() {
+    let dir = scratch("analysis");
+    let trace = dir.join("run.telemetry.jsonl");
+    write_trace(&trace);
+    let trace = trace.to_str().unwrap();
+
+    let heat = run(&["heatmap", trace]);
+    assert!(heat.status.success());
+    assert!(String::from_utf8_lossy(&heat.stdout).contains("stage 1"));
+
+    let leak = run(&["leakage", trace]);
+    assert!(leak.status.success());
+    let leak_text = String::from_utf8_lossy(&leak.stdout).to_string();
+    // Identity (pattern -> line) joint counts: 2 bits over 4 symbols.
+    assert!(leak_text.contains("2.0000"), "leakage output:\n{leak_text}");
+
+    let dash = run(&["dashboard", trace]);
+    assert!(dash.status.success());
+    assert!(String::from_utf8_lossy(&dash.stdout).contains("key recovered  : yes"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_gate_bootstraps_passes_and_catches_regressions() {
+    let results = scratch("bench-results");
+    let baselines = scratch("bench-baselines");
+    write_trace(&results.join("mini.telemetry.jsonl"));
+    let results_arg = results.to_str().unwrap();
+    let baselines_arg = baselines.to_str().unwrap();
+
+    // 1. First run bootstraps the baseline and still exits 0 under --check.
+    let out = run(&[
+        "bench",
+        "--results",
+        results_arg,
+        "--baselines",
+        baselines_arg,
+        "--check",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("bootstrapped"));
+    assert!(baselines.join("BENCH_mini.json").is_file());
+    assert!(
+        results.join("BENCH_mini.json").is_file(),
+        "report also written"
+    );
+
+    // 2. Unchanged trace: PASS, exit 0.
+    let out = run(&[
+        "bench",
+        "--results",
+        results_arg,
+        "--baselines",
+        baselines_arg,
+        "--check",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+
+    // 3. Perturb the baseline beyond tolerance: --check exits nonzero.
+    let baseline_path = baselines.join("BENCH_mini.json");
+    let perturbed = std::fs::read_to_string(&baseline_path)
+        .unwrap()
+        .replace("\"attack.probes\": 640", "\"attack.probes\": 64000");
+    std::fs::write(&baseline_path, perturbed).unwrap();
+    let out = run(&[
+        "bench",
+        "--results",
+        results_arg,
+        "--baselines",
+        baselines_arg,
+        "--check",
+    ]);
+    assert!(
+        !out.status.success(),
+        "perturbed baseline must fail the gate"
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSED"));
+
+    // 4. Same perturbation without --check: informational, exit 0.
+    let out = run(&[
+        "bench",
+        "--results",
+        results_arg,
+        "--baselines",
+        baselines_arg,
+    ]);
+    assert!(out.status.success());
+
+    // 5. --write-baselines repairs the gate.
+    let out = run(&[
+        "bench",
+        "--results",
+        results_arg,
+        "--baselines",
+        baselines_arg,
+        "--write-baselines",
+    ]);
+    assert!(out.status.success());
+    let out = run(&[
+        "bench",
+        "--results",
+        results_arg,
+        "--baselines",
+        baselines_arg,
+        "--check",
+    ]);
+    assert!(out.status.success());
+
+    let _ = std::fs::remove_dir_all(&results);
+    let _ = std::fs::remove_dir_all(&baselines);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["trace", "/nonexistent/trace.jsonl"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}

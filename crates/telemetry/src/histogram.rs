@@ -140,6 +140,43 @@ impl LogHistogram {
         Some(self.max)
     }
 
+    /// Rebuilds a histogram from exported state: the `(lower_bound, count)`
+    /// pairs of [`LogHistogram::nonzero_buckets`] plus the exact `sum`,
+    /// `min` and `max`. Returns `None` if a lower bound is not a valid
+    /// bucket boundary, if min/max are inconsistent with the buckets, or
+    /// if a count is zero. The result is indistinguishable from the
+    /// histogram that produced the export: counts, extremes, mean and
+    /// every percentile re-compute identically.
+    pub fn from_parts(
+        nonzero_buckets: &[(u64, u64)],
+        sum: u128,
+        min: u64,
+        max: u64,
+    ) -> Option<Self> {
+        if nonzero_buckets.is_empty() {
+            return (sum == 0).then(Self::new);
+        }
+        let mut h = Self::new();
+        let (mut first, mut last) = (usize::MAX, 0usize);
+        for &(lo, n) in nonzero_buckets {
+            let idx = bucket_of(lo);
+            if bucket_lo(idx) != lo || n == 0 {
+                return None;
+            }
+            h.buckets[idx] += n;
+            h.count += n;
+            first = first.min(idx);
+            last = last.max(idx);
+        }
+        if bucket_of(min) != first || bucket_of(max) != last || min > max {
+            return None;
+        }
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        Some(h)
+    }
+
     /// Non-empty buckets as `(lower_bound, count)` pairs, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets

@@ -2,7 +2,6 @@
 //! JSONL sink, and a small parser used to round-trip exported lines in
 //! tests and tooling. No external dependencies, no serde.
 
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Escapes `s` into `out` as JSON string contents (no surrounding quotes).
@@ -126,29 +125,41 @@ impl Default for ObjWriter {
     }
 }
 
-/// A parsed JSON value (numbers kept as `f64`; integers within 2^53 are
-/// exact, which covers every field the sinks emit from sane runs).
+/// A parsed JSON value. Integer literals (no `.` or exponent) keep their
+/// exact value in [`JsonValue::Int`] — up to the `i128`/`u128` range the
+/// histogram sums need — so a parsed snapshot re-emits byte-identically;
+/// float literals stay `f64` in [`JsonValue::Num`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum JsonValue {
     /// `null`
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any JSON number.
+    /// A JSON number written as a float (`1.5`, `3.0`, `1e9`).
     Num(f64),
+    /// A JSON number written as an integer literal, kept exact.
+    /// Negative integers use the sign of the `i128`; non-negative values
+    /// up to `u128::MAX` are stored as `i128` when they fit, otherwise in
+    /// the dedicated [`JsonValue::BigUint`] variant.
+    Int(i128),
+    /// A non-negative integer literal beyond `i128::MAX` (the JSONL sink
+    /// emits histogram sums as raw `u128` digits).
+    BigUint(u128),
     /// A string.
     Str(String),
     /// An array.
     Arr(Vec<JsonValue>),
-    /// An object (key order normalised).
-    Obj(BTreeMap<String, JsonValue>),
+    /// An object. Key order is preserved (span fields round-trip through
+    /// a parse → re-emit cycle byte-identically); lookups are linear,
+    /// which is fine for the handful of keys a telemetry record carries.
+    Obj(Vec<(String, JsonValue)>),
 }
 
 impl JsonValue {
     /// Object field lookup; `None` for non-objects or missing keys.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
-            JsonValue::Obj(m) => m.get(key),
+            JsonValue::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -161,10 +172,13 @@ impl JsonValue {
         }
     }
 
-    /// The value as a number, if it is one.
+    /// The value as a number, if it is one (integer literals convert,
+    /// possibly losing precision beyond 2^53).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             JsonValue::Num(n) => Some(*n),
+            JsonValue::Int(n) => Some(*n as f64),
+            JsonValue::BigUint(n) => Some(*n as f64),
             _ => None,
         }
     }
@@ -173,6 +187,29 @@ impl JsonValue {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            JsonValue::Int(n) => u64::try_from(*n).ok(),
+            JsonValue::BigUint(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative 128-bit integer, if it is a whole
+    /// number (exact for integer literals of any magnitude the sinks emit).
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u128),
+            JsonValue::Int(n) => u128::try_from(*n).ok(),
+            JsonValue::BigUint(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if it is a whole number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Num(n) if n.fract() == 0.0 => Some(*n as i64),
+            JsonValue::Int(n) => i64::try_from(*n).ok(),
+            JsonValue::BigUint(n) => i64::try_from(*n).ok(),
             _ => None,
         }
     }
@@ -283,13 +320,26 @@ impl Parser<'_> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {}
+                b'.' | b'e' | b'E' | b'+' | b'-' => is_float = true,
+                _ => break,
+            }
             self.pos += 1;
         }
         let s = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        if !is_float {
+            // Integer literal: keep it exact so `u64` ids and `u128`
+            // histogram sums survive a parse → re-emit round trip.
+            if let Ok(n) = s.parse::<i128>() {
+                return Some(JsonValue::Int(n));
+            }
+            if let Ok(n) = s.parse::<u128>() {
+                return Some(JsonValue::BigUint(n));
+            }
+        }
         s.parse::<f64>().ok().map(JsonValue::Num)
     }
 
@@ -314,7 +364,7 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Option<JsonValue> {
         self.bump()?; // '{'
-        let mut map = BTreeMap::new();
+        let mut map = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
@@ -328,7 +378,7 @@ impl Parser<'_> {
                 return None;
             }
             let val = self.value()?;
-            map.insert(key, val);
+            map.push((key, val));
             self.skip_ws();
             match self.bump()? {
                 b',' => continue,

@@ -43,9 +43,11 @@ use std::rc::Rc;
 
 pub mod histogram;
 pub mod json;
+pub mod read;
 pub mod sink;
 
 pub use histogram::LogHistogram;
+pub use read::{snapshot_from_jsonl, ReadError};
 pub use sink::{snapshot_to_jsonl, summary_string, JsonlSink, NullSink, Sink, SummarySink};
 
 /// A typed span/event field value.
@@ -154,6 +156,26 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// Parses a JSONL export (the output of [`snapshot_to_jsonl`] /
+    /// [`Telemetry::to_jsonl`]) back into a snapshot. The inverse is exact:
+    /// re-emitting the parsed snapshot reproduces the input byte for byte,
+    /// so traces can be read, [merged](Snapshot::merge) and re-exported
+    /// losslessly.
+    pub fn from_jsonl(input: &str) -> Result<Self, ReadError> {
+        snapshot_from_jsonl(input)
+    }
+
+    /// Reads and parses a JSONL trace file (see [`Snapshot::from_jsonl`]).
+    pub fn from_jsonl_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(&path)?;
+        Self::from_jsonl(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.as_ref().display()),
+            )
+        })
+    }
+
     /// Looks up a counter value (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters

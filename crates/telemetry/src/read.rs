@@ -1,0 +1,351 @@
+//! Reading exported telemetry back in: the consumption half of the JSONL
+//! contract. [`snapshot_from_jsonl`] inverts [`crate::snapshot_to_jsonl`]
+//! line by line, reconstructing counters, gauges, histograms (from their
+//! exported buckets and exact extremes) and the span tree, so
+//! emit → parse → merge → re-emit is lossless at the JSONL level.
+
+use crate::histogram::LogHistogram;
+use crate::json::{parse, JsonValue};
+use crate::{FieldValue, Snapshot, SpanRecord};
+
+/// Why a JSONL trace failed to parse. The line number is 1-based.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadError {
+    /// A line was not valid JSON.
+    BadJson {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A line was valid JSON but not a valid telemetry record (missing or
+    /// mistyped field, unknown `type`, malformed histogram buckets …).
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The `meta` header's record counts disagree with the body — the
+    /// trace was truncated or concatenated.
+    MetaMismatch {
+        /// Which record kind disagreed (`"counters"`, `"spans"`, …).
+        kind: &'static str,
+        /// Count announced by the meta line.
+        announced: u64,
+        /// Records actually present.
+        found: u64,
+    },
+    /// The input had no lines at all.
+    Empty,
+}
+
+impl core::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::BadJson { line } => write!(f, "line {line}: invalid JSON"),
+            Self::BadRecord { line, reason } => write!(f, "line {line}: {reason}"),
+            Self::MetaMismatch {
+                kind,
+                announced,
+                found,
+            } => write!(
+                f,
+                "meta line announced {announced} {kind} but the body has {found} \
+                 (truncated or concatenated trace?)"
+            ),
+            Self::Empty => f.write_str("empty input"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+fn bad(line: usize, reason: impl Into<String>) -> ReadError {
+    ReadError::BadRecord {
+        line,
+        reason: reason.into(),
+    }
+}
+
+fn need<'a>(v: &'a JsonValue, key: &str, line: usize) -> Result<&'a JsonValue, ReadError> {
+    v.get(key)
+        .ok_or_else(|| bad(line, format!("missing `{key}`")))
+}
+
+fn need_str(v: &JsonValue, key: &str, line: usize) -> Result<String, ReadError> {
+    need(v, key, line)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| bad(line, format!("`{key}` is not a string")))
+}
+
+fn need_u64(v: &JsonValue, key: &str, line: usize) -> Result<u64, ReadError> {
+    need(v, key, line)?
+        .as_u64()
+        .ok_or_else(|| bad(line, format!("`{key}` is not an unsigned integer")))
+}
+
+fn need_f64(v: &JsonValue, key: &str, line: usize) -> Result<f64, ReadError> {
+    need(v, key, line)?
+        .as_f64()
+        .ok_or_else(|| bad(line, format!("`{key}` is not a number")))
+}
+
+/// `null`-or-`u64` fields (`parent`, `end_ns`).
+fn opt_u64(v: &JsonValue, key: &str, line: usize) -> Result<Option<u64>, ReadError> {
+    match need(v, key, line)? {
+        JsonValue::Null => Ok(None),
+        other => other
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad(line, format!("`{key}` is neither null nor unsigned"))),
+    }
+}
+
+fn field_value(v: &JsonValue) -> Option<FieldValue> {
+    Some(match v {
+        JsonValue::Bool(b) => FieldValue::Bool(*b),
+        JsonValue::Str(s) => FieldValue::Str(s.clone()),
+        JsonValue::Num(n) => FieldValue::F64(*n),
+        // Non-finite floats export as `null`; map them back to NaN so the
+        // re-export writes `null` again.
+        JsonValue::Null => FieldValue::F64(f64::NAN),
+        JsonValue::Int(n) => {
+            if *n >= 0 {
+                FieldValue::U64(u64::try_from(*n).ok()?)
+            } else {
+                FieldValue::I64(i64::try_from(*n).ok()?)
+            }
+        }
+        JsonValue::BigUint(_) | JsonValue::Arr(_) | JsonValue::Obj(_) => return None,
+    })
+}
+
+fn histogram_from_record(v: &JsonValue, line: usize) -> Result<LogHistogram, ReadError> {
+    let count = need_u64(v, "count", line)?;
+    if count == 0 {
+        return Ok(LogHistogram::new());
+    }
+    let sum = need(v, "sum", line)?
+        .as_u128()
+        .ok_or_else(|| bad(line, "`sum` is not an unsigned integer"))?;
+    let min = need_u64(v, "min", line)?;
+    let max = need_u64(v, "max", line)?;
+    let buckets = match need(v, "buckets", line)? {
+        JsonValue::Arr(items) => items
+            .iter()
+            .map(|item| match item {
+                JsonValue::Arr(pair) if pair.len() == 2 => pair[0]
+                    .as_u64()
+                    .zip(pair[1].as_u64())
+                    .ok_or_else(|| bad(line, "bucket entries must be unsigned integers")),
+                _ => Err(bad(line, "each bucket must be a `[lo, count]` pair")),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err(bad(line, "`buckets` is not an array")),
+    };
+    let h = LogHistogram::from_parts(&buckets, sum, min, max)
+        .ok_or_else(|| bad(line, "inconsistent histogram buckets/extremes"))?;
+    if h.count() != count {
+        return Err(bad(
+            line,
+            format!("bucket counts total {} but `count` says {count}", h.count()),
+        ));
+    }
+    Ok(h)
+}
+
+/// Parses a JSONL export (the output of [`crate::snapshot_to_jsonl`]) back
+/// into a [`Snapshot`]. The meta header's record counts are validated
+/// against the body, so truncated traces are rejected rather than silently
+/// read short.
+pub fn snapshot_from_jsonl(input: &str) -> Result<Snapshot, ReadError> {
+    let mut snapshot = Snapshot::default();
+    let mut meta: Option<JsonValue> = None;
+    for (idx, raw) in input.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = parse(raw).ok_or(ReadError::BadJson { line })?;
+        let kind = need_str(&v, "type", line)?;
+        match kind.as_str() {
+            "meta" => {
+                if meta.is_some() {
+                    return Err(bad(line, "second `meta` line (concatenated traces?)"));
+                }
+                snapshot.sim_time_ns = need_u64(&v, "sim_time_ns", line)?;
+                meta = Some(v);
+            }
+            "counter" => {
+                let name = need_str(&v, "name", line)?;
+                let value = need_u64(&v, "value", line)?;
+                snapshot.counters.push((name, value));
+            }
+            "gauge" => {
+                let name = need_str(&v, "name", line)?;
+                let value = need_f64(&v, "value", line)?;
+                snapshot.gauges.push((name, value));
+            }
+            "histogram" => {
+                let name = need_str(&v, "name", line)?;
+                let h = histogram_from_record(&v, line)?;
+                snapshot.histograms.push((name, h));
+            }
+            "span" => {
+                let fields = match need(&v, "fields", line)? {
+                    JsonValue::Obj(map) => map
+                        .iter()
+                        .map(|(k, fv)| {
+                            field_value(fv)
+                                .map(|fv| (k.clone(), fv))
+                                .ok_or_else(|| bad(line, format!("unsupported field `{k}`")))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(bad(line, "`fields` is not an object")),
+                };
+                snapshot.spans.push(SpanRecord {
+                    id: need_u64(&v, "id", line)? as usize,
+                    parent: opt_u64(&v, "parent", line)?.map(|p| p as usize),
+                    depth: need_u64(&v, "depth", line)? as usize,
+                    name: need_str(&v, "name", line)?,
+                    fields,
+                    start_ns: need_u64(&v, "start_ns", line)?,
+                    end_ns: opt_u64(&v, "end_ns", line)?,
+                });
+            }
+            other => return Err(bad(line, format!("unknown record type `{other}`"))),
+        }
+    }
+    let meta = meta.ok_or(ReadError::Empty)?;
+    for (kind, found) in [
+        ("counters", snapshot.counters.len() as u64),
+        ("gauges", snapshot.gauges.len() as u64),
+        ("histograms", snapshot.histograms.len() as u64),
+        ("spans", snapshot.spans.len() as u64),
+    ] {
+        let announced = meta.get(kind).and_then(JsonValue::as_u64).unwrap_or(0);
+        if announced != found {
+            return Err(ReadError::MetaMismatch {
+                kind,
+                announced,
+                found,
+            });
+        }
+    }
+    Ok(snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{snapshot_to_jsonl, span, Telemetry};
+
+    fn instrumented_run() -> Telemetry {
+        let tel = Telemetry::new();
+        {
+            let _attack = span!(tel, "attack", key_bits = 128u64, label = "ideal");
+            for round in 0..3u64 {
+                let _stage = span!(tel, "attack.stage", round = round, forced = round == 0);
+                tel.counter_add("attack.probes", 16);
+                tel.record_value("probe.latency_ns", 20 + round * 1000);
+                tel.advance_time_ns(1_000);
+            }
+            tel.gauge_set("attack.entropy_bits", 12.5);
+            tel.gauge_set("attack.key_recovered", 1.0);
+        }
+        tel
+    }
+
+    #[test]
+    fn emit_parse_reemit_is_lossless() {
+        let tel = instrumented_run();
+        let jsonl = tel.to_jsonl();
+        let snapshot = snapshot_from_jsonl(&jsonl).expect("parses");
+        assert_eq!(snapshot_to_jsonl(&snapshot), jsonl);
+        // And the reconstruction is semantically identical, not merely
+        // re-printable: same counters, same percentiles.
+        let original = tel.snapshot();
+        assert_eq!(snapshot.counters, original.counters);
+        assert_eq!(snapshot.gauges, original.gauges);
+        assert_eq!(snapshot.spans, original.spans);
+        let (h, oh) = (
+            snapshot.histogram("probe.latency_ns").unwrap(),
+            original.histogram("probe.latency_ns").unwrap(),
+        );
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), oh.percentile(p));
+        }
+        assert_eq!(h.sum(), oh.sum());
+    }
+
+    #[test]
+    fn emit_parse_merge_reemit_is_lossless() {
+        let a = instrumented_run();
+        let b = instrumented_run();
+        // Merge two parsed traces, re-emit, re-parse: still identical.
+        let mut merged = snapshot_from_jsonl(&a.to_jsonl()).unwrap();
+        merged.merge(&snapshot_from_jsonl(&b.to_jsonl()).unwrap());
+        let reemitted = snapshot_to_jsonl(&merged);
+        let reparsed = snapshot_from_jsonl(&reemitted).unwrap();
+        assert_eq!(snapshot_to_jsonl(&reparsed), reemitted);
+        assert_eq!(reparsed.counter("attack.probes"), 96);
+        assert_eq!(reparsed.spans.len(), 8);
+        assert_eq!(reparsed.histogram("probe.latency_ns").unwrap().count(), 6);
+    }
+
+    #[test]
+    fn disabled_and_empty_snapshots_round_trip() {
+        let tel = Telemetry::disabled();
+        let jsonl = tel.to_jsonl();
+        let snapshot = snapshot_from_jsonl(&jsonl).unwrap();
+        assert_eq!(snapshot, Snapshot::default());
+        assert_eq!(snapshot_to_jsonl(&snapshot), jsonl);
+    }
+
+    #[test]
+    fn truncated_traces_are_rejected() {
+        let tel = instrumented_run();
+        let jsonl = tel.to_jsonl();
+        let truncated: String = jsonl
+            .lines()
+            .take(jsonl.lines().count() - 1)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(matches!(
+            snapshot_from_jsonl(&truncated),
+            Err(ReadError::MetaMismatch { kind: "spans", .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_reports_the_line() {
+        let tel = instrumented_run();
+        let mut jsonl = tel.to_jsonl();
+        jsonl.push_str("not json\n");
+        let line = jsonl.lines().count();
+        assert_eq!(
+            snapshot_from_jsonl(&jsonl),
+            Err(ReadError::BadJson { line })
+        );
+        assert_eq!(snapshot_from_jsonl(""), Err(ReadError::Empty));
+        assert!(matches!(
+            snapshot_from_jsonl(r#"{"type":"mystery"}"#),
+            Err(ReadError::BadRecord { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn huge_histogram_sums_survive_the_round_trip() {
+        let tel = Telemetry::new();
+        // Two samples near u64::MAX: the sum only fits in u128.
+        tel.record_value("big", u64::MAX - 1);
+        tel.record_value("big", u64::MAX - 1);
+        let jsonl = tel.to_jsonl();
+        let snapshot = snapshot_from_jsonl(&jsonl).unwrap();
+        assert_eq!(
+            snapshot.histogram("big").unwrap().sum(),
+            2 * (u128::from(u64::MAX) - 1)
+        );
+        assert_eq!(snapshot_to_jsonl(&snapshot), jsonl);
+    }
+}

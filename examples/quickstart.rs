@@ -72,10 +72,13 @@ fn main() {
     println!(" bits");
     println!("\n{}", telemetry.summary());
 
-    let dir = std::path::Path::new("results");
+    let dir = grinch_obs::paths::results_dir();
     let path = dir.join("quickstart.telemetry.jsonl");
-    match std::fs::create_dir_all(dir).and_then(|()| telemetry.write_jsonl(&path)) {
-        Ok(()) => println!("telemetry trace: {}", path.display()),
+    match std::fs::create_dir_all(&dir).and_then(|()| telemetry.write_jsonl(&path)) {
+        Ok(()) => println!(
+            "telemetry trace: {} (try: grinch-report dashboard {0})",
+            path.display()
+        ),
         Err(e) => eprintln!("telemetry: write to {} failed: {e}", path.display()),
     }
 }
