@@ -1,0 +1,185 @@
+//! `grinch-ct` — the static constant-time analyzer CLI.
+//!
+//! ```text
+//! grinch-ct check <path> [--line-bytes N] [--deny-level leak|line-safe|none]
+//!                        [--json] [--out FILE]
+//! grinch-ct cross-validate <path> --trace <trace.jsonl>
+//!                        [--impl-file FILE] [--line-bytes N]
+//!                        [--mi-threshold BITS] [--json]
+//! ```
+//!
+//! Exit codes: `0` clean / agreement, `1` deny-level violation or
+//! static-vs-empirical disagreement, `2` usage or I/O error. Argument
+//! parsing is hand-rolled — the build environment is offline and the
+//! surface is two subcommands.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use grinch_ct::{analyze_dir, cross_check, DenyLevel};
+use grinch_telemetry::Snapshot;
+
+const USAGE: &str = "\
+grinch-ct: static secret-taint constant-time analysis for GIFT sources
+
+usage:
+  grinch-ct check <path> [--line-bytes N] [--deny-level leak|line-safe|none]
+                         [--json] [--out FILE]
+      analyse every .rs file under <path>; exit 1 if any unsuppressed
+      finding violates the deny level (default: leak). --line-bytes sets
+      the cache-line granularity for severity (default 8: a table that
+      fits in one 8-byte line is `line-safe`). --json prints the stable
+      grinch-ct-report/v1 document; --out also writes it to FILE.
+  grinch-ct cross-validate <path> --trace <trace.jsonl>
+                         [--impl-file FILE] [--line-bytes N]
+                         [--mi-threshold BITS] [--json]
+      join the static verdict for --impl-file (default: table.rs) with
+      the per-stage mutual-information estimate grinch-obs extracts from
+      the trace's attack.stage<r>.joint.* counters; exit 1 on
+      disagreement. Default threshold: 0.01 bits.
+
+suppressions:
+  a `// ct-allow: <reason>` comment on (or directly above) a flagged line
+  suppresses the finding; suppressed findings stay in the report.
+";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("grinch-ct: {message}");
+    ExitCode::from(2)
+}
+
+/// Pulls the value following a `--flag` out of `args`, if present.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn reject_leftover(args: &[String]) -> Result<(), String> {
+    match args.first() {
+        Some(unknown) => Err(format!("unexpected argument {unknown:?}")),
+        None => Ok(()),
+    }
+}
+
+fn line_bytes_arg(args: &mut Vec<String>) -> Result<u64, String> {
+    match take_value(args, "--line-bytes")? {
+        None => Ok(8),
+        Some(v) => v
+            .parse::<u64>()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| format!("--line-bytes: invalid value {v:?}")),
+    }
+}
+
+fn cmd_check(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let line_bytes = line_bytes_arg(&mut args)?;
+    let deny = match take_value(&mut args, "--deny-level")? {
+        None => DenyLevel::Leak,
+        Some(v) => {
+            DenyLevel::parse(&v).ok_or_else(|| format!("--deny-level: unknown level {v:?}"))?
+        }
+    };
+    let json = take_switch(&mut args, "--json");
+    let out = take_value(&mut args, "--out")?;
+    let path = args.pop().ok_or("check: missing <path>")?;
+    reject_leftover(&args)?;
+
+    let report = analyze_dir(Path::new(&path), line_bytes).map_err(|e| e.to_string())?;
+    let rendered = report.to_json();
+    if let Some(out) = &out {
+        std::fs::write(out, &rendered).map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
+    if json {
+        print!("{rendered}");
+    } else {
+        print!("{report}");
+    }
+    let denied = report.denied(deny);
+    if denied > 0 {
+        eprintln!(
+            "grinch-ct: {denied} finding(s) violate deny level ({} unsuppressed total)",
+            report.active().count()
+        );
+        Ok(ExitCode::from(1))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn cmd_cross_validate(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let line_bytes = line_bytes_arg(&mut args)?;
+    let trace = take_value(&mut args, "--trace")?.ok_or("cross-validate: missing --trace")?;
+    let impl_file = take_value(&mut args, "--impl-file")?.unwrap_or_else(|| "table.rs".to_string());
+    let threshold = match take_value(&mut args, "--mi-threshold")? {
+        None => 0.01,
+        Some(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| format!("--mi-threshold: invalid value {v:?}"))?,
+    };
+    let json = take_switch(&mut args, "--json");
+    let path = args.pop().ok_or("cross-validate: missing <path>")?;
+    reject_leftover(&args)?;
+
+    let report = analyze_dir(Path::new(&path), line_bytes).map_err(|e| e.to_string())?;
+    if !report.files.iter().any(|f| f == &impl_file) {
+        return Err(format!(
+            "cross-validate: {impl_file:?} not among analysed files {:?}",
+            report.files
+        ));
+    }
+    let snapshot =
+        Snapshot::from_jsonl_file(&trace).map_err(|e| format!("cannot read trace: {e}"))?;
+    let check = cross_check(&report, &impl_file, &snapshot, threshold);
+    if json {
+        print!("{}", check.to_json());
+    } else {
+        println!("{}", check.verdict());
+    }
+    if check.agrees() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "check" => cmd_check(args),
+        "cross-validate" => cmd_cross_validate(args),
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => fail(&message),
+    }
+}

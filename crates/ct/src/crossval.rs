@@ -1,0 +1,174 @@
+//! Cross-validation of static verdicts against empirical leakage.
+//!
+//! The static analyzer claims which implementations leak; the PR 2 profiler
+//! (`grinch-obs::leakage`) measures mutual information I(pattern; line)
+//! between forced key-nibble patterns and observed S-box cache lines on a
+//! real telemetry trace. The two must agree:
+//!
+//! * static **leak** verdict ⇒ the trace should show MI well above zero
+//!   (the secret-indexed lookup is empirically observable);
+//! * static **clean** (or line-safe at the trace's granularity) ⇒ MI ≈ 0.
+//!
+//! A disagreement in either direction is a bug — in the analyzer, in the
+//! profiler, or in the implementation under test — which is exactly why the
+//! subcommand exists.
+
+use crate::report::{json_string, Report, Severity};
+use grinch_obs::leakage::stage_leakage;
+use grinch_telemetry::Snapshot;
+
+/// Joined static/empirical verdict for one implementation file.
+#[derive(Clone, Debug)]
+pub struct CrossCheck {
+    /// File label the static verdict is for.
+    pub file: String,
+    /// True if the file has at least one unsuppressed `leak`-severity
+    /// finding at the report's granularity.
+    pub static_leak: bool,
+    /// Unsuppressed finding count (any severity).
+    pub static_findings: usize,
+    /// Highest per-stage I(pattern; line) in bits seen in the trace.
+    pub max_mi_bits: f64,
+    /// Number of attack stages with joint counters in the trace.
+    pub stages: usize,
+    /// MI threshold (bits) above which the trace counts as leaking.
+    pub threshold: f64,
+}
+
+impl CrossCheck {
+    /// True if the empirical side saw leakage.
+    pub fn empirical_leak(&self) -> bool {
+        self.max_mi_bits > self.threshold
+    }
+
+    /// True if static and empirical verdicts agree.
+    pub fn agrees(&self) -> bool {
+        self.static_leak == self.empirical_leak()
+    }
+
+    /// One-line human verdict.
+    pub fn verdict(&self) -> String {
+        let s = if self.static_leak { "leak" } else { "clean" };
+        let e = if self.empirical_leak() {
+            "leaks"
+        } else {
+            "no leakage"
+        };
+        let a = if self.agrees() { "AGREE" } else { "DISAGREE" };
+        format!(
+            "{}: static says {s} ({} finding(s)), trace says {e} \
+             (max MI {:.4} bits over {} stage(s), threshold {}) => {a}",
+            self.file, self.static_findings, self.max_mi_bits, self.stages, self.threshold
+        )
+    }
+
+    /// Stable JSON rendering of the joined verdict.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"grinch-ct-crossval/v1\",\n  \"file\": {},\n  \
+             \"static_leak\": {},\n  \"static_findings\": {},\n  \
+             \"max_mi_bits\": {:.6},\n  \"stages\": {},\n  \
+             \"threshold\": {},\n  \"empirical_leak\": {},\n  \"agree\": {}\n}}\n",
+            json_string(&self.file),
+            self.static_leak,
+            self.static_findings,
+            self.max_mi_bits,
+            self.stages,
+            self.threshold,
+            self.empirical_leak(),
+            self.agrees()
+        )
+    }
+}
+
+/// Joins the static report for `impl_file` with the per-stage MI estimates
+/// extracted from `snapshot`'s `attack.stage<r>.joint.*` counters.
+pub fn cross_check(
+    report: &Report,
+    impl_file: &str,
+    snapshot: &Snapshot,
+    threshold: f64,
+) -> CrossCheck {
+    let findings = report.active_for_file(impl_file);
+    let static_leak = findings.iter().any(|f| f.severity == Severity::Leak);
+    let stages = stage_leakage(snapshot);
+    let max_mi_bits = stages.iter().map(|s| s.mi_bits()).fold(0.0f64, f64::max);
+    CrossCheck {
+        file: impl_file.to_string(),
+        static_leak,
+        static_findings: findings.len(),
+        max_mi_bits,
+        stages: stages.len(),
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Finding, FindingKind, Report};
+    use grinch_telemetry::Telemetry;
+
+    fn leaky_report() -> Report {
+        Report::new(
+            vec![Finding {
+                file: "table.rs".to_string(),
+                line: 28,
+                kind: FindingKind::SecretIndex,
+                function: "sbox_lookup".to_string(),
+                table: Some("GIFT_SBOX".to_string()),
+                table_bytes: Some(16),
+                severity: Severity::Leak,
+                provenance: Vec::new(),
+                suppressed: None,
+                detail: "d".to_string(),
+            }],
+            vec!["table.rs".to_string(), "bitwise.rs".to_string()],
+            8,
+        )
+    }
+
+    /// A synthetic trace where the observed line fully determines the
+    /// pattern (maximal MI) or is constant (zero MI).
+    fn trace(leaky: bool) -> Snapshot {
+        let tel = Telemetry::new();
+        for p in 0..4u8 {
+            let line = if leaky { p as usize } else { 0 };
+            tel.counter_add(&format!("attack.stage0.joint.p{p:x}.l{line}"), 32);
+        }
+        tel.snapshot()
+    }
+
+    #[test]
+    fn leaky_static_and_leaky_trace_agree() {
+        let check = cross_check(&leaky_report(), "table.rs", &trace(true), 0.05);
+        assert!(check.static_leak);
+        assert!(check.empirical_leak());
+        assert!(check.agrees());
+        assert!(check.max_mi_bits > 1.9, "4 distinct lines => ~2 bits");
+    }
+
+    #[test]
+    fn clean_static_and_flat_trace_agree() {
+        let check = cross_check(&leaky_report(), "bitwise.rs", &trace(false), 0.05);
+        assert!(!check.static_leak);
+        assert!(!check.empirical_leak());
+        assert!(check.agrees());
+    }
+
+    #[test]
+    fn disagreement_is_reported() {
+        // Static says table.rs leaks, but the trace is flat: disagree.
+        let check = cross_check(&leaky_report(), "table.rs", &trace(false), 0.05);
+        assert!(!check.agrees());
+        assert!(check.verdict().contains("DISAGREE"));
+    }
+
+    #[test]
+    fn json_has_schema_and_agreement() {
+        let check = cross_check(&leaky_report(), "table.rs", &trace(true), 0.05);
+        let json = check.to_json();
+        assert!(json.contains("\"schema\": \"grinch-ct-crossval/v1\""));
+        assert!(json.contains("\"agree\": true"));
+    }
+}

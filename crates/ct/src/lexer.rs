@@ -1,0 +1,594 @@
+//! A lossless-enough Rust tokenizer for the taint analyzer.
+//!
+//! The analyzer does not need a full fidelity lexer — it needs identifiers,
+//! literals, punctuation and delimiters with accurate **line numbers**, plus
+//! the side table of `// ct-allow: <reason>` suppression comments. Doc
+//! comments and attributes-in-comments are trivia and are dropped.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (byte offset within the line).
+    pub col: u32,
+}
+
+/// Token classification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are not distinguished here).
+    Ident(String),
+    /// Lifetime such as `'a` (the leading quote is stripped).
+    Lifetime(String),
+    /// Integer literal, with the parsed value when it fits `u128`.
+    Int(Option<u128>),
+    /// Float literal.
+    Float,
+    /// String or byte-string literal.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Punctuation, longest-match (`<<=`, `..=`, `::`, `->`, …).
+    Punct(&'static str),
+    /// `(`, `[` or `{`.
+    Open(char),
+    /// `)`, `]` or `}`.
+    Close(char),
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the exact punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, TokenKind::Punct(q) if *q == p)
+    }
+
+    /// Whether this token is the identifier/keyword `kw`.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s == kw)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Lifetime(s) => write!(f, "lifetime `'{s}`"),
+            TokenKind::Int(_) => f.write_str("integer literal"),
+            TokenKind::Float => f.write_str("float literal"),
+            TokenKind::Str => f.write_str("string literal"),
+            TokenKind::Char => f.write_str("char literal"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Open(c) => write!(f, "`{c}`"),
+            TokenKind::Close(c) => write!(f, "`{c}`"),
+        }
+    }
+}
+
+/// Lexer output: the token stream plus the suppression-comment side table.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `line -> reason` for every `// ct-allow: <reason>` comment.
+    pub allows: BTreeMap<u32, String>,
+}
+
+/// A lexical error (unterminated literal or comment).
+#[derive(Clone, Debug)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line the error was detected on.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// The marker that starts a suppression comment.
+pub const ALLOW_MARKER: &str = "ct-allow:";
+
+// Multi-character punctuation, longest first so greedy matching is correct.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..", "<", ">", "=", "+", "-", "*", "/", "%",
+    "^", "&", "|", "!", "?", "@", ",", ";", ":", ".", "#", "$", "~",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(b)
+    }
+
+    fn col(&self) -> u32 {
+        (self.pos - self.line_start) as u32 + 1
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenizes `src`, collecting `ct-allow` comments along the way.
+pub fn lex(src: &str) -> Result<Lexed, LexError> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+    };
+    let mut out = Lexed::default();
+
+    'outer: while let Some(b) = cur.peek() {
+        let line = cur.line;
+        let col = cur.col();
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Line comments (incl. doc comments) — capture ct-allow markers.
+        if cur.starts_with("//") {
+            let start = cur.pos;
+            while let Some(c) = cur.peek() {
+                if c == b'\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            let text = &src[start..cur.pos];
+            if let Some(idx) = text.find(ALLOW_MARKER) {
+                let reason = text[idx + ALLOW_MARKER.len()..].trim().to_string();
+                out.allows.insert(line, reason);
+            }
+            continue;
+        }
+        // Block comments, with nesting.
+        if cur.starts_with("/*") {
+            let open_line = cur.line;
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                if cur.starts_with("/*") {
+                    cur.bump();
+                    cur.bump();
+                    depth += 1;
+                } else if cur.starts_with("*/") {
+                    cur.bump();
+                    cur.bump();
+                    depth -= 1;
+                } else if cur.bump().is_none() {
+                    return Err(LexError {
+                        message: "unterminated block comment".into(),
+                        line: open_line,
+                    });
+                }
+            }
+            continue;
+        }
+        // Identifiers, keywords, and prefixed literals (b"..", r"..", br"..").
+        if is_ident_start(b) {
+            let start = cur.pos;
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            let word = &src[start..cur.pos];
+            // String prefixes.
+            if matches!(word, "b" | "r" | "br" | "rb") {
+                match cur.peek() {
+                    Some(b'"') => {
+                        let raw = word.contains('r');
+                        lex_string(&mut cur, raw, 0)?;
+                        out.tokens.push(Token {
+                            kind: TokenKind::Str,
+                            line,
+                            col,
+                        });
+                        continue;
+                    }
+                    Some(b'#') if word.contains('r') => {
+                        let mut hashes = 0usize;
+                        while cur.peek() == Some(b'#') {
+                            cur.bump();
+                            hashes += 1;
+                        }
+                        if cur.peek() == Some(b'"') {
+                            lex_string(&mut cur, true, hashes)?;
+                            out.tokens.push(Token {
+                                kind: TokenKind::Str,
+                                line,
+                                col,
+                            });
+                            continue;
+                        }
+                        // Not actually a raw string — emit what we consumed.
+                        out.tokens.push(Token {
+                            kind: TokenKind::Ident(word.to_string()),
+                            line,
+                            col,
+                        });
+                        for _ in 0..hashes {
+                            out.tokens.push(Token {
+                                kind: TokenKind::Punct("#"),
+                                line,
+                                col,
+                            });
+                        }
+                        continue;
+                    }
+                    Some(b'\'') if word == "b" => {
+                        lex_char(&mut cur)?;
+                        out.tokens.push(Token {
+                            kind: TokenKind::Char,
+                            line,
+                            col,
+                        });
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident(word.to_string()),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Numbers.
+        if b.is_ascii_digit() {
+            let start = cur.pos;
+            let mut is_float = false;
+            if cur.starts_with("0x") || cur.starts_with("0X") {
+                cur.bump();
+                cur.bump();
+                while cur
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_hexdigit() || c == b'_')
+                {
+                    cur.bump();
+                }
+            } else if cur.starts_with("0b") || cur.starts_with("0o") {
+                cur.bump();
+                cur.bump();
+                while cur
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+                {
+                    cur.bump();
+                }
+            } else {
+                while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                    cur.bump();
+                }
+                // Fractional part — but not `1..3` (range) or `1.method()`.
+                if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                    is_float = true;
+                    cur.bump();
+                    while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                        cur.bump();
+                    }
+                }
+                if matches!(cur.peek(), Some(b'e' | b'E'))
+                    && cur
+                        .peek_at(1)
+                        .is_some_and(|c| c.is_ascii_digit() || c == b'+' || c == b'-')
+                {
+                    is_float = true;
+                    cur.bump();
+                    if matches!(cur.peek(), Some(b'+' | b'-')) {
+                        cur.bump();
+                    }
+                    while cur.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        cur.bump();
+                    }
+                }
+            }
+            let digits_end = cur.pos;
+            // Type suffix (`u8`, `usize`, `f64`, …).
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            let kind = if is_float {
+                TokenKind::Float
+            } else {
+                TokenKind::Int(parse_int(&src[start..digits_end]))
+            };
+            out.tokens.push(Token { kind, line, col });
+            continue;
+        }
+        // Strings.
+        if b == b'"' {
+            lex_string(&mut cur, false, 0)?;
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if b == b'\'' {
+            let next = cur.peek_at(1);
+            let after = cur.peek_at(2);
+            let is_lifetime = next.is_some_and(is_ident_start) && after != Some(b'\'');
+            if is_lifetime {
+                cur.bump(); // '
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime(src[start..cur.pos].to_string()),
+                    line,
+                    col,
+                });
+            } else {
+                lex_char(&mut cur)?;
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+        // Delimiters.
+        if matches!(b, b'(' | b'[' | b'{') {
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokenKind::Open(b as char),
+                line,
+                col,
+            });
+            continue;
+        }
+        if matches!(b, b')' | b']' | b'}') {
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokenKind::Close(b as char),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Punctuation, longest match first.
+        for p in PUNCTS {
+            if cur.starts_with(p) {
+                for _ in 0..p.len() {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                    col,
+                });
+                continue 'outer;
+            }
+        }
+        return Err(LexError {
+            message: format!("unexpected byte {:?}", b as char),
+            line,
+        });
+    }
+    Ok(out)
+}
+
+fn parse_int(raw: &str) -> Option<u128> {
+    let clean: String = raw.chars().filter(|&c| c != '_').collect();
+    if let Some(hex) = clean
+        .strip_prefix("0x")
+        .or_else(|| clean.strip_prefix("0X"))
+    {
+        u128::from_str_radix(hex, 16).ok()
+    } else if let Some(bin) = clean.strip_prefix("0b") {
+        u128::from_str_radix(bin, 2).ok()
+    } else if let Some(oct) = clean.strip_prefix("0o") {
+        u128::from_str_radix(oct, 8).ok()
+    } else {
+        clean.parse().ok()
+    }
+}
+
+fn lex_string(cur: &mut Cursor<'_>, raw: bool, hashes: usize) -> Result<(), LexError> {
+    let open_line = cur.line;
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None => {
+                return Err(LexError {
+                    message: "unterminated string literal".into(),
+                    line: open_line,
+                })
+            }
+            Some(b'\\') if !raw => {
+                cur.bump();
+            }
+            Some(b'"') => {
+                if !raw || hashes == 0 {
+                    return Ok(());
+                }
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some(b'#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return Ok(());
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn lex_char(cur: &mut Cursor<'_>) -> Result<(), LexError> {
+    let open_line = cur.line;
+    cur.bump(); // opening quote
+    match cur.bump() {
+        Some(b'\\') => {
+            cur.bump();
+            // \x41 and \u{...} escapes.
+            while cur.peek().is_some() && cur.peek() != Some(b'\'') {
+                cur.bump();
+            }
+        }
+        Some(_) => {}
+        None => {
+            return Err(LexError {
+                message: "unterminated char literal".into(),
+                line: open_line,
+            })
+        }
+    }
+    if cur.bump() != Some(b'\'') {
+        return Err(LexError {
+            message: "unterminated char literal".into(),
+            line: open_line,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .unwrap()
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let k = kinds("let x = 0x1f_u8 << 2;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("let".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("="),
+                TokenKind::Int(Some(0x1f)),
+                TokenKind::Punct("<<"),
+                TokenKind::Int(Some(2)),
+                TokenKind::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let k = kinds("0..16");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Int(Some(0)),
+                TokenKind::Punct(".."),
+                TokenKind::Int(Some(16)),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let k = kinds("&'a str 'x' '\\n'");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Punct("&"),
+                TokenKind::Lifetime("a".into()),
+                TokenKind::Ident("str".into()),
+                TokenKind::Char,
+                TokenKind::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn ct_allow_comments_land_in_side_table() {
+        let lexed = lex("let a = 1;\nlet b = 2; // ct-allow: because reasons\n").unwrap();
+        assert_eq!(
+            lexed.allows.get(&2).map(String::as_str),
+            Some("because reasons")
+        );
+        assert!(!lexed.allows.contains_key(&1));
+    }
+
+    #[test]
+    fn doc_comments_and_strings_are_opaque() {
+        let lexed = lex("/// secret[idx]\nfn f() { \"if x[i] {}\" }").unwrap();
+        let idents: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.ident().map(str::to_string))
+            .collect();
+        assert_eq!(idents, vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n  c").unwrap();
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+        assert_eq!(lexed.tokens[2].col, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert!(lex("/* a /* b */ c */ fn").is_ok());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

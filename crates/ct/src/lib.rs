@@ -1,0 +1,197 @@
+//! # grinch-ct
+//!
+//! A source-level secret-taint constant-time analyzer for the GIFT
+//! implementations in this workspace. It statically decides the property
+//! GRINCH exploits dynamically: *does this implementation's memory or
+//! control-flow shape depend on the key?*
+//!
+//! The pipeline is entirely self-contained (no proc macros, no network
+//! dependencies):
+//!
+//! 1. [`lexer`] — tokenizes Rust source and records `// ct-allow: <reason>`
+//!    suppression comments;
+//! 2. [`ast`] — a lightweight recursive-descent parser producing just enough
+//!    structure for dataflow: functions, consts, structs, expressions;
+//! 3. [`taint`] — module-scoped, field-sensitive taint propagation from
+//!    declared secret sources (`Key`, round keys, cipher state) to three
+//!    sink kinds: secret-dependent indexing, branches, and loop bounds;
+//! 4. [`report`] — severity under a configurable cache-line model (a table
+//!    that fits in one line is `line-safe` to a line-granularity observer),
+//!    deny policies, and stable JSON;
+//! 5. [`crossval`] — joins static verdicts with `grinch-obs` empirical
+//!    mutual-information estimates from a telemetry trace, so the analyzer
+//!    and the profiler check each other.
+//!
+//! ```
+//! let src = "fn f(key: u64) -> u8 { T[(key & 0xf) as usize] }\nconst T: [u8; 16] = [0; 16];";
+//! let report = grinch_ct::analyze_sources(&[("demo.rs".to_string(), src.to_string())], 8)
+//!     .expect("parses");
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].kind, grinch_ct::report::FindingKind::SecretIndex);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod crossval;
+pub mod lexer;
+pub mod report;
+pub mod taint;
+
+pub use crossval::{cross_check, CrossCheck};
+pub use report::{DenyLevel, Finding, FindingKind, Report, Severity};
+pub use taint::{Registry, SecretConfig};
+
+use std::path::Path;
+
+/// An analysis-level error: I/O or parse failure with its file label.
+#[derive(Clone, Debug)]
+pub struct AnalysisError {
+    /// File the error occurred in.
+    pub file: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.file, self.message)
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Analyzes in-memory `(label, source)` pairs with the default secret
+/// configuration and the given cache-line size in bytes.
+pub fn analyze_sources(
+    sources: &[(String, String)],
+    line_bytes: u64,
+) -> Result<Report, AnalysisError> {
+    let config = SecretConfig::default();
+    let mut parsed = Vec::new();
+    for (label, src) in sources {
+        let file = ast::parse_file(src).map_err(|e| AnalysisError {
+            file: label.clone(),
+            message: format!("parse error at line {}: {}", e.line, e.message),
+        })?;
+        parsed.push((label.clone(), file));
+    }
+    let registry = Registry::build(&parsed, &config);
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    for (label, module) in &parsed {
+        findings.extend(taint::analyze_module(label, module, &config, &registry));
+        files.push(label.clone());
+    }
+    Ok(Report::new(findings, files, line_bytes))
+}
+
+/// Analyzes every `.rs` file under `path` (a file or a directory; one level
+/// of recursion into subdirectories). Labels are paths relative to `path`.
+pub fn analyze_dir(path: &Path, line_bytes: u64) -> Result<Report, AnalysisError> {
+    let mut sources = Vec::new();
+    collect_rs_files(path, path, &mut sources)?;
+    sources.sort();
+    let loaded = sources
+        .into_iter()
+        .map(|(label, p)| {
+            std::fs::read_to_string(&p)
+                .map(|src| (label.clone(), src))
+                .map_err(|e| AnalysisError {
+                    file: label,
+                    message: e.to_string(),
+                })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if loaded.is_empty() {
+        return Err(AnalysisError {
+            file: path.display().to_string(),
+            message: "no .rs files found".to_string(),
+        });
+    }
+    analyze_sources(&loaded, line_bytes)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    path: &Path,
+    out: &mut Vec<(String, std::path::PathBuf)>,
+) -> Result<(), AnalysisError> {
+    let meta = std::fs::metadata(path).map_err(|e| AnalysisError {
+        file: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    if meta.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            let label = path
+                .strip_prefix(root)
+                .map(|p| p.display().to_string())
+                .ok()
+                .filter(|l| !l.is_empty())
+                .unwrap_or_else(|| {
+                    path.file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| path.display().to_string())
+                });
+            out.push((label, path.to_path_buf()));
+        }
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(path).map_err(|e| AnalysisError {
+        file: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|e| AnalysisError {
+            file: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let p = entry.path();
+        if p.is_dir() {
+            // One level of nesting covers `src/` and `src/bin/` layouts
+            // without wandering into `target/`.
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            for sub in std::fs::read_dir(&p).into_iter().flatten().flatten() {
+                let sp = sub.path();
+                if sp.is_file() {
+                    collect_rs_files(root, &sp, out)?;
+                }
+            }
+        } else {
+            collect_rs_files(root, &p, out)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_sources_end_to_end() {
+        let sources =
+            vec![
+            (
+                "leaky.rs".to_string(),
+                "const T: [u8; 16] = [0; 16];\nfn f(key: u64) -> u8 { T[(key & 0xf) as usize] }"
+                    .to_string(),
+            ),
+            ("clean.rs".to_string(), "fn g(x: u64) -> u64 { x ^ 1 }".to_string()),
+        ];
+        let report = analyze_sources(&sources, 8).expect("analyzes");
+        assert_eq!(report.files.len(), 2);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].file, "leaky.rs");
+        assert!(report.active_for_file("clean.rs").is_empty());
+    }
+
+    #[test]
+    fn parse_errors_carry_the_file_label() {
+        let sources = vec![("bad.rs".to_string(), "fn f( {".to_string())];
+        let err = analyze_sources(&sources, 8).unwrap_err();
+        assert_eq!(err.file, "bad.rs");
+    }
+}

@@ -1,0 +1,376 @@
+//! Findings, severity under a cache-line model, deny policies, and the
+//! stable JSON report (`grinch-ct-report/v1`).
+//!
+//! Severity is assigned *after* taint analysis because it depends on the
+//! attacker's observation granularity: a secret-indexed table that fits in a
+//! single cache line is invisible to a line-granularity observer (the
+//! paper's wide-line countermeasure), but still leaks to a byte-granularity
+//! one. Branches and loop bounds perturb the instruction stream and timing,
+//! so they are leaks at every granularity.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The three leak classes the analyzer reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FindingKind {
+    /// Secret-dependent array/table index (load or store address).
+    SecretIndex,
+    /// Secret-dependent branch condition (`if`, `match`, guard, assert).
+    SecretBranch,
+    /// Secret-dependent loop trip count (range bound, `while`, `take`/`skip`).
+    SecretLoopBound,
+}
+
+impl FindingKind {
+    /// Stable identifier used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FindingKind::SecretIndex => "secret-index",
+            FindingKind::SecretBranch => "secret-branch",
+            FindingKind::SecretLoopBound => "secret-loop-bound",
+        }
+    }
+}
+
+/// Severity of a finding under the configured cache-line granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The table fits in one cache line: a line-granularity observer learns
+    /// nothing from which entry was read.
+    LineSafe,
+    /// Observable secret-dependent behavior at the configured granularity.
+    Leak,
+}
+
+impl Severity {
+    /// Stable identifier used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::LineSafe => "line-safe",
+            Severity::Leak => "leak",
+        }
+    }
+}
+
+/// One analyzer finding with provenance.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// File label (relative path) the finding is in.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Leak class.
+    pub kind: FindingKind,
+    /// Qualified name of the containing function.
+    pub function: String,
+    /// Const table being indexed, when identified.
+    pub table: Option<String>,
+    /// Total table size in bytes, when the definition was resolvable.
+    pub table_bytes: Option<u64>,
+    /// Severity under the report's cache-line model.
+    pub severity: Severity,
+    /// Human-readable taint chain from a declared secret to this site.
+    pub provenance: Vec<String>,
+    /// `ct-allow` reason if the finding is suppressed.
+    pub suppressed: Option<String>,
+    /// Short description of the leak site.
+    pub detail: String,
+}
+
+/// How strict `grinch-ct check` is about findings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DenyLevel {
+    /// Fail on any unsuppressed `leak`-severity finding (default).
+    Leak,
+    /// Fail on any unsuppressed finding, including `line-safe` ones.
+    LineSafe,
+    /// Never fail; report only.
+    None,
+}
+
+impl DenyLevel {
+    /// Parses a CLI value (`leak` | `line-safe` | `none`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "leak" => Some(DenyLevel::Leak),
+            "line-safe" => Some(DenyLevel::LineSafe),
+            "none" => Some(DenyLevel::None),
+            _ => None,
+        }
+    }
+}
+
+/// A full analysis report over a set of files.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Cache-line size (bytes) used for severity assignment.
+    pub line_bytes: u64,
+    /// All findings, including suppressed ones, in (file, line) order.
+    pub findings: Vec<Finding>,
+    /// Labels of every file analyzed (so "clean" is distinguishable from
+    /// "not analyzed").
+    pub files: Vec<String>,
+}
+
+impl Report {
+    /// Builds a report, assigning each finding's severity under the given
+    /// cache-line size.
+    pub fn new(mut findings: Vec<Finding>, files: Vec<String>, line_bytes: u64) -> Self {
+        for f in &mut findings {
+            f.severity = match (f.kind, f.table_bytes) {
+                (FindingKind::SecretIndex, Some(bytes)) if bytes <= line_bytes => {
+                    Severity::LineSafe
+                }
+                _ => Severity::Leak,
+            };
+        }
+        findings.sort_by(|a, b| {
+            (&a.file, a.line, a.kind, &a.detail).cmp(&(&b.file, b.line, b.kind, &b.detail))
+        });
+        Report {
+            line_bytes,
+            findings,
+            files,
+        }
+    }
+
+    /// Findings that are not suppressed by a `ct-allow` comment.
+    pub fn active(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    /// Number of findings that violate the given deny level.
+    pub fn denied(&self, level: DenyLevel) -> usize {
+        match level {
+            DenyLevel::None => 0,
+            DenyLevel::Leak => self
+                .active()
+                .filter(|f| f.severity == Severity::Leak)
+                .count(),
+            DenyLevel::LineSafe => self.active().count(),
+        }
+    }
+
+    /// Unsuppressed findings for one file label.
+    pub fn active_for_file(&self, file: &str) -> Vec<&Finding> {
+        self.active().filter(|f| f.file == file).collect()
+    }
+
+    /// Stable JSON rendering (schema `grinch-ct-report/v1`). Keys and
+    /// ordering are deterministic so CI diffs are meaningful.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"grinch-ct-report/v1\",\n");
+        out.push_str(&format!("  \"line_bytes\": {},\n", self.line_bytes));
+        out.push_str(&format!(
+            "  \"files\": [{}],\n",
+            self.files
+                .iter()
+                .map(|f| json_string(f))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        let leaks = self
+            .active()
+            .filter(|f| f.severity == Severity::Leak)
+            .count();
+        let line_safe = self
+            .active()
+            .filter(|f| f.severity == Severity::LineSafe)
+            .count();
+        let suppressed = self.findings.len() - self.active().count();
+        out.push_str(&format!(
+            "  \"counts\": {{\"leak\": {leaks}, \"line_safe\": {line_safe}, \"suppressed\": {suppressed}}},\n"
+        ));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"file\": {}, ", json_string(&f.file)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"kind\": {}, ", json_string(f.kind.as_str())));
+            out.push_str(&format!("\"function\": {}, ", json_string(&f.function)));
+            match &f.table {
+                Some(t) => out.push_str(&format!("\"table\": {}, ", json_string(t))),
+                None => out.push_str("\"table\": null, "),
+            }
+            match f.table_bytes {
+                Some(b) => out.push_str(&format!("\"table_bytes\": {b}, ")),
+                None => out.push_str("\"table_bytes\": null, "),
+            }
+            out.push_str(&format!(
+                "\"severity\": {}, ",
+                json_string(f.severity.as_str())
+            ));
+            match &f.suppressed {
+                Some(r) => out.push_str(&format!("\"suppressed\": {}, ", json_string(r))),
+                None => out.push_str("\"suppressed\": null, "),
+            }
+            out.push_str(&format!("\"detail\": {}, ", json_string(&f.detail)));
+            out.push_str(&format!(
+                "\"provenance\": [{}]",
+                f.provenance
+                    .iter()
+                    .map(|p| json_string(p))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "grinch-ct report ({} file(s), {}-byte cache lines)",
+            self.files.len(),
+            self.line_bytes
+        )?;
+        let mut by_file: BTreeMap<&str, Vec<&Finding>> = BTreeMap::new();
+        for file in &self.files {
+            by_file.entry(file).or_default();
+        }
+        for finding in &self.findings {
+            by_file.entry(&finding.file).or_default().push(finding);
+        }
+        for (file, findings) in &by_file {
+            if findings.is_empty() {
+                writeln!(f, "\n{file}: clean")?;
+                continue;
+            }
+            writeln!(f, "\n{file}: {} finding(s)", findings.len())?;
+            for fd in findings {
+                let tag = match &fd.suppressed {
+                    Some(reason) => format!("allowed: {reason}"),
+                    None => fd.severity.as_str().to_string(),
+                };
+                writeln!(
+                    f,
+                    "  {}:{} [{}] [{}] in `{}`: {}",
+                    fd.file,
+                    fd.line,
+                    fd.kind.as_str(),
+                    tag,
+                    fd.function,
+                    fd.detail
+                )?;
+                if let (Some(table), Some(bytes)) = (&fd.table, fd.table_bytes) {
+                    writeln!(f, "      table `{table}` spans {bytes} bytes")?;
+                }
+                for step in &fd.provenance {
+                    writeln!(f, "      via {step}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string for JSON output.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(kind: FindingKind, table_bytes: Option<u64>, suppressed: Option<&str>) -> Finding {
+        Finding {
+            file: "x.rs".to_string(),
+            line: 1,
+            kind,
+            function: "f".to_string(),
+            table: table_bytes.map(|_| "T".to_string()),
+            table_bytes,
+            severity: Severity::Leak,
+            provenance: vec!["secret `key`".to_string()],
+            suppressed: suppressed.map(str::to_string),
+            detail: "d".to_string(),
+        }
+    }
+
+    #[test]
+    fn small_table_is_line_safe_at_wide_lines_only() {
+        let wide = Report::new(
+            vec![finding(FindingKind::SecretIndex, Some(8), None)],
+            vec!["x.rs".to_string()],
+            8,
+        );
+        assert_eq!(wide.findings[0].severity, Severity::LineSafe);
+        let byte = Report::new(
+            vec![finding(FindingKind::SecretIndex, Some(8), None)],
+            vec!["x.rs".to_string()],
+            1,
+        );
+        assert_eq!(byte.findings[0].severity, Severity::Leak);
+    }
+
+    #[test]
+    fn branches_leak_at_every_granularity() {
+        let r = Report::new(
+            vec![finding(FindingKind::SecretBranch, None, None)],
+            vec!["x.rs".to_string()],
+            64,
+        );
+        assert_eq!(r.findings[0].severity, Severity::Leak);
+    }
+
+    #[test]
+    fn deny_levels() {
+        let r = Report::new(
+            vec![
+                finding(FindingKind::SecretIndex, Some(8), None),
+                finding(FindingKind::SecretIndex, Some(16), None),
+                finding(FindingKind::SecretBranch, None, Some("reviewed")),
+            ],
+            vec!["x.rs".to_string()],
+            8,
+        );
+        assert_eq!(r.denied(DenyLevel::None), 0);
+        assert_eq!(r.denied(DenyLevel::Leak), 1); // 16-byte table only
+        assert_eq!(r.denied(DenyLevel::LineSafe), 2); // + line-safe finding
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut f = finding(FindingKind::SecretIndex, Some(16), None);
+        f.detail = "quote \" and\nnewline".to_string();
+        let r = Report::new(vec![f], vec!["x.rs".to_string()], 8);
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"grinch-ct-report/v1\""));
+        assert!(json.contains("\\\" and\\nnewline"));
+        assert_eq!(json, r.to_json(), "rendering must be deterministic");
+    }
+
+    #[test]
+    fn empty_report_renders_clean_files() {
+        let r = Report::new(Vec::new(), vec!["bitwise.rs".to_string()], 8);
+        assert!(r.to_json().contains("\"findings\": []"));
+        assert!(format!("{r}").contains("bitwise.rs: clean"));
+    }
+}

@@ -201,6 +201,7 @@ impl GiftCofb {
         tag: Tag,
     ) -> Result<Vec<u8>, AuthError> {
         let (pt, computed) = self.process(nonce, aad, ciphertext, false);
+        // ct-allow: accept/reject is the protocol outcome of a full-tag comparison
         if computed == tag {
             Ok(pt)
         } else {

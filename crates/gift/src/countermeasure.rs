@@ -105,11 +105,10 @@ impl WideLineGift64 {
                 kind: AccessKind::SboxRead,
             });
             let packed = WIDE_SBOX[row as usize];
-            let out = if nib & 1 == 0 {
-                packed & 0xf
-            } else {
-                packed >> 4
-            };
+            // Branchless half-select: the low bit of the nibble picks the
+            // packed half via a shift, so the memory access pattern is the
+            // only secret-dependent behavior left in this round function.
+            let out = (packed >> ((nib & 1) * 4)) & 0xf;
             subbed |= u64::from(out) << (4 * i);
         }
         let mut s = permute_64(subbed);

@@ -33,6 +33,8 @@
 //! assert_eq!(cipher.decrypt(ct), 0x0123_4567_89ab_cdef);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod aead;
 pub mod bitwise;
 pub mod constants;

@@ -76,6 +76,7 @@ pub enum PresentKey {
 /// Expands a PRESENT key into the 32 round keys.
 pub fn expand_present(key: PresentKey) -> [u64; PRESENT_ROUNDS + 1] {
     let mut rks = [0u64; PRESENT_ROUNDS + 1];
+    // ct-allow: key-size variant selection is public configuration, not key data
     match key {
         PresentKey::K80(k) => {
             // 80-bit register in the low bits of a u128.

@@ -39,20 +39,30 @@ fn sub_cells_64(state: u64, layout: &TableLayout, obs: &mut dyn MemoryObserver) 
     out
 }
 
-/// Table-driven `PermBits` for GIFT-64 using a position lookup table.
+/// Performs one permutation-table lookup, the only place this module reads
+/// a position table.
 ///
 /// The permutation-table reads have a *fixed* address sequence (independent
-/// of data and key), so they leak nothing; they are emitted only when the
-/// layout requests them, to model realistic cache pressure.
+/// of data and key), so they leak nothing; the observer event is emitted
+/// only when the layout requests it, to model realistic cache pressure —
+/// but every read goes through this helper so no lookup can bypass the
+/// accounting.
+#[inline]
+fn perm_lookup(table: &[u8], i: usize, layout: &TableLayout, obs: &mut dyn MemoryObserver) -> u8 {
+    if layout.emit_perm_reads {
+        obs.on_read(Access {
+            addr: layout.perm_base + i as u64,
+            kind: AccessKind::PermRead,
+        });
+    }
+    table[i]
+}
+
+/// Table-driven `PermBits` for GIFT-64 using a position lookup table.
 fn perm_bits_64(state: u64, layout: &TableLayout, obs: &mut dyn MemoryObserver) -> u64 {
     let mut out = 0u64;
-    for (i, &p) in P64.iter().enumerate() {
-        if layout.emit_perm_reads {
-            obs.on_read(Access {
-                addr: layout.perm_base + i as u64,
-                kind: AccessKind::PermRead,
-            });
-        }
+    for i in 0..P64.len() {
+        let p = perm_lookup(&P64, i, layout, obs);
         out |= ((state >> i) & 1) << p;
     }
     out
@@ -253,15 +263,11 @@ impl TableGift128 {
             let nib = ((state >> (4 * i)) & 0xf) as u8;
             subbed |= u128::from(sbox_lookup(&self.layout, nib, obs)) << (4 * i);
         }
-        // PermBits
+        // PermBits: shares `perm_lookup` with the GIFT-64 path so every
+        // position-table read is observed under the same accounting.
         let mut permuted = 0u128;
-        for (i, &p) in P128.iter().enumerate() {
-            if self.layout.emit_perm_reads {
-                obs.on_read(Access {
-                    addr: self.layout.perm_base + i as u64,
-                    kind: AccessKind::PermRead,
-                });
-            }
+        for i in 0..P128.len() {
+            let p = perm_lookup(&P128, i, &self.layout, obs);
             permuted |= (state_bit(subbed, i) as u128) << p;
         }
         // AddRoundKey

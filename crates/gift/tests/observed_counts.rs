@@ -1,0 +1,141 @@
+//! Regression tests pinning the observed access count of every table-driven
+//! engine against its known per-round lookup count.
+//!
+//! The observer stream is the ground truth the whole simulation stack
+//! (cache model, attack oracle, MI profiler) is built on: an unobserved
+//! lookup would silently shrink the modelled cache footprint and bias every
+//! downstream result. These tests make "all table reads are observed" a
+//! checked invariant rather than a convention.
+
+use gift_cipher::countermeasure::{FullScanGift64, PreloadGift64, WideLineGift64};
+use gift_cipher::observer::{AccessKind, RecordingObserver};
+use gift_cipher::present::{PresentKey, TablePresent, PRESENT_ROUNDS};
+use gift_cipher::{Key, TableGift128, TableGift64, TableLayout, GIFT128_ROUNDS, GIFT64_ROUNDS};
+
+fn counts(obs: &RecordingObserver) -> (usize, usize) {
+    let sbox = obs
+        .accesses
+        .iter()
+        .filter(|a| a.kind == AccessKind::SboxRead)
+        .count();
+    let perm = obs
+        .accesses
+        .iter()
+        .filter(|a| a.kind == AccessKind::PermRead)
+        .count();
+    (sbox, perm)
+}
+
+#[test]
+fn table_gift64_sixteen_sbox_reads_every_round() {
+    let table = TableGift64::new(Key::from_u128(0xfeed), TableLayout::new(0x400));
+    let mut enc = table.start_encryption(0x0123_4567_89ab_cdef);
+    let mut obs = RecordingObserver::new();
+    while !enc.is_done() {
+        let before = obs.accesses.len();
+        enc.step_round(&mut obs);
+        assert_eq!(
+            obs.accesses.len() - before,
+            16,
+            "round {} must issue exactly 16 observed reads",
+            enc.rounds_done() - 1
+        );
+    }
+    assert_eq!(counts(&obs), (16 * GIFT64_ROUNDS, 0));
+}
+
+#[test]
+fn table_gift64_perm_reads_add_sixty_four_per_round() {
+    let table = TableGift64::new(
+        Key::from_u128(0xfeed),
+        TableLayout::new(0x400).with_perm_reads(),
+    );
+    let mut enc = table.start_encryption(0x0123_4567_89ab_cdef);
+    let mut obs = RecordingObserver::new();
+    while !enc.is_done() {
+        let before = obs.accesses.len();
+        enc.step_round(&mut obs);
+        assert_eq!(obs.accesses.len() - before, 16 + 64);
+    }
+    assert_eq!(counts(&obs), (16 * GIFT64_ROUNDS, 64 * GIFT64_ROUNDS));
+}
+
+#[test]
+fn table_gift128_thirty_two_sbox_reads_every_round() {
+    let table = TableGift128::new(Key::from_u128(0xbeef), TableLayout::new(0x400));
+    let mut obs = RecordingObserver::new();
+    let mut state = 0x1122_3344_5566_7788_99aa_bbcc_ddee_ff00u128;
+    for round in 0..GIFT128_ROUNDS {
+        let before = obs.accesses.len();
+        state = table.run_single_round(state, round, &mut obs);
+        assert_eq!(obs.accesses.len() - before, 32, "round {round}");
+    }
+    assert_eq!(counts(&obs), (32 * GIFT128_ROUNDS, 0));
+}
+
+#[test]
+fn table_gift128_perm_reads_add_one_twenty_eight_per_round() {
+    let table = TableGift128::new(
+        Key::from_u128(0xbeef),
+        TableLayout::new(0x400).with_perm_reads(),
+    );
+    let mut obs = RecordingObserver::new();
+    table.encrypt_with(42, &mut obs);
+    assert_eq!(counts(&obs), (32 * GIFT128_ROUNDS, 128 * GIFT128_ROUNDS));
+}
+
+#[test]
+fn wide_line_issues_sixteen_row_reads_per_round() {
+    let cipher = WideLineGift64::new(Key::from_u128(0x77), TableLayout::new(0x800));
+    let mut obs = RecordingObserver::new();
+    let before = obs.accesses.len();
+    cipher.run_single_round(0xdead_beef, 0, &mut obs);
+    assert_eq!(obs.accesses.len() - before, 16);
+    obs.clear();
+    cipher.encrypt_with(0xdead_beef, &mut obs);
+    assert_eq!(counts(&obs), (16 * GIFT64_ROUNDS, 0));
+}
+
+#[test]
+fn full_scan_reads_the_whole_table_for_every_nibble() {
+    let cipher = FullScanGift64::new(Key::from_u128(0x77), TableLayout::new(0x800));
+    let mut obs = RecordingObserver::new();
+    cipher.run_single_round(0xdead_beef, 0, &mut obs);
+    // 16 nibbles × 16 scanned entries.
+    assert_eq!(obs.accesses.len(), 256);
+    obs.clear();
+    cipher.encrypt_with(0xdead_beef, &mut obs);
+    assert_eq!(counts(&obs), (256 * GIFT64_ROUNDS, 0));
+}
+
+#[test]
+fn preload_adds_a_full_table_touch_before_each_round() {
+    let cipher = PreloadGift64::new(Key::from_u128(0x77), TableLayout::new(0x800));
+    let mut obs = RecordingObserver::new();
+    cipher.run_single_round(0xdead_beef, 0, &mut obs);
+    // 16 preload touches + 16 secret-indexed lookups.
+    assert_eq!(obs.accesses.len(), 32);
+    obs.clear();
+    cipher.encrypt_with(0xdead_beef, &mut obs);
+    assert_eq!(counts(&obs), (32 * GIFT64_ROUNDS, 0));
+}
+
+#[test]
+fn table_present_reads_sixteen_per_round_and_none_for_whitening() {
+    let cipher = TablePresent::new(PresentKey::K80(0x5555), TableLayout::new(0x200));
+    let mut obs = RecordingObserver::new();
+    let mut state = 0x0bad_f00du64;
+    for round in 0..PRESENT_ROUNDS {
+        let before = obs.accesses.len();
+        state = cipher.run_single_round(state, round, &mut obs);
+        assert_eq!(obs.accesses.len() - before, 16, "round {round}");
+    }
+    let before = obs.accesses.len();
+    cipher.run_single_round(state, PRESENT_ROUNDS, &mut obs);
+    assert_eq!(
+        obs.accesses.len(),
+        before,
+        "final whitening performs no table read"
+    );
+    assert_eq!(counts(&obs), (16 * PRESENT_ROUNDS, 0));
+}
