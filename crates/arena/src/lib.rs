@@ -1,0 +1,43 @@
+//! # grinch-arena
+//!
+//! The defense-vs-attack evaluation matrix: randomized-cache defenses
+//! (CEASER-style keyed index remapping, DAWG-style way partitioning) swept
+//! against the GRINCH attack variants under configurable observation noise.
+//!
+//! The paper evaluates GRINCH on an undefended platform and discusses
+//! *software* countermeasures (§IV-C); this crate closes the loop on the
+//! *hardware* side of the design space, answering "which cache defense
+//! stops which probe mechanic, and at what residual leakage" with the same
+//! simulated platform the reproduction already trusts.
+//!
+//! * [`spec`] — the sweep axes ([`DefenseSpec`], [`AttackSpec`], noise
+//!   levels) and the [`CampaignConfig`] grid;
+//! * [`cell`] — the Monte-Carlo cell runner: R trials of full-key recovery
+//!   per (defense, attack, noise) combination, measuring success rate,
+//!   encryptions-to-success and residual stage-1 key entropy;
+//! * [`engine`] — [`run_campaign`]: cells distributed over `std::thread`
+//!   workers with per-cell splitmix64 seeds, byte-identical results for
+//!   any worker count;
+//! * [`report`] — the stable `grinch-arena/v1` JSON document, the
+//!   byte-exact baseline gate, and heatmap rendering via
+//!   [`grinch_obs::MatrixHeat`].
+//!
+//! The `grinch-arena` binary wires it into a CLI:
+//!
+//! ```text
+//! grinch-arena run --preset smoke --jobs 4 --check
+//! grinch-arena render results/ARENA_MATRIX.json --metric entropy-bits
+//! grinch-arena trace --epoch 64
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod engine;
+pub mod report;
+pub mod spec;
+
+pub use cell::CellResult;
+pub use engine::run_campaign;
+pub use report::{ArenaMatrix, Metric};
+pub use spec::{AttackSpec, CampaignConfig, DefenseSpec};

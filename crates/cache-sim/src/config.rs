@@ -1,5 +1,6 @@
 //! Cache geometry and latency configuration.
 
+use crate::mapper::{IndexMapping, WayPartition};
 use core::fmt;
 
 /// Errors produced while validating a [`CacheConfig`].
@@ -14,6 +15,9 @@ pub enum ConfigError {
     /// `miss_latency` did not exceed `hit_latency`, making timing probes
     /// unable to distinguish hits from misses.
     LatencyNotDistinguishable,
+    /// A way partition reserved zero or all ways for the victim, leaving
+    /// one domain without any cache.
+    BadPartition(usize),
 }
 
 impl fmt::Display for ConfigError {
@@ -24,6 +28,12 @@ impl fmt::Display for ConfigError {
             Self::BadWays => write!(f, "associativity must be at least 1"),
             Self::LatencyNotDistinguishable => {
                 write!(f, "miss latency must exceed hit latency")
+            }
+            Self::BadPartition(n) => {
+                write!(
+                    f,
+                    "partition must leave both domains ways (victim_ways {n})"
+                )
             }
         }
     }
@@ -51,6 +61,12 @@ pub struct CacheConfig {
     pub miss_latency: u64,
     /// Replacement policy within a set.
     pub replacement: crate::ReplacementPolicy,
+    /// Set-index mapping (defense knob; [`IndexMapping::Modulo`] is the
+    /// classical, undefended behaviour).
+    pub mapping: IndexMapping,
+    /// Optional static way partitioning between security domains
+    /// (defense knob; `None` means every domain shares every way).
+    pub partition: Option<WayPartition>,
 }
 
 impl CacheConfig {
@@ -64,7 +80,21 @@ impl CacheConfig {
             hit_latency: 1,
             miss_latency: 20,
             replacement: crate::ReplacementPolicy::Lru,
+            mapping: IndexMapping::Modulo,
+            partition: None,
         }
+    }
+
+    /// Returns a copy with the set-index mapping replaced (defense knob).
+    pub fn with_mapping(mut self, mapping: IndexMapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Returns a copy with a static way partition installed (defense knob).
+    pub fn with_partition(mut self, partition: WayPartition) -> Self {
+        self.partition = Some(partition);
+        self
     }
 
     /// Returns a copy with the line size set to `words` 8-bit words (the
@@ -118,6 +148,11 @@ impl CacheConfig {
         if self.miss_latency <= self.hit_latency {
             return Err(ConfigError::LatencyNotDistinguishable);
         }
+        if let Some(p) = self.partition {
+            if p.victim_ways == 0 || p.victim_ways >= self.ways {
+                return Err(ConfigError::BadPartition(p.victim_ways));
+            }
+        }
         Ok(())
     }
 
@@ -127,7 +162,12 @@ impl CacheConfig {
         addr / self.line_bytes as u64
     }
 
-    /// Set index for `addr`.
+    /// Set index for `addr` under the **classical modulo placement**.
+    ///
+    /// This is the architectural view an attacker assumes when building
+    /// conflict sets. The cache itself may place lines elsewhere when
+    /// `mapping` is not [`IndexMapping::Modulo`] — that gap is exactly what
+    /// the keyed-remap defense exploits.
     #[inline]
     pub fn set_of(&self, addr: u64) -> usize {
         (self.line_of(addr) % self.num_sets as u64) as usize
@@ -156,7 +196,19 @@ impl fmt::Display for CacheConfig {
             self.line_bytes,
             self.capacity_bytes(),
             self.replacement
-        )
+        )?;
+        if !matches!(self.mapping, IndexMapping::Modulo) {
+            write!(f, ", {}", self.mapping.name())?;
+        }
+        if let Some(p) = self.partition {
+            write!(
+                f,
+                ", partitioned {}v/{}a",
+                p.victim_ways,
+                self.ways - p.victim_ways
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -198,6 +250,32 @@ mod tests {
         cfg = CacheConfig::grinch_default();
         cfg.miss_latency = cfg.hit_latency;
         assert_eq!(cfg.validate(), Err(ConfigError::LatencyNotDistinguishable));
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_partitions() {
+        let cfg = CacheConfig::grinch_default().with_partition(WayPartition { victim_ways: 0 });
+        assert_eq!(cfg.validate(), Err(ConfigError::BadPartition(0)));
+        let cfg = CacheConfig::grinch_default().with_partition(WayPartition { victim_ways: 16 });
+        assert_eq!(cfg.validate(), Err(ConfigError::BadPartition(16)));
+        let cfg = CacheConfig::grinch_default().with_partition(WayPartition::even_split(16));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn defended_configs_render_their_defenses() {
+        let cfg = CacheConfig::grinch_default()
+            .with_mapping(IndexMapping::KeyedRemap {
+                key: 1,
+                epoch_accesses: 64,
+            })
+            .with_partition(WayPartition::even_split(16));
+        let s = cfg.to_string();
+        assert!(s.contains("keyed-remap"), "{s}");
+        assert!(s.contains("partitioned 8v/8a"), "{s}");
+        let undefended = CacheConfig::grinch_default().to_string();
+        assert!(!undefended.contains("keyed-remap"));
+        assert!(!undefended.contains("partitioned"));
     }
 
     #[test]

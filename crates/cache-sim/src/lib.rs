@@ -36,6 +36,7 @@ pub mod adapter;
 pub mod cache;
 pub mod config;
 pub mod hierarchy;
+pub mod mapper;
 pub mod multilevel;
 pub mod replacement;
 pub mod stats;
@@ -45,6 +46,7 @@ pub use adapter::CacheObserver;
 pub use cache::{AccessOutcome, Cache};
 pub use config::{CacheConfig, ConfigError};
 pub use hierarchy::MemoryHierarchy;
+pub use mapper::{splitmix64, Domain, IndexMapper, IndexMapping, WayPartition};
 pub use multilevel::{LevelledOutcome, ServedBy, TwoLevelHierarchy};
 pub use replacement::ReplacementPolicy;
 pub use stats::CacheStats;

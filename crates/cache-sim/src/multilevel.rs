@@ -44,6 +44,16 @@ pub struct LevelledOutcome {
 /// Inclusive fill policy: a miss fills every level on the path (the
 /// behaviour of the write-through, read-allocate L1s typical of
 /// RISCY-class cores).
+///
+/// **Eviction semantics are non-inclusive (mostly-inclusive caches):** an
+/// L2 eviction does *not* back-invalidate the L1 copy, so a line can be
+/// L1-resident while absent from L2. Per-line flushes *are* coherent —
+/// [`TwoLevelHierarchy::flush_line`] clears both levels, as a
+/// `clflush`-style instruction must. Both behaviours are pinned by tests
+/// (`l2_eviction_does_not_back_invalidate_l1`,
+/// `full_flush_line_clears_both_levels`); the attack-relevant consequence
+/// is that a conflict-evicting L2 attacker cannot close the victim's L1
+/// repeat channel, only `flush_l2_only` + first-touch observation works.
 #[derive(Clone, Debug)]
 pub struct TwoLevelHierarchy {
     l1: Cache,
@@ -202,7 +212,7 @@ mod tests {
             ways: 2,
             hit_latency: 1,
             miss_latency: 5,
-            replacement: crate::ReplacementPolicy::Lru,
+            ..CacheConfig::grinch_default()
         };
         let l2 = CacheConfig {
             line_bytes: 8,
@@ -210,7 +220,7 @@ mod tests {
             ways: 8,
             hit_latency: 9,
             miss_latency: 30,
-            replacement: crate::ReplacementPolicy::Lru,
+            ..CacheConfig::grinch_default()
         };
         let mut h = TwoLevelHierarchy::new(l1, l2, 100);
         h.victim_read(0); // fills both
@@ -234,6 +244,38 @@ mod tests {
         h.flush_l2_only();
         h.victim_read(0x500);
         assert!(h.attacker_probe_l2(0x500));
+    }
+
+    #[test]
+    fn l2_eviction_does_not_back_invalidate_l1() {
+        // Pin the non-inclusive eviction semantics documented on the type:
+        // conflict-evicting a line from the shared L2 leaves the private L1
+        // copy resident, so the victim keeps hitting L1.
+        let l1 = CacheConfig {
+            line_bytes: 1,
+            num_sets: 4,
+            ways: 2,
+            hit_latency: 1,
+            miss_latency: 5,
+            ..CacheConfig::grinch_default()
+        };
+        let l2 = CacheConfig {
+            line_bytes: 1,
+            num_sets: 4,
+            ways: 2,
+            hit_latency: 9,
+            miss_latency: 30,
+            ..CacheConfig::grinch_default()
+        };
+        let mut h = TwoLevelHierarchy::new(l1, l2, 100);
+        h.victim_read(0); // fills L1 and L2 set 0
+                          // Attacker conflict-fills L2 set 0 (addresses ≡ 0 mod 4) until the
+                          // victim's line is evicted from L2.
+        h.attacker_probe_l2(4);
+        h.attacker_probe_l2(8);
+        assert!(!h.l2().contains(0), "conflict fills evicted line 0 from L2");
+        assert!(h.l1().contains(0), "L1 copy must survive the L2 eviction");
+        assert_eq!(h.victim_read(0).served_by, ServedBy::L1);
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub struct CacheStats {
     pub flushes: u64,
     /// Whole-cache flushes.
     pub full_flushes: u64,
+    /// Index-mapping rekey events (keyed-remap epoch boundaries); each one
+    /// orphaned every resident line.
+    pub remaps: u64,
 }
 
 impl CacheStats {
@@ -52,6 +55,7 @@ impl CacheStats {
         self.evictions += other.evictions;
         self.flushes += other.flushes;
         self.full_flushes += other.full_flushes;
+        self.remaps += other.remaps;
     }
 
     /// Serialises the counters as a single-line JSON object (serde-free,
@@ -63,6 +67,7 @@ impl CacheStats {
             .u64("evictions", self.evictions)
             .u64("flushes", self.flushes)
             .u64("full_flushes", self.full_flushes)
+            .u64("remaps", self.remaps)
             .f64("hit_rate", self.hit_rate())
             .f64("miss_rate", self.miss_rate());
         w.finish()
@@ -122,6 +127,7 @@ mod tests {
             evictions: 3,
             flushes: 4,
             full_flushes: 5,
+            remaps: 6,
         };
         let b = CacheStats {
             hits: 10,
@@ -129,6 +135,7 @@ mod tests {
             evictions: 30,
             flushes: 40,
             full_flushes: 50,
+            remaps: 60,
         };
         a.merge(&b);
         assert_eq!(
@@ -139,6 +146,7 @@ mod tests {
                 evictions: 33,
                 flushes: 44,
                 full_flushes: 55,
+                remaps: 66,
             }
         );
     }
@@ -150,7 +158,7 @@ mod tests {
             misses: 3,
             evictions: 1,
             flushes: 2,
-            full_flushes: 0,
+            ..CacheStats::default()
         };
         let v = grinch_telemetry::json::parse(&s.to_json()).expect("valid JSON");
         assert_eq!(v.get("hits").unwrap().as_u64(), Some(7));

@@ -1,6 +1,7 @@
 //! Property-based tests of the cache simulator.
 
-use cache_sim::{Cache, CacheConfig, ReplacementPolicy};
+use cache_sim::mapper::{IndexMapper, KeyedRemapMapper, ModuloMapper};
+use cache_sim::{Cache, CacheConfig, IndexMapping, ReplacementPolicy};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = CacheConfig> {
@@ -21,7 +22,18 @@ fn arb_config() -> impl Strategy<Value = CacheConfig> {
             hit_latency: 1,
             miss_latency: 20,
             replacement,
+            mapping: IndexMapping::Modulo,
+            partition: None,
         })
+}
+
+fn arb_mapper() -> impl Strategy<Value = Box<dyn IndexMapper>> {
+    prop_oneof![
+        Just(()).prop_map(|()| Box::new(ModuloMapper) as Box<dyn IndexMapper>),
+        (any::<u64>(), 0u64..1000).prop_map(|(key, epoch)| {
+            Box::new(KeyedRemapMapper::new(key, epoch)) as Box<dyn IndexMapper>
+        }),
+    ]
 }
 
 /// An operation to replay against the cache.
@@ -123,6 +135,60 @@ proptest! {
         for &a in &addrs {
             prop_assert!(!cache.contains(a));
         }
+    }
+
+    #[test]
+    fn every_mapper_is_a_bijection_within_an_epoch(
+        mapper in arb_mapper(),
+        sets_log2 in 0u32..11,
+    ) {
+        // Within one epoch (no note_access calls) every mapper must place
+        // the `num_sets` residue classes of line addresses onto distinct
+        // sets — a permutation of 0..num_sets.
+        let sets = 1usize << sets_log2;
+        let mut seen = vec![false; sets];
+        for line in 0..sets as u64 {
+            let s = mapper.set_of(line, sets);
+            prop_assert!(s < sets, "set index {s} out of range ({sets} sets)");
+            prop_assert!(!seen[s], "mapper {} collides at line {line}", mapper.name());
+            seen[s] = true;
+        }
+        // Lines in the same residue class map to the same set.
+        for line in 0..sets as u64 {
+            prop_assert_eq!(
+                mapper.set_of(line, sets),
+                mapper.set_of(line + sets as u64, sets)
+            );
+        }
+    }
+
+    #[test]
+    fn modulo_mapping_matches_pre_refactor_set_of(cfg in arb_config(), addrs in prop::collection::vec(0u64..1 << 20, 1..64)) {
+        // The pre-refactor placement was `line_of(addr) % num_sets`
+        // hard-coded in the cache. `IndexMapping::Modulo` (the default)
+        // must agree with `CacheConfig::set_of` on every address, so all
+        // existing experiments are bit-identical.
+        let mapper = cfg.mapping.build();
+        for &addr in &addrs {
+            let line = cfg.line_of(addr);
+            prop_assert_eq!(
+                mapper.set_of(line, cfg.num_sets),
+                (line % cfg.num_sets as u64) as usize
+            );
+            prop_assert_eq!(mapper.set_of(line, cfg.num_sets), cfg.set_of(addr));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stats_for_any_replacement(cfg in arb_config(), seed in any::<u64>(), addrs in prop::collection::vec(0u64..4096, 0..200)) {
+        // Two caches built from the same (config, seed) must replay the
+        // same hit/miss/eviction sequence — including Random replacement.
+        let mut a = Cache::new_seeded(cfg, seed);
+        let mut b = Cache::new_seeded(cfg, seed);
+        for &addr in &addrs {
+            prop_assert_eq!(a.access(addr), b.access(addr));
+        }
+        prop_assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! grinch-ct check <path> [--line-bytes N] [--deny-level leak|line-safe|none]
 //!                        [--json] [--out FILE]
 //! grinch-ct cross-validate <path> --trace <trace.jsonl>
+//!                        [--defended-trace <trace.jsonl>]
 //!                        [--impl-file FILE] [--line-bytes N]
 //!                        [--mi-threshold BITS] [--json]
 //! ```
@@ -31,12 +32,17 @@ usage:
       fits in one 8-byte line is `line-safe`). --json prints the stable
       grinch-ct-report/v1 document; --out also writes it to FILE.
   grinch-ct cross-validate <path> --trace <trace.jsonl>
+                         [--defended-trace <trace.jsonl>]
                          [--impl-file FILE] [--line-bytes N]
                          [--mi-threshold BITS] [--json]
       join the static verdict for --impl-file (default: table.rs) with
       the per-stage mutual-information estimate grinch-obs extracts from
       the trace's attack.stage<r>.joint.* counters; exit 1 on
-      disagreement. Default threshold: 0.01 bits.
+      disagreement. Default threshold: 0.01 bits. --defended-trace adds a
+      second trace captured on a defended platform (`grinch-arena trace`
+      emits one) and reports the MI drop and whether the defense pushed
+      the channel below the threshold; it never affects the exit code —
+      the static verdict is a source property.
 
 suppressions:
   a `// ct-allow: <reason>` comment on (or directly above) a flagged line
@@ -127,6 +133,7 @@ fn cmd_check(mut args: Vec<String>) -> Result<ExitCode, String> {
 fn cmd_cross_validate(mut args: Vec<String>) -> Result<ExitCode, String> {
     let line_bytes = line_bytes_arg(&mut args)?;
     let trace = take_value(&mut args, "--trace")?.ok_or("cross-validate: missing --trace")?;
+    let defended_trace = take_value(&mut args, "--defended-trace")?;
     let impl_file = take_value(&mut args, "--impl-file")?.unwrap_or_else(|| "table.rs".to_string());
     let threshold = match take_value(&mut args, "--mi-threshold")? {
         None => 0.01,
@@ -149,7 +156,12 @@ fn cmd_cross_validate(mut args: Vec<String>) -> Result<ExitCode, String> {
     }
     let snapshot =
         Snapshot::from_jsonl_file(&trace).map_err(|e| format!("cannot read trace: {e}"))?;
-    let check = cross_check(&report, &impl_file, &snapshot, threshold);
+    let mut check = cross_check(&report, &impl_file, &snapshot, threshold);
+    if let Some(defended) = &defended_trace {
+        let defended_snapshot = Snapshot::from_jsonl_file(defended)
+            .map_err(|e| format!("cannot read defended trace: {e}"))?;
+        check = check.with_defended_trace(&defended_snapshot);
+    }
     if json {
         print!("{}", check.to_json());
     } else {

@@ -12,6 +12,14 @@
 //! A disagreement in either direction is a bug — in the analyzer, in the
 //! profiler, or in the implementation under test — which is exactly why the
 //! subcommand exists.
+//!
+//! The check optionally takes a *second* trace captured on a defended
+//! platform (e.g. the arena's rekeyed `KeyedRemap` cache — see
+//! `grinch-arena trace`). The static verdict is a property of the *source*
+//! and does not change under a hardware defense; what changes is the
+//! empirical channel. The joined report then also states the MI drop
+//! (undefended minus defended) and whether the defense pushed the channel
+//! below the leak threshold.
 
 use crate::report::{json_string, Report, Severity};
 use grinch_obs::leakage::stage_leakage;
@@ -33,6 +41,17 @@ pub struct CrossCheck {
     pub stages: usize,
     /// MI threshold (bits) above which the trace counts as leaking.
     pub threshold: f64,
+    /// Empirical side of a defended-platform trace, when one was supplied.
+    pub defended: Option<DefendedCheck>,
+}
+
+/// The empirical verdict for the defended-platform trace.
+#[derive(Clone, Copy, Debug)]
+pub struct DefendedCheck {
+    /// Highest per-stage I(pattern; line) in bits under the defense.
+    pub max_mi_bits: f64,
+    /// Attack stages with joint counters in the defended trace.
+    pub stages: usize,
 }
 
 impl CrossCheck {
@@ -41,12 +60,25 @@ impl CrossCheck {
         self.max_mi_bits > self.threshold
     }
 
-    /// True if static and empirical verdicts agree.
+    /// True if static and empirical verdicts agree. The defended trace has
+    /// no say here: a hardware defense changes the channel, not the source.
     pub fn agrees(&self) -> bool {
         self.static_leak == self.empirical_leak()
     }
 
-    /// One-line human verdict.
+    /// MI lost to the defense (undefended minus defended), when a defended
+    /// trace was supplied.
+    pub fn mi_drop_bits(&self) -> Option<f64> {
+        self.defended.map(|d| self.max_mi_bits - d.max_mi_bits)
+    }
+
+    /// Whether the defense pushed the empirical channel below the leak
+    /// threshold, when a defended trace was supplied.
+    pub fn defense_effective(&self) -> Option<bool> {
+        self.defended.map(|d| d.max_mi_bits <= self.threshold)
+    }
+
+    /// One-line human verdict (two lines with a defended trace).
     pub fn verdict(&self) -> String {
         let s = if self.static_leak { "leak" } else { "clean" };
         let e = if self.empirical_leak() {
@@ -55,20 +87,41 @@ impl CrossCheck {
             "no leakage"
         };
         let a = if self.agrees() { "AGREE" } else { "DISAGREE" };
-        format!(
+        let mut line = format!(
             "{}: static says {s} ({} finding(s)), trace says {e} \
              (max MI {:.4} bits over {} stage(s), threshold {}) => {a}",
             self.file, self.static_findings, self.max_mi_bits, self.stages, self.threshold
-        )
+        );
+        if let Some(d) = self.defended {
+            let effect = if self.defense_effective() == Some(true) {
+                "defense EFFECTIVE"
+            } else {
+                "defense INEFFECTIVE"
+            };
+            let _ = std::fmt::Write::write_fmt(
+                &mut line,
+                format_args!(
+                    "\n{}: defended trace max MI {:.4} bits over {} stage(s), \
+                     drop {:.4} bits => {effect}",
+                    self.file,
+                    d.max_mi_bits,
+                    d.stages,
+                    self.mi_drop_bits().unwrap_or(0.0)
+                ),
+            );
+        }
+        line
     }
 
-    /// Stable JSON rendering of the joined verdict.
+    /// Stable JSON rendering of the joined verdict. The defended-trace
+    /// fields are additive: they only appear when a defended trace was
+    /// supplied, so v1 consumers keep parsing.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             "{{\n  \"schema\": \"grinch-ct-crossval/v1\",\n  \"file\": {},\n  \
              \"static_leak\": {},\n  \"static_findings\": {},\n  \
              \"max_mi_bits\": {:.6},\n  \"stages\": {},\n  \
-             \"threshold\": {},\n  \"empirical_leak\": {},\n  \"agree\": {}\n}}\n",
+             \"threshold\": {},\n  \"empirical_leak\": {},\n  \"agree\": {}",
             json_string(&self.file),
             self.static_leak,
             self.static_findings,
@@ -77,7 +130,33 @@ impl CrossCheck {
             self.threshold,
             self.empirical_leak(),
             self.agrees()
-        )
+        );
+        if let Some(d) = self.defended {
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    ",\n  \"defended_max_mi_bits\": {:.6},\n  \
+                     \"defended_stages\": {},\n  \"mi_drop_bits\": {:.6},\n  \
+                     \"defense_effective\": {}",
+                    d.max_mi_bits,
+                    d.stages,
+                    self.mi_drop_bits().unwrap_or(0.0),
+                    self.defense_effective() == Some(true)
+                ),
+            );
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Attaches the empirical verdict of a defended-platform trace.
+    pub fn with_defended_trace(mut self, snapshot: &Snapshot) -> Self {
+        let stages = stage_leakage(snapshot);
+        self.defended = Some(DefendedCheck {
+            max_mi_bits: stages.iter().map(|s| s.mi_bits()).fold(0.0f64, f64::max),
+            stages: stages.len(),
+        });
+        self
     }
 }
 
@@ -100,6 +179,7 @@ pub fn cross_check(
         max_mi_bits,
         stages: stages.len(),
         threshold,
+        defended: None,
     }
 }
 
@@ -170,5 +250,38 @@ mod tests {
         let json = check.to_json();
         assert!(json.contains("\"schema\": \"grinch-ct-crossval/v1\""));
         assert!(json.contains("\"agree\": true"));
+        assert!(
+            !json.contains("defended"),
+            "no defended fields without a defended trace"
+        );
+    }
+
+    #[test]
+    fn defended_trace_reports_the_mi_drop() {
+        let check = cross_check(&leaky_report(), "table.rs", &trace(true), 0.05)
+            .with_defended_trace(&trace(false));
+        assert!(check.agrees(), "defense must not flip the static verdict");
+        let drop = check.mi_drop_bits().expect("defended trace attached");
+        assert!(drop > 1.9, "flattened channel drops ~2 bits, got {drop}");
+        assert_eq!(check.defense_effective(), Some(true));
+        let verdict = check.verdict();
+        assert!(verdict.contains("defense EFFECTIVE"), "{verdict}");
+        let json = check.to_json();
+        assert!(
+            json.contains("\"defended_max_mi_bits\": 0.000000"),
+            "{json}"
+        );
+        assert!(json.contains("\"defense_effective\": true"), "{json}");
+    }
+
+    #[test]
+    fn ineffective_defense_is_called_out() {
+        // The "defended" trace leaks exactly like the undefended one — a
+        // static KeyedRemap against Flush+Reload, say.
+        let check = cross_check(&leaky_report(), "table.rs", &trace(true), 0.05)
+            .with_defended_trace(&trace(true));
+        assert_eq!(check.defense_effective(), Some(false));
+        assert_eq!(check.mi_drop_bits(), Some(0.0));
+        assert!(check.verdict().contains("defense INEFFECTIVE"));
     }
 }

@@ -38,7 +38,7 @@ pub mod lexer;
 pub mod report;
 pub mod taint;
 
-pub use crossval::{cross_check, CrossCheck};
+pub use crossval::{cross_check, CrossCheck, DefendedCheck};
 pub use report::{DenyLevel, Finding, FindingKind, Report, Severity};
 pub use taint::{Registry, SecretConfig};
 

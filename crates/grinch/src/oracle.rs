@@ -19,8 +19,9 @@
 //! i.e. right after round `k` finished); the optional flush after round 1
 //! removes the key-independent first-round accesses ("Grinch with Flush").
 
+use crate::noise::NoiseChannel;
 use crate::target::TargetSpec;
-use cache_sim::{Cache, CacheConfig, CacheObserver};
+use cache_sim::{Cache, CacheConfig, CacheObserver, Domain};
 use gift_cipher::countermeasure::{
     masked_round_keys_64, FullScanGift64, PreloadGift64, WideLineGift64,
 };
@@ -204,6 +205,9 @@ pub struct VictimOracle {
     /// Per-stage metric names, rendered once per stage so the
     /// per-observation hot path never formats strings.
     stage_metrics: std::collections::BTreeMap<usize, StageMetricNames>,
+    /// Optional false-absence channel applied to every observation before
+    /// the attacker (and the telemetry feed) sees it.
+    noise: Option<NoiseChannel>,
 }
 
 /// Pre-rendered counter names for one stage's observability feed: the
@@ -245,6 +249,18 @@ impl StageMetricNames {
 impl VictimOracle {
     /// Creates an oracle around a victim keyed with `key`.
     pub fn new(key: Key, config: ObservationConfig) -> Self {
+        Self::build(key, config, None)
+    }
+
+    /// Like [`VictimOracle::new`], but the shared cache's per-set
+    /// replacement RNG derives from `cache_seed` (see
+    /// [`Cache::new_seeded`]) — required for reproducible campaigns under
+    /// `ReplacementPolicy::Random`, e.g. the arena's parallel trials.
+    pub fn new_seeded(key: Key, config: ObservationConfig, cache_seed: u64) -> Self {
+        Self::build(key, config, Some(cache_seed))
+    }
+
+    fn build(key: Key, config: ObservationConfig, cache_seed: Option<u64>) -> Self {
         config
             .cache
             .validate()
@@ -267,7 +283,10 @@ impl VictimOracle {
             }
             VictimVariant::Preload => VictimCipher::Preload(PreloadGift64::new(key, config.layout)),
         };
-        let cache = Cache::new(config.cache);
+        let cache = match cache_seed {
+            Some(seed) => Cache::new_seeded(config.cache, seed),
+            None => Cache::new(config.cache),
+        };
         let prime_groups = Self::build_prime_groups(&config);
         Self {
             cipher,
@@ -277,7 +296,15 @@ impl VictimOracle {
             prime_groups,
             telemetry: grinch_telemetry::Telemetry::disabled(),
             stage_metrics: std::collections::BTreeMap::new(),
+            noise: None,
         }
+    }
+
+    /// Installs a false-absence noise channel: every subsequent observation
+    /// is filtered through it before the attacker sees the line set (the
+    /// arena's noise axis). Pass `None` to remove.
+    pub fn set_noise(&mut self, noise: Option<NoiseChannel>) {
+        self.noise = noise;
     }
 
     /// Attaches a telemetry handle: the shared cache publishes `cache.l1.*`
@@ -337,7 +364,7 @@ impl VictimOracle {
         let groups = self.prime_groups.clone();
         for (_, addrs) in &groups {
             for &a in addrs {
-                self.cache.access(a);
+                self.cache.access_from(a, Domain::Attacker);
             }
         }
     }
@@ -371,20 +398,23 @@ impl VictimOracle {
         let flush_before = self.config.flush_after_round1.then_some(stage_round);
         let observed = match self.config.strategy {
             ProbeStrategy::FlushReload => {
-                // Flush phase: evict the monitored lines.
+                // Flush phase: evict the monitored lines. All probe-side
+                // operations run in the attacker domain: a way partition
+                // blocks both the flush and the reload-hit, blinding the
+                // mechanic entirely.
                 let probe_addrs = self.config.probe_line_addrs();
                 for &a in &probe_addrs {
-                    self.cache.flush_line(a);
+                    self.cache.flush_line_from(a, Domain::Attacker);
                 }
                 self.run_rounds_observed(plaintext, rounds, flush_before, false);
                 // Reload phase: a hit means the victim brought the line in.
                 let mut observed = ObservedLines::new();
                 for &a in &probe_addrs {
-                    if self.cache.access(a).is_hit() {
+                    if self.cache.access_from(a, Domain::Attacker).is_hit() {
                         observed.insert(a);
                     }
                     // Leave the line flushed for the next observation.
-                    self.cache.flush_line(a);
+                    self.cache.flush_line_from(a, Domain::Attacker);
                 }
                 observed
             }
@@ -399,7 +429,7 @@ impl VictimOracle {
                 for (line_addr, addrs) in &groups {
                     let mut evicted = false;
                     for &a in addrs {
-                        if self.cache.access(a).is_miss() {
+                        if self.cache.access_from(a, Domain::Attacker).is_miss() {
                             evicted = true;
                         }
                     }
@@ -408,10 +438,17 @@ impl VictimOracle {
                     }
                 }
                 // Clean up: leave the monitored sets empty of victim lines
-                // for the next round of priming.
-                self.cache.flush_all();
+                // for the next round of priming. An attacker-domain flush:
+                // on a partitioned cache only its own ways clear, which is
+                // all the mechanic needs (victim lines never evict primes
+                // there anyway).
+                self.cache.flush_all_from(Domain::Attacker);
                 observed
             }
+        };
+        let observed = match self.noise.as_mut() {
+            Some(channel) => channel.apply(observed),
+            None => observed,
         };
         if self.telemetry.is_enabled() {
             let probes = self.config.probe_line_addrs().len() as u64;
@@ -452,7 +489,10 @@ impl VictimOracle {
         let mut state = plaintext;
         for round in 0..rounds {
             if flush_before == Some(round) {
-                self.cache.flush_all();
+                // The mid-encryption flush is the *attacker's* cleanup: on a
+                // way-partitioned cache it cannot reach victim ways, so
+                // "Grinch with Flush" loses its lever there too.
+                self.cache.flush_all_from(Domain::Attacker);
                 if reprime {
                     self.prime();
                 }
@@ -615,6 +655,91 @@ mod tests {
         let mut oracle = VictimOracle::new(key(), cfg);
         let pt = 0x2468_ace0_1357_9bdf;
         assert_ne!(oracle.known_pair(pt), Gift64::new(key()).encrypt(pt));
+    }
+
+    #[test]
+    fn way_partition_blinds_both_probe_mechanics() {
+        // Both mechanics become information-free, each in its own way:
+        // Flush+Reload reloads can never hit victim lines (empty set),
+        // while Prime+Probe self-thrashes — 16 prime lines in 8 attacker
+        // ways — so every set always reports "touched" (saturated set).
+        // Either way the observation is independent of the plaintext.
+        let partition = cache_sim::WayPartition::even_split(16);
+        for strategy in [ProbeStrategy::FlushReload, ProbeStrategy::PrimeProbe] {
+            let cfg = ObservationConfig {
+                cache: CacheConfig::grinch_default().with_partition(partition),
+                strategy,
+                ..ObservationConfig::ideal()
+            };
+            let all_lines: ObservedLines = cfg.probe_line_addrs().into_iter().collect();
+            let mut oracle = VictimOracle::new(key(), cfg);
+            for pt in [0u64, 0x0123_4567_89ab_cdef, u64::MAX] {
+                let observed = oracle.observe(pt);
+                match strategy {
+                    ProbeStrategy::FlushReload => {
+                        assert!(observed.is_empty(), "reload hit a victim line")
+                    }
+                    ProbeStrategy::PrimeProbe => {
+                        assert_eq!(observed, all_lines, "probe must saturate")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggressive_rekeying_injects_false_absences() {
+        // With an epoch far shorter than one observation's access count,
+        // rekey invalidations hit mid-encryption and the reload phase sees
+        // strictly fewer lines than the undefended oracle.
+        let pt = 0x0123_4567_89ab_cdef;
+        let clean = VictimOracle::new(key(), ObservationConfig::ideal()).observe(pt);
+        let cfg = ObservationConfig {
+            cache: CacheConfig::grinch_default().with_mapping(
+                cache_sim::IndexMapping::KeyedRemap {
+                    key: 0x5eed,
+                    epoch_accesses: 16,
+                },
+            ),
+            ..ObservationConfig::ideal()
+        };
+        let defended = VictimOracle::new(key(), cfg).observe(pt);
+        assert!(
+            defended.len() < clean.len(),
+            "rekeying every 16 accesses must drop lines ({} vs {})",
+            defended.len(),
+            clean.len()
+        );
+    }
+
+    #[test]
+    fn static_keyed_remap_leaves_flush_reload_intact() {
+        // Flush+Reload works on addresses, not set indices: a permutation
+        // without epochs changes placement but not observability.
+        let pt = 0x0123_4567_89ab_cdef;
+        let clean = VictimOracle::new(key(), ObservationConfig::ideal()).observe(pt);
+        let cfg = ObservationConfig {
+            cache: CacheConfig::grinch_default().with_mapping(
+                cache_sim::IndexMapping::KeyedRemap {
+                    key: 0x5eed,
+                    epoch_accesses: 0,
+                },
+            ),
+            ..ObservationConfig::ideal()
+        };
+        let defended = VictimOracle::new(key(), cfg).observe(pt);
+        assert_eq!(defended, clean);
+    }
+
+    #[test]
+    fn installed_noise_channel_filters_observations() {
+        let pt = 0x0123_4567_89ab_cdef;
+        let clean = VictimOracle::new(key(), ObservationConfig::ideal()).observe(pt);
+        let mut noisy_oracle = VictimOracle::new(key(), ObservationConfig::ideal());
+        noisy_oracle.set_noise(Some(crate::noise::NoiseChannel::new(1.0, 9)));
+        assert!(noisy_oracle.observe(pt).is_empty(), "p=1 drops everything");
+        noisy_oracle.set_noise(None);
+        assert_eq!(noisy_oracle.observe(pt), clean, "removal restores clarity");
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   this channel leak" number;
 //! * [`dashboard`] — a text attack-progress report: entropy trajectory,
 //!   per-stage probe / cycle budgets, cache hit rates;
+//! * [`matrix`] — generic labelled rows × columns heat grids (the arena's
+//!   defense × attack matrix), same ASCII/SVG idiom as [`heatmap`];
 //! * [`bench`] — the regression gate: aggregates a run's telemetry into a
 //!   schema'd `BENCH_<name>.json` and compares it against committed
 //!   baselines with configurable tolerances;
@@ -38,6 +40,7 @@ pub mod chrome;
 pub mod dashboard;
 pub mod heatmap;
 pub mod leakage;
+pub mod matrix;
 pub mod paths;
 
 pub use bench::{BenchReport, GateOutcome, MetricDeviation};
@@ -45,3 +48,4 @@ pub use chrome::chrome_trace_json;
 pub use dashboard::dashboard;
 pub use heatmap::Heatmap;
 pub use leakage::{JointCounts, StageLeakage};
+pub use matrix::MatrixHeat;

@@ -73,11 +73,13 @@ impl Process for ProbeAttacker {
                 };
             }
             let addr = self.probe_addrs[self.cursor];
-            let outcome = ctx.cache.access(addr);
+            // Attacker-domain operations: on a way-partitioned cache the
+            // reload cannot hit victim lines and the flush cannot evict them.
+            let outcome = ctx.cache.access_from(addr, cache_sim::Domain::Attacker);
             if outcome.is_hit() {
                 self.hits.push(addr);
             }
-            ctx.cache.flush_line(addr);
+            ctx.cache.flush_line_from(addr, cache_sim::Domain::Attacker);
             used += step_cost;
             self.cursor += 1;
             if self.cursor == self.probe_addrs.len() {

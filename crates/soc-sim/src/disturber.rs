@@ -61,7 +61,9 @@ impl Process for Disturber {
         let accesses = (budget_cycles * self.accesses_per_kcycle) / 1000;
         for _ in 0..accesses {
             let addr = self.next_addr();
-            ctx.cache.access(addr);
+            // The disturber is an unprivileged third process: attacker
+            // domain on a partitioned cache.
+            ctx.cache.access_from(addr, cache_sim::Domain::Attacker);
             self.issued += 1;
         }
         // The disturber always consumes its whole slice (compute between

@@ -3,7 +3,7 @@
 use crate::clock::Clock;
 use crate::noc::MpSocFloorplan;
 use crate::timing::TimingModel;
-use cache_sim::CacheConfig;
+use cache_sim::{CacheConfig, IndexMapping, WayPartition};
 use gift_cipher::TableLayout;
 
 /// Which of the paper's two platforms is being simulated.
@@ -61,6 +61,26 @@ impl PlatformConfig {
     /// Sets the number of victim encryptions to simulate.
     pub fn with_encryptions(mut self, n: usize) -> Self {
         self.encryptions = n.max(1);
+        self
+    }
+
+    /// Equips the shared cache with a non-default set-index mapping (e.g.
+    /// a CEASER-style [`IndexMapping::KeyedRemap`]) — the defended-platform
+    /// variant the arena sweeps.
+    pub fn with_index_mapping(mut self, mapping: IndexMapping) -> Self {
+        self.cache.mapping = mapping;
+        self
+    }
+
+    /// Equips the shared cache with a static victim/attacker way partition
+    /// (DAWG-style) — the other defended-platform variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition leaves either domain without ways.
+    pub fn with_way_partition(mut self, partition: WayPartition) -> Self {
+        self.cache.partition = Some(partition);
+        self.cache.validate().expect("invalid way partition");
         self
     }
 
@@ -125,5 +145,26 @@ mod tests {
     fn encryption_count_is_at_least_one() {
         let cfg = PlatformConfig::single_soc(10_000_000).with_encryptions(0);
         assert_eq!(cfg.encryptions, 1);
+    }
+
+    #[test]
+    fn defended_builders_set_cache_knobs() {
+        let mapping = IndexMapping::KeyedRemap {
+            key: 0xbeef,
+            epoch_accesses: 64,
+        };
+        let cfg = PlatformConfig::single_soc(10_000_000)
+            .with_index_mapping(mapping)
+            .with_way_partition(WayPartition::even_split(16));
+        assert_eq!(cfg.cache.mapping, mapping);
+        assert_eq!(cfg.cache.partition, Some(WayPartition { victim_ways: 8 }));
+        assert!(cfg.cache.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid way partition")]
+    fn degenerate_partition_panics_at_build_time() {
+        let _ =
+            PlatformConfig::mpsoc(10_000_000).with_way_partition(WayPartition { victim_ways: 16 });
     }
 }

@@ -447,6 +447,38 @@ mod tests {
     }
 
     #[test]
+    fn way_partition_blinds_the_probe_without_breaking_the_victim() {
+        // Defended single SoC: the attacker's reloads are confined to its
+        // own ways, so probe passes never observe victim S-box lines — but
+        // the victim's encryption is untouched.
+        let clean = run_single_soc(&PlatformConfig::single_soc(25_000_000));
+        let defended = PlatformConfig::single_soc(25_000_000)
+            .with_way_partition(cache_sim::WayPartition::even_split(16));
+        let report = run_single_soc(&defended);
+        assert_eq!(report.ciphertexts, clean.ciphertexts);
+        let total_hits: usize = report.probes.iter().map(|p| p.hit_lines.len()).sum();
+        assert_eq!(total_hits, 0, "partition must blind every probe pass");
+    }
+
+    #[test]
+    fn keyed_remap_preserves_the_victim_and_still_runs_probes() {
+        // A keyed remap (no rekeying) permutes placements but the
+        // Flush+Reload channel works on addresses, not sets: the undefended
+        // observation survives, pinning that KeyedRemap alone (without
+        // epochs) does NOT stop Flush+Reload — only Prime+Probe.
+        let clean = run_mpsoc(&PlatformConfig::mpsoc(25_000_000));
+        let defended = PlatformConfig::mpsoc(25_000_000).with_index_mapping(
+            cache_sim::IndexMapping::KeyedRemap {
+                key: 0x5eed,
+                epoch_accesses: 0,
+            },
+        );
+        let report = run_mpsoc(&defended);
+        assert_eq!(report.ciphertexts, clean.ciphertexts);
+        assert_eq!(report.first_probe_round(), clean.first_probe_round());
+    }
+
+    #[test]
     fn mpsoc_probe_hits_reflect_victim_activity() {
         let report = run_mpsoc(&PlatformConfig::mpsoc(10_000_000));
         // At least one probe during the encryption must observe S-box lines.
