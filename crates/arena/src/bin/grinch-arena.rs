@@ -132,13 +132,40 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
         campaign.trials,
         campaign.jobs.clamp(1, campaign.num_cells())
     );
+    let started = std::time::Instant::now();
     let matrix = run_campaign(&campaign);
+    let wall_ns = started.elapsed().as_nanos() as u64;
     print!("{}", matrix.heat(Metric::SuccessRate).ascii());
     print!("{}", matrix.heat(Metric::EntropyBits).ascii());
 
     let json = matrix.to_json();
     write_file(&out, &json)?;
     eprintln!("grinch-arena: matrix written to {}", out.display());
+
+    // Perf trajectory: the sweep's wall time and cell-trial throughput land
+    // in a separate BENCH_arena.json so the matrix artifact itself stays
+    // byte-stable. Wall sections are recorded, never regression-gated.
+    let cell_trials = campaign.num_cells() as f64 * campaign.trials as f64;
+    let mut bench = grinch_obs::BenchReport {
+        name: "arena".into(),
+        metrics: vec![
+            ("cells".into(), campaign.num_cells() as f64),
+            ("trials".into(), campaign.trials as f64),
+        ],
+        wall: Vec::new(),
+    };
+    bench.record_wall("cells", wall_ns, cell_trials);
+    let bench_path = out
+        .parent()
+        .map(|d| d.join("BENCH_arena.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_arena.json"));
+    write_file(&bench_path, &bench.to_json())?;
+    eprintln!(
+        "grinch-arena: {cell_trials:.0} cell-trials in {:.2} s ({:.1} cells/s) -> {}",
+        wall_ns as f64 / 1e9,
+        bench.wall[0].throughput,
+        bench_path.display()
+    );
     if let Some(svg_path) = svg {
         write_file(
             Path::new(&svg_path),

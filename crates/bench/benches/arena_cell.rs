@@ -1,0 +1,67 @@
+//! Criterion bench for one arena cell — the unit of work the defense
+//! matrix parallelises. One cell is a full Monte-Carlo trial batch
+//! (key recovery through `cache-sim` → `soc-sim` → `grinch`), so its
+//! wall time is the end-to-end figure the `results/BENCH_*.json`
+//! wall-time fields track.
+//!
+//! Set `GRINCH_BENCH_SMOKE=1` to shrink sampling for CI smoke runs.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gift_cipher::Key;
+use grinch::attack::{recover_full_key, AttackConfig};
+use grinch::oracle::{ObservationConfig, VictimOracle};
+use grinch_arena::{AttackSpec, CampaignConfig, DefenseSpec};
+use grinch_telemetry::Telemetry;
+
+fn bench_arena_cell(c: &mut Criterion) {
+    let config = CampaignConfig {
+        defenses: vec![DefenseSpec::Baseline],
+        attacks: vec![AttackSpec::FlushReload],
+        noise_levels: vec![0.0],
+        trials: 1,
+        seed: 0xbe9c,
+        max_stage_encryptions: 2_500,
+        jobs: 1,
+    };
+    let mut group = c.benchmark_group("arena_cell");
+    if std::env::var("GRINCH_BENCH_SMOKE").is_ok() {
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(200));
+    } else {
+        group.sample_size(10);
+    }
+    group.bench_function("baseline_flush_reload_1_trial", |b| {
+        b.iter(|| grinch_arena::cell::run_cell(black_box(&config), 0))
+    });
+
+    // The same end-to-end recovery with the telemetry registry attached —
+    // every probe pass, cache access and stage transition now also updates
+    // counters/histograms. The gap between this and a bare cell is the
+    // instrumentation overhead the handle/batch API is meant to erase.
+    for (label, telemetry) in [
+        ("telemetry_off", Telemetry::disabled()),
+        ("telemetry_on", Telemetry::new()),
+    ] {
+        group.bench_function(format!("recovery/{label}"), |b| {
+            let secret = Key::from_u128(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210);
+            let mut attack_cfg = AttackConfig::new();
+            attack_cfg.stage = attack_cfg
+                .stage
+                .with_max_encryptions(2_500)
+                .with_seed(0xbe9c);
+            b.iter(|| {
+                let mut oracle =
+                    VictimOracle::new_seeded(secret, ObservationConfig::ideal(), 0xbe9c);
+                oracle.set_telemetry(telemetry.clone());
+                recover_full_key(black_box(&mut oracle), &attack_cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arena_cell);
+criterion_main!(benches);

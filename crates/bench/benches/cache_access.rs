@@ -1,0 +1,59 @@
+//! Criterion bench for the raw simulation hot path: one `Cache::access`
+//! in the paper's L1 geometry, measured for the hit and the miss/evict
+//! case, each with telemetry detached and attached. These four numbers are
+//! the denominators of every Monte-Carlo sweep in the repo — an arena cell
+//! is millions of these calls — so the bench doubles as the wall-clock
+//! evidence for the hot-path overhaul (see DESIGN.md §11).
+//!
+//! Set `GRINCH_BENCH_SMOKE=1` to shrink sampling for CI smoke runs.
+
+use std::time::Duration;
+
+use cache_sim::{Cache, CacheConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use grinch_telemetry::Telemetry;
+
+fn smoke(group: &mut criterion::BenchmarkGroup<'_>) {
+    if std::env::var("GRINCH_BENCH_SMOKE").is_ok() {
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(60));
+    }
+}
+
+/// Distinct-line address stream that wraps far beyond the cache capacity,
+/// so every access misses and (once warm) evicts.
+fn miss_stream(i: u64) -> u64 {
+    (i.wrapping_mul(0x9e37_79b9) % 0x10_0000) & !0xf
+}
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access");
+    smoke(&mut group);
+
+    for (label, telemetry) in [
+        ("telemetry_off", Telemetry::disabled()),
+        ("telemetry_on", Telemetry::new()),
+    ] {
+        let mut hit_cache = Cache::new(CacheConfig::grinch_default());
+        hit_cache.set_telemetry(telemetry.clone(), "cache.l1");
+        hit_cache.access(0x400);
+        group.bench_function(format!("hit/{label}"), |b| {
+            b.iter(|| hit_cache.access(black_box(0x400)))
+        });
+
+        let mut miss_cache = Cache::new(CacheConfig::grinch_default());
+        miss_cache.set_telemetry(telemetry.clone(), "cache.l1");
+        let mut i = 0u64;
+        group.bench_function(format!("miss_evict/{label}"), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                miss_cache.access(black_box(miss_stream(i)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_access);
+criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! ```
 
 use grinch::experiments::probing_round::{measure_cell_traced, Fig3Config};
-use grinch_bench::{bench_telemetry, emit_telemetry_report, format_cell};
+use grinch_bench::{bench_telemetry, emit_telemetry_report_with_wall, format_cell, WallTimer};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -29,6 +29,7 @@ fn main() {
         "{:>14} {:>18} {:>18}",
         "probing round", "with flush", "without flush"
     );
+    let timer = WallTimer::start("cells");
     for round in 1..=config.max_probing_round {
         let with = measure_cell_traced(&config, round, true, telemetry.clone());
         let without = measure_cell_traced(&config, round, false, telemetry.clone());
@@ -39,7 +40,8 @@ fn main() {
             format_cell(&without)
         );
     }
+    let wall = [timer.stop(2.0 * config.max_probing_round as f64)];
     println!("\nExpected shape (paper): exponential growth with probing round;");
     println!("the flush series sits strictly below the no-flush series.");
-    emit_telemetry_report(&telemetry, "fig3");
+    emit_telemetry_report_with_wall(&telemetry, "fig3", &wall);
 }

@@ -6,7 +6,7 @@
 //! ```
 
 use grinch::experiments::line_size::{measure_cell_traced, Table1Config};
-use grinch_bench::{bench_telemetry, emit_telemetry_report, format_cell};
+use grinch_bench::{bench_telemetry, emit_telemetry_report_with_wall, format_cell, WallTimer};
 
 fn main() {
     let cap: u64 = std::env::args()
@@ -26,6 +26,8 @@ fn main() {
         print!(" {:>12}", format!("round {round}"));
     }
     println!();
+    let timer = WallTimer::start("cells");
+    let mut cells = 0u64;
     for &words in &config.line_sizes {
         print!(
             "{:>16}",
@@ -33,11 +35,13 @@ fn main() {
         );
         for &round in &config.probing_rounds {
             let cell = measure_cell_traced(&config, words, round, telemetry.clone());
+            cells += 1;
             print!(" {:>12}", format_cell(&cell));
         }
         println!();
     }
+    let wall = [timer.stop(cells as f64)];
     println!("\nExpected shape (paper): effort grows sharply with line size and");
     println!("probing round; the widest-line / latest-probe corner drops out.");
-    emit_telemetry_report(&telemetry, "table1");
+    emit_telemetry_report_with_wall(&telemetry, "table1", &wall);
 }

@@ -7,11 +7,13 @@
 //! ```
 
 use grinch::experiments::practical::{measure_cell_traced, TABLE2_FREQUENCIES};
-use grinch_bench::{bench_telemetry, emit_telemetry_report};
+use grinch_bench::{bench_telemetry, emit_telemetry_report_with_wall, WallTimer};
 use soc_sim::platform::PlatformKind;
 
 fn main() {
     let telemetry = bench_telemetry();
+    let timer = WallTimer::start("cells");
+    let mut cells = 0u64;
     println!("Table II — Attack efficiency (first probed round)\n");
     print!("{:>24}", "platform");
     for freq in TABLE2_FREQUENCIES {
@@ -25,6 +27,7 @@ fn main() {
         print!("{label:>24}");
         for freq in TABLE2_FREQUENCIES {
             let cell = measure_cell_traced(platform, freq, telemetry.clone());
+            cells += 1;
             match cell.probed_round {
                 Some(r) => print!(" {r:>10}"),
                 None => print!(" {:>10}", "-"),
@@ -52,5 +55,6 @@ fn main() {
         }
     }
     println!();
-    emit_telemetry_report(&telemetry, "table2");
+    let wall = [timer.stop(cells as f64)];
+    emit_telemetry_report_with_wall(&telemetry, "table2", &wall);
 }

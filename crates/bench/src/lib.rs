@@ -30,6 +30,19 @@ pub fn bench_telemetry() -> grinch_telemetry::Telemetry {
 /// reported to stderr, not fatal, so a read-only checkout still prints its
 /// tables.
 pub fn emit_telemetry_report(telemetry: &grinch_telemetry::Telemetry, name: &str) {
+    emit_telemetry_report_with_wall(telemetry, name, &[]);
+}
+
+/// [`emit_telemetry_report`] plus wall-clock sections: the simulated
+/// metrics still come from the telemetry snapshot, while `wall` carries the
+/// real elapsed time (and derived throughput) the binary measured around
+/// its main loop. Wall sections ride in the report's additive `wall` block
+/// — recorded for the perf trajectory, never regression-gated.
+pub fn emit_telemetry_report_with_wall(
+    telemetry: &grinch_telemetry::Telemetry,
+    name: &str,
+    wall: &[grinch_obs::WallSection],
+) {
     if !telemetry.is_enabled() {
         return;
     }
@@ -46,12 +59,42 @@ pub fn emit_telemetry_report(telemetry: &grinch_telemetry::Telemetry, name: &str
             return;
         }
     }
-    let report =
+    let mut report =
         grinch_obs::BenchReport::from_snapshot(&name_sanitized(name), &telemetry.snapshot());
+    report.wall = wall.to_vec();
     let report_path = dir.join(format!("BENCH_{}.json", name_sanitized(name)));
     match std::fs::write(&report_path, report.to_json()) {
         Ok(()) => println!("bench report:    {}", report_path.display()),
         Err(e) => eprintln!("telemetry: write to {} failed: {e}", report_path.display()),
+    }
+}
+
+/// Times one section of a bench binary for the report's wall block.
+///
+/// ```ignore
+/// let timer = WallTimer::start("cells");
+/// // ... run the experiment grid ...
+/// let wall = [timer.stop(cells_done as f64)];
+/// emit_telemetry_report_with_wall(&telemetry, "fig3", &wall);
+/// ```
+pub struct WallTimer {
+    name: &'static str,
+    started: std::time::Instant,
+}
+
+impl WallTimer {
+    /// Starts timing a section.
+    pub fn start(name: &'static str) -> Self {
+        Self {
+            name,
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Stops the timer; `units` is the amount of work the section did
+    /// (cells, recoveries, ...), from which the throughput is derived.
+    pub fn stop(self, units: f64) -> grinch_obs::WallSection {
+        grinch_obs::WallSection::new(self.name, self.started.elapsed().as_nanos() as u64, units)
     }
 }
 

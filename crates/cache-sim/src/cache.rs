@@ -1,10 +1,10 @@
 //! The set-associative cache model.
 
 use crate::config::CacheConfig;
-use crate::mapper::{splitmix64, Domain, IndexMapper};
+use crate::mapper::{splitmix64, Domain, Mapper};
 use crate::replacement::ReplacementState;
 use crate::stats::CacheStats;
-use grinch_telemetry::Telemetry;
+use grinch_telemetry::{CounterHandle, HistogramHandle, Telemetry};
 
 /// Replacement seed used by [`Cache::new`]; [`Cache::new_seeded`] lets
 /// campaigns pick their own.
@@ -34,48 +34,36 @@ impl AccessOutcome {
     }
 }
 
-#[derive(Clone, Debug)]
-struct Way {
-    /// Full line address of the resident line, or `None` when invalid.
-    ///
-    /// Storing the line address (rather than the tag) keeps eviction
-    /// reporting and residency queries correct under *any* index mapping:
-    /// a keyed remap places `line` in a permuted set, from which the tag
-    /// alone could not reconstruct the address.
-    line: Option<u64>,
-    /// Replacement metadata (LRU timestamp / FIFO counter).
-    meta: u64,
+/// Sentinel in the line slab for "this way holds no line". Line addresses
+/// are `addr / line_bytes`, so the sentinel is only ambiguous for an
+/// access at the very top byte of a 1-byte-line address space — rejected
+/// by a debug assertion on the access path.
+const INVALID_LINE: u64 = u64::MAX;
+
+/// Metric slots pre-registered at [`Cache::set_telemetry`] time so the
+/// access path never formats or hashes a name — each publish is a typed
+/// handle bump into the telemetry slot table.
+#[derive(Clone, Copy, Debug)]
+struct MetricHandles {
+    hits: CounterHandle,
+    misses: CounterHandle,
+    evictions: CounterHandle,
+    flushes: CounterHandle,
+    full_flushes: CounterHandle,
+    remaps: CounterHandle,
+    access_cycles: HistogramHandle,
 }
 
-#[derive(Clone, Debug)]
-struct CacheSet {
-    ways: Vec<Way>,
-    replacement: ReplacementState,
-}
-
-/// Metric names pre-rendered at [`Cache::set_telemetry`] time so the access
-/// path never formats strings.
-#[derive(Clone, Debug)]
-struct MetricNames {
-    hits: String,
-    misses: String,
-    evictions: String,
-    flushes: String,
-    full_flushes: String,
-    remaps: String,
-    access_cycles: String,
-}
-
-impl MetricNames {
-    fn new(label: &str) -> Self {
+impl MetricHandles {
+    fn register(telemetry: &Telemetry, label: &str) -> Self {
         Self {
-            hits: format!("{label}.hits"),
-            misses: format!("{label}.misses"),
-            evictions: format!("{label}.evictions"),
-            flushes: format!("{label}.flushes"),
-            full_flushes: format!("{label}.full_flushes"),
-            remaps: format!("{label}.remaps"),
-            access_cycles: format!("{label}.access_cycles"),
+            hits: telemetry.register_counter(&format!("{label}.hits")),
+            misses: telemetry.register_counter(&format!("{label}.misses")),
+            evictions: telemetry.register_counter(&format!("{label}.evictions")),
+            flushes: telemetry.register_counter(&format!("{label}.flushes")),
+            full_flushes: telemetry.register_counter(&format!("{label}.full_flushes")),
+            remaps: telemetry.register_counter(&format!("{label}.remaps")),
+            access_cycles: telemetry.register_histogram(&format!("{label}.access_cycles")),
         }
     }
 }
@@ -94,13 +82,29 @@ impl MetricNames {
 #[derive(Clone, Debug)]
 pub struct Cache {
     config: CacheConfig,
-    mapper: Box<dyn IndexMapper>,
-    sets: Vec<CacheSet>,
+    mapper: Mapper,
+    /// Resident line address per way ([`INVALID_LINE`] when empty), one
+    /// contiguous `num_sets × ways` row-major slab. Storing the line
+    /// address (rather than the tag) keeps eviction reporting and
+    /// residency queries correct under *any* index mapping: a keyed remap
+    /// places a line in a permuted set, from which the tag alone could
+    /// not reconstruct the address.
+    lines: Vec<u64>,
+    /// Replacement metadata (LRU timestamp / FIFO counter), parallel to
+    /// `lines`. Keeping it in its own slab lets the eviction path hand
+    /// `choose_victim` a contiguous borrowed slice instead of collecting
+    /// a scratch `Vec` per eviction.
+    meta: Vec<u64>,
+    /// Per-set replacement policy state (clock, RNG).
+    replacement: Vec<ReplacementState>,
+    /// Way-index bounds per domain, precomputed from the partition:
+    /// indexed by [`Domain`] discriminant (victim 0, attacker 1).
+    way_bounds: [(usize, usize); 2],
     stats: CacheStats,
     telemetry: Telemetry,
     /// `Some` iff `telemetry` is enabled, so the hot path pays one
     /// `Option` check when telemetry is off.
-    metrics: Option<MetricNames>,
+    metrics: Option<MetricHandles>,
 }
 
 impl Cache {
@@ -125,24 +129,26 @@ impl Cache {
     /// Panics if the configuration is invalid (see [`CacheConfig::validate`]).
     pub fn new_seeded(config: CacheConfig, seed: u64) -> Self {
         config.validate().expect("invalid cache configuration");
-        let sets = (0..config.num_sets)
-            .map(|s| CacheSet {
-                ways: (0..config.ways)
-                    .map(|_| Way {
-                        line: None,
-                        meta: 0,
-                    })
-                    .collect(),
-                replacement: ReplacementState::new(
-                    config.replacement,
-                    splitmix64(seed ^ splitmix64(s as u64)),
-                ),
+        let slots = config.num_sets * config.ways;
+        let replacement = (0..config.num_sets)
+            .map(|s| {
+                ReplacementState::new(config.replacement, splitmix64(seed ^ splitmix64(s as u64)))
             })
             .collect();
+        let way_bounds = match config.partition {
+            Some(p) => [
+                range_bounds(p.way_range(Domain::Victim, config.ways)),
+                range_bounds(p.way_range(Domain::Attacker, config.ways)),
+            ],
+            None => [(0, config.ways); 2],
+        };
         Self {
             config,
             mapper: config.mapping.build(),
-            sets,
+            lines: vec![INVALID_LINE; slots],
+            meta: vec![0; slots],
+            replacement,
+            way_bounds,
             stats: CacheStats::default(),
             telemetry: Telemetry::disabled(),
             metrics: None,
@@ -155,7 +161,9 @@ impl Cache {
     /// latency histogram (`label` names the level, e.g. `"cache.l1"`).
     /// Passing a disabled handle detaches.
     pub fn set_telemetry(&mut self, telemetry: Telemetry, label: &str) {
-        self.metrics = telemetry.is_enabled().then(|| MetricNames::new(label));
+        self.metrics = telemetry
+            .is_enabled()
+            .then(|| MetricHandles::register(&telemetry, label));
         self.telemetry = telemetry;
     }
 
@@ -174,25 +182,18 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
-    /// The way-index range `domain` may use (the whole set when
-    /// unpartitioned).
+    /// The way-index bounds `domain` may use (the whole set when
+    /// unpartitioned), precomputed at construction.
     #[inline]
-    fn way_range(&self, domain: Domain) -> core::ops::Range<usize> {
-        match self.config.partition {
-            Some(p) => p.way_range(domain, self.config.ways),
-            None => 0..self.config.ways,
-        }
+    fn way_bounds(&self, domain: Domain) -> (usize, usize) {
+        self.way_bounds[domain as usize]
     }
 
     /// Invalidates every line without touching statistics — the remap
     /// fallout path (the lines are not "flushed", they are orphaned by the
     /// new mapping).
     fn invalidate_all(&mut self) {
-        for set in &mut self.sets {
-            for way in &mut set.ways {
-                way.line = None;
-            }
-        }
+        self.lines.fill(INVALID_LINE);
     }
 
     /// Performs a read access at `addr` from the victim domain, filling the
@@ -210,25 +211,31 @@ impl Cache {
             // now lives at an address the new permutation cannot find.
             self.invalidate_all();
             self.stats.remaps += 1;
-            if let Some(names) = &self.metrics {
-                self.telemetry.counter_inc(&names.remaps);
+            if let Some(m) = &self.metrics {
+                self.telemetry.inc(m.remaps);
             }
         }
         let line = self.config.line_of(addr);
+        debug_assert_ne!(
+            line, INVALID_LINE,
+            "line address collides with the invalid sentinel"
+        );
         let set_idx = self.mapper.set_of(line, self.config.num_sets);
-        let range = self.way_range(domain);
-        let set = &mut self.sets[set_idx];
+        let (lo, hi) = self.way_bounds(domain);
+        let base = set_idx * self.config.ways;
+        let (start, end) = (base + lo, base + hi);
 
-        if let Some(way) = set.ways[range.clone()]
-            .iter_mut()
-            .find(|w| w.line == Some(line))
-        {
-            way.meta = set.replacement.on_hit(way.meta);
+        if let Some(pos) = self.lines[start..end].iter().position(|&l| l == line) {
+            let slot = start + pos;
+            self.meta[slot] = self.replacement[set_idx].on_hit(self.meta[slot]);
             self.stats.hits += 1;
-            if let Some(names) = &self.metrics {
-                self.telemetry.counter_inc(&names.hits);
-                self.telemetry
-                    .record_value(&names.access_cycles, self.config.hit_latency);
+            if let Some(m) = &self.metrics {
+                // One registry borrow for both updates (Batch), not one per
+                // call — this is the hottest line in the workspace.
+                if let Some(mut b) = self.telemetry.batch() {
+                    b.inc(m.hits);
+                    b.record(m.access_cycles, self.config.hit_latency);
+                }
             }
             return AccessOutcome {
                 hit: true,
@@ -240,30 +247,29 @@ impl Cache {
         // Miss: fill an invalid way if one exists, otherwise evict — both
         // within the domain's ways.
         self.stats.misses += 1;
-        let fill_meta = set.replacement.on_fill();
-        let (way_idx, evicted_line) = if let Some(idx) = set.ways[range.clone()]
+        let replacement = &mut self.replacement[set_idx];
+        let fill_meta = replacement.on_fill();
+        let (slot, evicted_line) = if let Some(pos) = self.lines[start..end]
             .iter()
-            .position(|w| w.line.is_none())
+            .position(|&l| l == INVALID_LINE)
         {
-            (range.start + idx, None)
+            (start + pos, None)
         } else {
-            let meta: Vec<u64> = set.ways[range.clone()].iter().map(|w| w.meta).collect();
-            let victim = range.start + set.replacement.choose_victim(&meta);
-            let old_line = set.ways[victim].line.expect("full set has valid lines");
+            let victim = start + replacement.choose_victim(&self.meta[start..end]);
+            let old_line = self.lines[victim];
             self.stats.evictions += 1;
             (victim, Some(old_line))
         };
-        set.ways[way_idx] = Way {
-            line: Some(line),
-            meta: fill_meta,
-        };
-        if let Some(names) = &self.metrics {
-            self.telemetry.counter_inc(&names.misses);
-            if evicted_line.is_some() {
-                self.telemetry.counter_inc(&names.evictions);
+        self.lines[slot] = line;
+        self.meta[slot] = fill_meta;
+        if let Some(m) = &self.metrics {
+            if let Some(mut b) = self.telemetry.batch() {
+                b.inc(m.misses);
+                if evicted_line.is_some() {
+                    b.inc(m.evictions);
+                }
+                b.record(m.access_cycles, self.config.miss_latency);
             }
-            self.telemetry
-                .record_value(&names.access_cycles, self.config.miss_latency);
         }
         AccessOutcome {
             hit: false,
@@ -276,8 +282,8 @@ impl Cache {
     /// without perturbing replacement, mapper-epoch or statistics state.
     pub fn contains(&self, addr: u64) -> bool {
         let line = self.config.line_of(addr);
-        let set = &self.sets[self.mapper.set_of(line, self.config.num_sets)];
-        set.ways.iter().any(|w| w.line == Some(line))
+        let base = self.mapper.set_of(line, self.config.num_sets) * self.config.ways;
+        self.lines[base..base + self.config.ways].contains(&line)
     }
 
     /// Invalidates the line containing `addr` if resident (`clflush`-style,
@@ -292,14 +298,16 @@ impl Cache {
     /// Returns whether a line was actually flushed.
     pub fn flush_line_from(&mut self, addr: u64, domain: Domain) -> bool {
         let line = self.config.line_of(addr);
-        let set_idx = self.mapper.set_of(line, self.config.num_sets);
-        let range = self.way_range(domain);
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set.ways[range].iter_mut().find(|w| w.line == Some(line)) {
-            way.line = None;
+        let base = self.mapper.set_of(line, self.config.num_sets) * self.config.ways;
+        let (lo, hi) = self.way_bounds(domain);
+        if let Some(way) = self.lines[base + lo..base + hi]
+            .iter_mut()
+            .find(|l| **l == line)
+        {
+            *way = INVALID_LINE;
             self.stats.flushes += 1;
-            if let Some(names) = &self.metrics {
-                self.telemetry.counter_inc(&names.flushes);
+            if let Some(m) = &self.metrics {
+                self.telemetry.inc(m.flushes);
             }
             true
         } else {
@@ -310,52 +318,45 @@ impl Cache {
     /// Invalidates the entire cache (victim domain; on a partitioned cache
     /// this still clears everything — the victim owns the platform).
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
-            for way in &mut set.ways {
-                way.line = None;
-            }
-        }
+        self.lines.fill(INVALID_LINE);
         self.stats.full_flushes += 1;
-        if let Some(names) = &self.metrics {
-            self.telemetry.counter_inc(&names.full_flushes);
+        if let Some(m) = &self.metrics {
+            self.telemetry.inc(m.full_flushes);
         }
     }
 
     /// Invalidates every line in `domain`'s ways. Unpartitioned caches
     /// treat this as [`Cache::flush_all`].
     pub fn flush_all_from(&mut self, domain: Domain) {
-        let range = self.way_range(domain);
-        for set in &mut self.sets {
-            for way in &mut set.ways[range.clone()] {
-                way.line = None;
-            }
+        let (lo, hi) = self.way_bounds(domain);
+        for base in (0..self.lines.len()).step_by(self.config.ways) {
+            self.lines[base + lo..base + hi].fill(INVALID_LINE);
         }
         self.stats.full_flushes += 1;
-        if let Some(names) = &self.metrics {
-            self.telemetry.counter_inc(&names.full_flushes);
+        if let Some(m) = &self.metrics {
+            self.telemetry.inc(m.full_flushes);
         }
     }
 
     /// Number of currently valid lines.
     pub fn resident_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.ways.iter().filter(|w| w.line.is_some()).count())
-            .sum()
+        self.lines.iter().filter(|&&l| l != INVALID_LINE).count()
     }
 
     /// Line addresses of every resident line (unordered).
     pub fn resident_line_addrs(&self) -> Vec<u64> {
-        let mut out = Vec::new();
-        for set in &self.sets {
-            for way in &set.ways {
-                if let Some(line) = way.line {
-                    out.push(line);
-                }
-            }
-        }
-        out
+        self.lines
+            .iter()
+            .copied()
+            .filter(|&l| l != INVALID_LINE)
+            .collect()
     }
+}
+
+/// `(start, end)` bounds of a way range (ranges are not `Copy`, the
+/// bounds pair is).
+fn range_bounds(r: core::ops::Range<usize>) -> (usize, usize) {
+    (r.start, r.end)
 }
 
 #[cfg(test)]

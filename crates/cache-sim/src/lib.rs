@@ -46,7 +46,7 @@ pub use adapter::CacheObserver;
 pub use cache::{AccessOutcome, Cache};
 pub use config::{CacheConfig, ConfigError};
 pub use hierarchy::MemoryHierarchy;
-pub use mapper::{splitmix64, Domain, IndexMapper, IndexMapping, WayPartition};
+pub use mapper::{splitmix64, Domain, IndexMapping, Mapper, WayPartition};
 pub use multilevel::{LevelledOutcome, ServedBy, TwoLevelHierarchy};
 pub use replacement::ReplacementPolicy;
 pub use stats::CacheStats;

@@ -6,7 +6,7 @@
 //! Randomized Cache Designs") is *cache-level*. This module provides the
 //! two families the arena evaluates:
 //!
-//! * **Index remapping** ([`IndexMapper`]) — the function from a line
+//! * **Index remapping** ([`Mapper`]) — the function from a line
 //!   address to a set index becomes pluggable. [`IndexMapping::Modulo`] is
 //!   the classical `line % num_sets` (bit-identical to the pre-defense
 //!   simulator); [`IndexMapping::KeyedRemap`] is a CEASER-style keyed
@@ -102,13 +102,13 @@ pub enum IndexMapping {
 
 impl IndexMapping {
     /// Instantiates the runtime mapper state.
-    pub fn build(&self) -> Box<dyn IndexMapper> {
+    pub fn build(&self) -> Mapper {
         match *self {
-            Self::Modulo => Box::new(ModuloMapper),
+            Self::Modulo => Mapper::Modulo(ModuloMapper),
             Self::KeyedRemap {
                 key,
                 epoch_accesses,
-            } => Box::new(KeyedRemapMapper::new(key, epoch_accesses)),
+            } => Mapper::KeyedRemap(KeyedRemapMapper::new(key, epoch_accesses)),
         }
     }
 
@@ -121,36 +121,52 @@ impl IndexMapping {
     }
 }
 
-/// The pluggable line-address → set-index function of a cache.
+/// The runtime line-address → set-index function of a cache: a closed
+/// enum over the supported mappings, dispatched by `match` so the
+/// per-access `set_of`/`note_access` calls inline with no virtual call
+/// (the replacement for the former `Box<dyn IndexMapper>` object).
 ///
-/// Implementations must be **bijective on set indices within an epoch**:
-/// for a fixed internal state, `set_of` restricted to `line % num_sets`
-/// classes must be a permutation of `0..num_sets` (pinned by the
-/// cache-sim property tests). `note_access` is called once per cache
-/// access and returns `true` when an epoch boundary was crossed — the
-/// cache then invalidates itself and records a remap event.
-pub trait IndexMapper: std::fmt::Debug {
+/// Every variant is **bijective on set indices within an epoch**: for a
+/// fixed internal state, `set_of` restricted to `line % num_sets` classes
+/// is a permutation of `0..num_sets` (pinned by the cache-sim property
+/// tests). The third defense of this module, [`WayPartition`], is *not* a
+/// variant here: it permutes nothing and composes with either mapping, so
+/// the cache realizes it as precomputed per-domain way ranges instead.
+#[derive(Clone, Debug)]
+pub enum Mapper {
+    /// The classical `line % num_sets`.
+    Modulo(ModuloMapper),
+    /// CEASER-style keyed permutation with epoch rekeying.
+    KeyedRemap(KeyedRemapMapper),
+}
+
+impl Mapper {
     /// Set index for the line address `line` in a cache of `num_sets`
     /// sets (`num_sets` is a power of two).
-    fn set_of(&self, line: u64, num_sets: usize) -> usize;
+    #[inline]
+    pub fn set_of(&self, line: u64, num_sets: usize) -> usize {
+        match self {
+            Self::Modulo(m) => m.set_of(line, num_sets),
+            Self::KeyedRemap(m) => m.set_of(line, num_sets),
+        }
+    }
 
     /// Notes one cache access; returns `true` if the mapper re-keyed
     /// (epoch boundary), which obliges the cache to invalidate all lines.
-    fn note_access(&mut self) -> bool {
-        false
+    #[inline]
+    pub fn note_access(&mut self) -> bool {
+        match self {
+            Self::Modulo(_) => false,
+            Self::KeyedRemap(m) => m.note_access(),
+        }
     }
 
-    /// Clones the mapper state behind a fresh box ([`Clone`] for trait
-    /// objects).
-    fn box_clone(&self) -> Box<dyn IndexMapper>;
-
     /// Stable mapper name.
-    fn name(&self) -> &'static str;
-}
-
-impl Clone for Box<dyn IndexMapper> {
-    fn clone(&self) -> Self {
-        self.box_clone()
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Modulo(_) => "modulo",
+            Self::KeyedRemap(_) => "keyed-remap",
+        }
     }
 }
 
@@ -158,18 +174,11 @@ impl Clone for Box<dyn IndexMapper> {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ModuloMapper;
 
-impl IndexMapper for ModuloMapper {
+impl ModuloMapper {
+    /// `line % num_sets`.
     #[inline]
-    fn set_of(&self, line: u64, num_sets: usize) -> usize {
+    pub fn set_of(&self, line: u64, num_sets: usize) -> usize {
         (line % num_sets as u64) as usize
-    }
-
-    fn box_clone(&self) -> Box<dyn IndexMapper> {
-        Box::new(*self)
-    }
-
-    fn name(&self) -> &'static str {
-        "modulo"
     }
 }
 
@@ -217,17 +226,18 @@ impl KeyedRemapMapper {
     pub fn epoch_key(&self) -> u64 {
         self.epoch_key
     }
-}
 
-impl IndexMapper for KeyedRemapMapper {
+    /// The keyed permutation: `((i * mult) ^ mask) mod num_sets`.
     #[inline]
-    fn set_of(&self, line: u64, num_sets: usize) -> usize {
+    pub fn set_of(&self, line: u64, num_sets: usize) -> usize {
         let mask = num_sets as u64 - 1;
         let idx = line & mask;
         ((idx.wrapping_mul(self.multiplier) ^ self.xor_mask) & mask) as usize
     }
 
-    fn note_access(&mut self) -> bool {
+    /// Notes one access; `true` on an epoch boundary (the mapper re-keyed).
+    #[inline]
+    pub fn note_access(&mut self) -> bool {
         if self.epoch_accesses == 0 {
             return false;
         }
@@ -240,14 +250,6 @@ impl IndexMapper for KeyedRemapMapper {
         } else {
             false
         }
-    }
-
-    fn box_clone(&self) -> Box<dyn IndexMapper> {
-        Box::new(self.clone())
-    }
-
-    fn name(&self) -> &'static str {
-        "keyed-remap"
     }
 }
 

@@ -60,6 +60,15 @@ pub struct TwoLevelHierarchy {
     l2: Cache,
     memory_latency: u64,
     telemetry: grinch_telemetry::Telemetry,
+    /// `Some` iff telemetry is enabled: pre-registered `hierarchy.*`
+    /// slots, indexed by [`ServedBy`] discriminant for the counters.
+    metrics: Option<HierarchyMetrics>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct HierarchyMetrics {
+    served_by: [grinch_telemetry::CounterHandle; 3],
+    read_cycles: grinch_telemetry::HistogramHandle,
 }
 
 impl TwoLevelHierarchy {
@@ -81,6 +90,7 @@ impl TwoLevelHierarchy {
             l2: Cache::new(l2),
             memory_latency,
             telemetry: grinch_telemetry::Telemetry::disabled(),
+            metrics: None,
         }
     }
 
@@ -121,6 +131,14 @@ impl TwoLevelHierarchy {
     pub fn set_telemetry(&mut self, telemetry: grinch_telemetry::Telemetry) {
         self.l1.set_telemetry(telemetry.clone(), "cache.l1");
         self.l2.set_telemetry(telemetry.clone(), "cache.l2");
+        self.metrics = telemetry.is_enabled().then(|| HierarchyMetrics {
+            served_by: [
+                telemetry.register_counter("hierarchy.served_by.l1"),
+                telemetry.register_counter("hierarchy.served_by.l2"),
+                telemetry.register_counter("hierarchy.served_by.memory"),
+            ],
+            read_cycles: telemetry.register_histogram("hierarchy.read_cycles"),
+        });
         self.telemetry = telemetry;
     }
 
@@ -147,15 +165,11 @@ impl TwoLevelHierarchy {
                 }
             }
         };
-        if self.telemetry.is_enabled() {
-            let level = match outcome.served_by {
-                ServedBy::L1 => "hierarchy.served_by.l1",
-                ServedBy::L2 => "hierarchy.served_by.l2",
-                ServedBy::Memory => "hierarchy.served_by.memory",
-            };
-            self.telemetry.counter_inc(level);
-            self.telemetry
-                .record_value("hierarchy.read_cycles", outcome.latency);
+        if let Some(m) = &self.metrics {
+            if let Some(mut b) = self.telemetry.batch() {
+                b.inc(m.served_by[outcome.served_by as usize]);
+                b.record(m.read_cycles, outcome.latency);
+            }
         }
         outcome
     }

@@ -1,0 +1,219 @@
+//! Regression harness for the flattened cache core.
+//!
+//! The slab-layout `Cache` (one contiguous `sets × ways` line/meta pair of
+//! vectors) must be *observationally identical* to the original
+//! array-of-structs design. This test replays long access/flush traces
+//! against a deliberately naive reference model written the way the seed
+//! cache was — `Vec` of sets, `Vec` of ways, `Option<u64>` lines, a
+//! per-eviction metadata `collect` — and demands the same outcome
+//! (hit/miss, latency, evicted line) on every step, for all three
+//! replacement policies, with and without partitioning and keyed
+//! remapping.
+
+use cache_sim::mapper::Mapper;
+use cache_sim::replacement::ReplacementState;
+use cache_sim::{Cache, CacheConfig, Domain, IndexMapping, ReplacementPolicy, WayPartition};
+
+/// The seed implementation, preserved as an executable specification.
+struct ReferenceCache {
+    config: CacheConfig,
+    mapper: Mapper,
+    sets: Vec<RefSet>,
+}
+
+struct RefSet {
+    ways: Vec<RefWay>,
+    replacement: ReplacementState,
+}
+
+#[derive(Clone, Copy)]
+struct RefWay {
+    line: Option<u64>,
+    meta: u64,
+}
+
+/// Mirror of the outcome triple the real cache reports.
+#[derive(Debug, PartialEq, Eq)]
+struct RefOutcome {
+    hit: bool,
+    latency: u64,
+    evicted_line: Option<u64>,
+}
+
+impl ReferenceCache {
+    fn new_seeded(config: CacheConfig, seed: u64) -> Self {
+        let sets = (0..config.num_sets)
+            .map(|s| RefSet {
+                ways: vec![
+                    RefWay {
+                        line: None,
+                        meta: 0
+                    };
+                    config.ways
+                ],
+                replacement: ReplacementState::new(
+                    config.replacement,
+                    cache_sim::splitmix64(seed ^ cache_sim::splitmix64(s as u64)),
+                ),
+            })
+            .collect();
+        Self {
+            config,
+            mapper: config.mapping.build(),
+            sets,
+        }
+    }
+
+    fn way_range(&self, domain: Domain) -> core::ops::Range<usize> {
+        match self.config.partition {
+            Some(p) => p.way_range(domain, self.config.ways),
+            None => 0..self.config.ways,
+        }
+    }
+
+    fn access_from(&mut self, addr: u64, domain: Domain) -> RefOutcome {
+        if self.mapper.note_access() {
+            for set in &mut self.sets {
+                for way in &mut set.ways {
+                    way.line = None;
+                }
+            }
+        }
+        let line = self.config.line_of(addr);
+        let set_idx = self.mapper.set_of(line, self.config.num_sets);
+        let range = self.way_range(domain);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.ways[range.clone()]
+            .iter_mut()
+            .find(|w| w.line == Some(line))
+        {
+            way.meta = set.replacement.on_hit(way.meta);
+            return RefOutcome {
+                hit: true,
+                latency: self.config.hit_latency,
+                evicted_line: None,
+            };
+        }
+        let fill_meta = set.replacement.on_fill();
+        let (way_idx, evicted_line) = if let Some(idx) = set.ways[range.clone()]
+            .iter()
+            .position(|w| w.line.is_none())
+        {
+            (range.start + idx, None)
+        } else {
+            let meta: Vec<u64> = set.ways[range.clone()].iter().map(|w| w.meta).collect();
+            let victim = range.start + set.replacement.choose_victim(&meta);
+            let old_line = set.ways[victim].line.expect("full set has valid lines");
+            (victim, Some(old_line))
+        };
+        set.ways[way_idx] = RefWay {
+            line: Some(line),
+            meta: fill_meta,
+        };
+        RefOutcome {
+            hit: false,
+            latency: self.config.miss_latency,
+            evicted_line,
+        }
+    }
+
+    fn flush_line_from(&mut self, addr: u64, domain: Domain) -> bool {
+        let line = self.config.line_of(addr);
+        let set_idx = self.mapper.set_of(line, self.config.num_sets);
+        let range = self.way_range(domain);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.ways[range].iter_mut().find(|w| w.line == Some(line)) {
+            way.line = None;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A deterministic mixed workload of accesses and occasional flushes from
+/// both domains. `span` bounds the address range so sets fill and evict.
+fn replay(config: CacheConfig, seed: u64, steps: u64, span: u64) {
+    let mut real = Cache::new_seeded(config, seed);
+    let mut reference = ReferenceCache::new_seeded(config, seed);
+    let mut x = cache_sim::splitmix64(seed ^ 0x5eed);
+    for step in 0..steps {
+        x = cache_sim::splitmix64(x);
+        let addr = x % span;
+        let domain = if x & 0x100 == 0 {
+            Domain::Victim
+        } else {
+            Domain::Attacker
+        };
+        if x & 0xff00_0000 == 0 {
+            // Rare flush, exercising the invalidation paths too.
+            assert_eq!(
+                real.flush_line_from(addr, domain),
+                reference.flush_line_from(addr, domain),
+                "flush divergence at step {step} (addr {addr:#x})"
+            );
+            continue;
+        }
+        let got = real.access_from(addr, domain);
+        let want = reference.access_from(addr, domain);
+        assert_eq!(
+            (got.hit, got.latency, got.evicted_line),
+            (want.hit, want.latency, want.evicted_line),
+            "outcome divergence at step {step} (addr {addr:#x}, {domain:?})"
+        );
+    }
+}
+
+fn base_config(replacement: ReplacementPolicy) -> CacheConfig {
+    CacheConfig {
+        line_bytes: 4,
+        num_sets: 8,
+        ways: 4,
+        hit_latency: 1,
+        miss_latency: 20,
+        replacement,
+        mapping: IndexMapping::Modulo,
+        partition: None,
+    }
+}
+
+const POLICIES: [ReplacementPolicy; 3] = [
+    ReplacementPolicy::Lru,
+    ReplacementPolicy::Fifo,
+    ReplacementPolicy::Random,
+];
+
+#[test]
+fn slab_replays_reference_evictions_modulo() {
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        replay(base_config(policy), 0x1000 + i as u64, 20_000, 0x400);
+    }
+}
+
+#[test]
+fn slab_replays_reference_evictions_partitioned() {
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        let cfg = base_config(policy).with_partition(WayPartition { victim_ways: 3 });
+        replay(cfg, 0x2000 + i as u64, 20_000, 0x400);
+    }
+}
+
+#[test]
+fn slab_replays_reference_evictions_keyed_remap() {
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        let cfg = base_config(policy).with_mapping(IndexMapping::KeyedRemap {
+            key: 0xfeed_f00d ^ i as u64,
+            epoch_accesses: 977,
+        });
+        replay(cfg, 0x3000 + i as u64, 20_000, 0x400);
+    }
+}
+
+#[test]
+fn slab_replays_reference_in_grinch_geometry() {
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        let mut cfg = CacheConfig::grinch_default();
+        cfg.replacement = policy;
+        replay(cfg, 0x4000 + i as u64, 20_000, 0x1000);
+    }
+}

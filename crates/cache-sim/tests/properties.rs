@@ -1,6 +1,6 @@
 //! Property-based tests of the cache simulator.
 
-use cache_sim::mapper::{IndexMapper, KeyedRemapMapper, ModuloMapper};
+use cache_sim::mapper::{KeyedRemapMapper, Mapper, ModuloMapper};
 use cache_sim::{Cache, CacheConfig, IndexMapping, ReplacementPolicy};
 use proptest::prelude::*;
 
@@ -27,12 +27,11 @@ fn arb_config() -> impl Strategy<Value = CacheConfig> {
         })
 }
 
-fn arb_mapper() -> impl Strategy<Value = Box<dyn IndexMapper>> {
+fn arb_mapper() -> impl Strategy<Value = Mapper> {
     prop_oneof![
-        Just(()).prop_map(|()| Box::new(ModuloMapper) as Box<dyn IndexMapper>),
-        (any::<u64>(), 0u64..1000).prop_map(|(key, epoch)| {
-            Box::new(KeyedRemapMapper::new(key, epoch)) as Box<dyn IndexMapper>
-        }),
+        Just(Mapper::Modulo(ModuloMapper)),
+        (any::<u64>(), 0u64..1000)
+            .prop_map(|(key, epoch)| Mapper::KeyedRemap(KeyedRemapMapper::new(key, epoch))),
     ]
 }
 

@@ -83,6 +83,7 @@ pub fn key_from_round_keys(round_keys: &[RoundKey64; STAGES]) -> Key {
 pub fn recover_full_key(oracle: &mut VictimOracle, config: &AttackConfig) -> AttackOutcome {
     let telemetry = oracle.telemetry().clone();
     let _span = grinch_telemetry::span!(telemetry, "attack.recover_full_key", stages = STAGES);
+    let key_recovered = telemetry.register_gauge("attack.key_recovered");
     let mut rng = StdRng::seed_from_u64(config.stage.seed);
     // One encryption for the verification pair.
     let verify_pt = config.verification_plaintext;
@@ -100,12 +101,7 @@ pub fn recover_full_key(oracle: &mut VictimOracle, config: &AttackConfig) -> Att
         &mut stage_encryptions,
         &mut capped,
     );
-    if telemetry.is_enabled() {
-        telemetry.gauge_set(
-            "attack.key_recovered",
-            if key.is_some() { 1.0 } else { 0.0 },
-        );
-    }
+    telemetry.set(key_recovered, if key.is_some() { 1.0 } else { 0.0 });
     AttackOutcome {
         key,
         encryptions: oracle.encryptions(),
@@ -266,14 +262,19 @@ mod tests {
         assert_eq!(tel.counter("attack.encryptions"), outcome.encryptions);
         assert!(tel.counter("attack.probes") > 0);
         assert!(tel.counter("attack.eliminations") >= 4 * 16 * 3);
-        // Entropy gauges end at zero for every resolved stage.
-        for stage in 1..=STAGES {
-            assert_eq!(
-                tel.gauge(&format!("attack.entropy_bits.stage{stage}")),
-                Some(0.0)
-            );
+        // Entropy gauges end at zero for every resolved stage. The names are
+        // rendered once into handles (the same registry slots the stage
+        // driver writes through) instead of formatting per read.
+        let entropy_gauges: Vec<_> = (1..=STAGES)
+            .map(|stage| tel.register_gauge(&format!("attack.entropy_bits.stage{stage}")))
+            .collect();
+        for (stage, gauge) in entropy_gauges.into_iter().enumerate() {
+            assert_eq!(tel.gauge_of(gauge), Some(0.0), "stage {}", stage + 1);
         }
-        assert_eq!(tel.gauge("attack.key_recovered"), Some(1.0));
+        assert_eq!(
+            tel.gauge_of(tel.register_gauge("attack.key_recovered")),
+            Some(1.0)
+        );
         // The stage spans nest under the root recovery span and close in
         // simulated time.
         let snap = tel.snapshot();

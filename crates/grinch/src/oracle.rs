@@ -198,49 +198,83 @@ pub struct VictimOracle {
     cache: Cache,
     config: ObservationConfig,
     encryptions: u64,
+    /// Monitored S-box line base addresses, computed once at construction
+    /// so the per-observation path never rebuilds the probe list.
+    probe_addrs: Vec<u64>,
     /// Attacker-owned addresses used by Prime+Probe, one group per
     /// monitored set.
     prime_groups: Vec<(u64, Vec<u64>)>,
     telemetry: grinch_telemetry::Telemetry,
-    /// Per-stage metric names, rendered once per stage so the
-    /// per-observation hot path never formats strings.
-    stage_metrics: std::collections::BTreeMap<usize, StageMetricNames>,
+    /// `Some` iff telemetry is enabled: the campaign-total counters.
+    metrics: Option<AttackMetricHandles>,
+    /// Per-stage handle sets, indexed by stage round and registered on
+    /// first use, so the per-observation hot path neither formats names
+    /// nor hashes them.
+    stage_metrics: Vec<Option<StageMetricHandles>>,
     /// Optional false-absence channel applied to every observation before
     /// the attacker (and the telemetry feed) sees it.
     noise: Option<NoiseChannel>,
+    /// Scratch observation buffer backing
+    /// [`VictimOracle::encrypt_and_probe_batch`]; reused across batches.
+    batch: Vec<ObservedLines>,
 }
 
-/// Pre-rendered counter names for one stage's observability feed: the
+/// Campaign-total counters, registered once at
+/// [`VictimOracle::set_telemetry`].
+#[derive(Clone, Copy, Debug)]
+struct AttackMetricHandles {
+    encryptions: grinch_telemetry::CounterHandle,
+    probes: grinch_telemetry::CounterHandle,
+    probe_hits: grinch_telemetry::CounterHandle,
+}
+
+impl AttackMetricHandles {
+    fn register(telemetry: &grinch_telemetry::Telemetry) -> Self {
+        Self {
+            encryptions: telemetry.register_counter("attack.encryptions"),
+            probes: telemetry.register_counter("attack.probes"),
+            probe_hits: telemetry.register_counter("attack.probe_hits"),
+        }
+    }
+}
+
+/// Pre-registered counter slots for one stage's observability feed: the
 /// per-line probe-hit counters (`attack.stage<r>.line_hits.l<idx>.s<set>`)
 /// the leakage heatmap is built from, plus per-stage probe/encryption
-/// totals.
-struct StageMetricNames {
-    probes: String,
-    probe_hits: String,
-    encryptions: String,
+/// totals. Names are rendered exactly once, at registration.
+struct StageMetricHandles {
+    probes: grinch_telemetry::CounterHandle,
+    probe_hits: grinch_telemetry::CounterHandle,
+    encryptions: grinch_telemetry::CounterHandle,
     /// Indexed by monitored-line index (see
     /// [`ObservationConfig::line_index_of_addr`]); the name carries both
     /// the line index and the cache set it maps to.
-    line_hits: Vec<String>,
+    line_hits: Vec<grinch_telemetry::CounterHandle>,
 }
 
-impl StageMetricNames {
-    fn new(config: &ObservationConfig, stage_round: usize) -> Self {
+impl StageMetricHandles {
+    fn register(
+        telemetry: &grinch_telemetry::Telemetry,
+        config: &ObservationConfig,
+        stage_round: usize,
+    ) -> Self {
         let line_hits = config
             .probe_line_addrs()
             .iter()
             .map(|&addr| {
-                format!(
+                telemetry.register_counter(&format!(
                     "attack.stage{stage_round}.line_hits.l{:02}.s{:03}",
                     config.line_index_of_addr(addr).expect("monitored line"),
                     config.cache.set_of(addr)
-                )
+                ))
             })
             .collect();
         Self {
-            probes: format!("attack.stage{stage_round}.probes"),
-            probe_hits: format!("attack.stage{stage_round}.probe_hits"),
-            encryptions: format!("attack.stage{stage_round}.encryptions"),
+            probes: telemetry.register_counter(&format!("attack.stage{stage_round}.probes")),
+            probe_hits: telemetry
+                .register_counter(&format!("attack.stage{stage_round}.probe_hits")),
+            encryptions: telemetry
+                .register_counter(&format!("attack.stage{stage_round}.encryptions")),
             line_hits,
         }
     }
@@ -288,15 +322,19 @@ impl VictimOracle {
             None => Cache::new(config.cache),
         };
         let prime_groups = Self::build_prime_groups(&config);
+        let probe_addrs = config.probe_line_addrs();
         Self {
             cipher,
             cache,
             config,
             encryptions: 0,
+            probe_addrs,
             prime_groups,
             telemetry: grinch_telemetry::Telemetry::disabled(),
-            stage_metrics: std::collections::BTreeMap::new(),
+            metrics: None,
+            stage_metrics: Vec::new(),
             noise: None,
+            batch: Vec::new(),
         }
     }
 
@@ -313,6 +351,12 @@ impl VictimOracle {
     /// `attack.probes` / `attack.probe_hits` / `attack.encryptions`.
     pub fn set_telemetry(&mut self, telemetry: grinch_telemetry::Telemetry) {
         self.cache.set_telemetry(telemetry.clone(), "cache.l1");
+        self.metrics = telemetry
+            .is_enabled()
+            .then(|| AttackMetricHandles::register(&telemetry));
+        // Stage handles index the *previous* registry; drop them so they
+        // re-register lazily against the new one.
+        self.stage_metrics.clear();
         self.telemetry = telemetry;
     }
 
@@ -361,11 +405,31 @@ impl VictimOracle {
     }
 
     fn prime(&mut self) {
-        let groups = self.prime_groups.clone();
-        for (_, addrs) in &groups {
+        // Field-disjoint borrows: the groups are read-only while the cache
+        // mutates, so no per-call clone of the group table is needed.
+        let Self {
+            cache,
+            prime_groups,
+            ..
+        } = self;
+        for (_, addrs) in prime_groups.iter() {
             for &a in addrs {
-                self.cache.access_from(a, Domain::Attacker);
+                cache.access_from(a, Domain::Attacker);
             }
+        }
+    }
+
+    /// Ensures the stage-`stage_round` handle set is registered.
+    fn ensure_stage_handles(&mut self, stage_round: usize) {
+        if self.stage_metrics.len() <= stage_round {
+            self.stage_metrics.resize_with(stage_round + 1, || None);
+        }
+        if self.stage_metrics[stage_round].is_none() {
+            self.stage_metrics[stage_round] = Some(StageMetricHandles::register(
+                &self.telemetry,
+                &self.config,
+                stage_round,
+            ));
         }
     }
 
@@ -389,34 +453,49 @@ impl VictimOracle {
     /// Prime+Probe the flush is a flush-plus-re-prime, the mechanic an
     /// attacker without a flush instruction uses.
     pub fn observe_stage(&mut self, plaintext: u64, stage_round: usize) -> ObservedLines {
+        let mut out = ObservedLines::new();
+        self.observe_stage_into(plaintext, stage_round, &mut out);
+        out
+    }
+
+    /// [`VictimOracle::observe_stage`] writing into a caller-provided set
+    /// (cleared first) — the allocation-free core both the single and the
+    /// batched paths share.
+    pub fn observe_stage_into(
+        &mut self,
+        plaintext: u64,
+        stage_round: usize,
+        out: &mut ObservedLines,
+    ) {
+        out.clear();
         self.encryptions += 1;
         let rounds = (stage_round + self.config.probing_round).min(GIFT64_ROUNDS);
-        if self.telemetry.is_enabled() {
-            self.telemetry.counter_inc("attack.encryptions");
+        if let Some(m) = self.metrics {
+            self.telemetry.inc(m.encryptions);
             self.telemetry.advance_time_ns(rounds as u64 * SIM_ROUND_NS);
         }
         let flush_before = self.config.flush_after_round1.then_some(stage_round);
-        let observed = match self.config.strategy {
+        match self.config.strategy {
             ProbeStrategy::FlushReload => {
                 // Flush phase: evict the monitored lines. All probe-side
                 // operations run in the attacker domain: a way partition
                 // blocks both the flush and the reload-hit, blinding the
-                // mechanic entirely.
-                let probe_addrs = self.config.probe_line_addrs();
-                for &a in &probe_addrs {
-                    self.cache.flush_line_from(a, Domain::Attacker);
+                // mechanic entirely. (Indexed loops keep the borrow of the
+                // precomputed probe list disjoint from the cache.)
+                for i in 0..self.probe_addrs.len() {
+                    self.cache
+                        .flush_line_from(self.probe_addrs[i], Domain::Attacker);
                 }
                 self.run_rounds_observed(plaintext, rounds, flush_before, false);
                 // Reload phase: a hit means the victim brought the line in.
-                let mut observed = ObservedLines::new();
-                for &a in &probe_addrs {
+                for i in 0..self.probe_addrs.len() {
+                    let a = self.probe_addrs[i];
                     if self.cache.access_from(a, Domain::Attacker).is_hit() {
-                        observed.insert(a);
+                        out.insert(a);
                     }
                     // Leave the line flushed for the next observation.
                     self.cache.flush_line_from(a, Domain::Attacker);
                 }
-                observed
             }
             ProbeStrategy::PrimeProbe => {
                 // Prime phase: fill each monitored set with attacker lines.
@@ -424,17 +503,20 @@ impl VictimOracle {
                 self.run_rounds_observed(plaintext, rounds, flush_before, true);
                 // Probe phase: re-read the attacker lines; any miss means
                 // the victim displaced one — its set was touched.
-                let groups = self.prime_groups.clone();
-                let mut observed = ObservedLines::new();
-                for (line_addr, addrs) in &groups {
+                let Self {
+                    cache,
+                    prime_groups,
+                    ..
+                } = self;
+                for (line_addr, addrs) in prime_groups.iter() {
                     let mut evicted = false;
                     for &a in addrs {
-                        if self.cache.access_from(a, Domain::Attacker).is_miss() {
+                        if cache.access_from(a, Domain::Attacker).is_miss() {
                             evicted = true;
                         }
                     }
                     if evicted {
-                        observed.insert(*line_addr);
+                        out.insert(*line_addr);
                     }
                 }
                 // Clean up: leave the monitored sets empty of victim lines
@@ -443,36 +525,56 @@ impl VictimOracle {
                 // all the mechanic needs (victim lines never evict primes
                 // there anyway).
                 self.cache.flush_all_from(Domain::Attacker);
-                observed
             }
-        };
-        let observed = match self.noise.as_mut() {
-            Some(channel) => channel.apply(observed),
-            None => observed,
-        };
-        if self.telemetry.is_enabled() {
-            let probes = self.config.probe_line_addrs().len() as u64;
-            self.telemetry.counter_add("attack.probes", probes);
-            self.telemetry
-                .counter_add("attack.probe_hits", observed.len() as u64);
+        }
+        if let Some(channel) = self.noise.as_mut() {
+            *out = channel.apply(std::mem::take(out));
+        }
+        if let Some(m) = self.metrics {
+            let probes = self.probe_addrs.len() as u64;
             // Per-stage feed for the leakage profiler (`grinch-obs`):
             // which monitored lines lit up, keyed by line index and set.
-            let telemetry = self.telemetry.clone();
-            let config = &self.config;
-            let names = self
-                .stage_metrics
-                .entry(stage_round)
-                .or_insert_with(|| StageMetricNames::new(config, stage_round));
-            telemetry.counter_add(&names.probes, probes);
-            telemetry.counter_add(&names.probe_hits, observed.len() as u64);
-            telemetry.counter_inc(&names.encryptions);
-            for &addr in &observed {
-                if let Some(idx) = self.config.line_index_of_addr(addr) {
-                    telemetry.counter_inc(&names.line_hits[idx]);
+            self.ensure_stage_handles(stage_round);
+            let stage = self.stage_metrics[stage_round]
+                .as_ref()
+                .expect("just registered");
+            if let Some(mut b) = self.telemetry.batch() {
+                b.add(m.probes, probes);
+                b.add(m.probe_hits, out.len() as u64);
+                b.add(stage.probes, probes);
+                b.add(stage.probe_hits, out.len() as u64);
+                b.inc(stage.encryptions);
+                for &addr in out.iter() {
+                    if let Some(idx) = self.config.line_index_of_addr(addr) {
+                        b.inc(stage.line_hits[idx]);
+                    }
                 }
             }
         }
-        observed
+    }
+
+    /// Observes one chosen plaintext per entry of `plaintexts` for a
+    /// stage-`stage_round` campaign and returns the observations in order.
+    ///
+    /// Equivalent to calling [`VictimOracle::observe_stage`] in a loop, but
+    /// the returned slice borrows an internal scratch buffer that is reused
+    /// across batches (grown once, never shrunk) and the per-stage metric
+    /// handles resolve exactly once — the bulk path for Monte-Carlo sweeps
+    /// that replay fixed plaintext schedules.
+    pub fn encrypt_and_probe_batch(
+        &mut self,
+        plaintexts: &[u64],
+        stage_round: usize,
+    ) -> &[ObservedLines] {
+        if self.batch.len() < plaintexts.len() {
+            self.batch.resize_with(plaintexts.len(), ObservedLines::new);
+        }
+        for (i, &pt) in plaintexts.iter().enumerate() {
+            let mut out = std::mem::take(&mut self.batch[i]);
+            self.observe_stage_into(pt, stage_round, &mut out);
+            self.batch[i] = out;
+        }
+        &self.batch[..plaintexts.len()]
     }
 
     /// Runs the victim's first `rounds` rounds against the cache; before
@@ -508,8 +610,8 @@ impl VictimOracle {
     /// key). Counts as one encryption.
     pub fn known_pair(&mut self, plaintext: u64) -> u64 {
         self.encryptions += 1;
-        if self.telemetry.is_enabled() {
-            self.telemetry.counter_inc("attack.encryptions");
+        if let Some(m) = self.metrics {
+            self.telemetry.inc(m.encryptions);
             self.telemetry
                 .advance_time_ns(GIFT64_ROUNDS as u64 * SIM_ROUND_NS);
         }
@@ -740,6 +842,48 @@ mod tests {
         assert!(noisy_oracle.observe(pt).is_empty(), "p=1 drops everything");
         noisy_oracle.set_noise(None);
         assert_eq!(noisy_oracle.observe(pt), clean, "removal restores clarity");
+    }
+
+    #[test]
+    fn batch_path_matches_looped_observe_and_telemetry() {
+        let pts = [0u64, 42, 0x0123_4567_89ab_cdef, u64::MAX, 42];
+        for strategy in [ProbeStrategy::FlushReload, ProbeStrategy::PrimeProbe] {
+            let cfg = ObservationConfig {
+                strategy,
+                ..ObservationConfig::ideal()
+            };
+            let loop_tel = grinch_telemetry::Telemetry::new();
+            let mut loop_oracle = VictimOracle::new(key(), cfg.clone());
+            loop_oracle.set_telemetry(loop_tel.clone());
+            let looped: Vec<ObservedLines> = pts
+                .iter()
+                .map(|&pt| loop_oracle.observe_stage(pt, 2))
+                .collect();
+
+            let batch_tel = grinch_telemetry::Telemetry::new();
+            let mut batch_oracle = VictimOracle::new(key(), cfg);
+            batch_oracle.set_telemetry(batch_tel.clone());
+            let batched = batch_oracle.encrypt_and_probe_batch(&pts, 2);
+
+            assert_eq!(batched, looped.as_slice());
+            assert_eq!(batch_oracle.encryptions(), loop_oracle.encryptions());
+            assert_eq!(
+                batch_tel.to_jsonl(),
+                loop_tel.to_jsonl(),
+                "batched and looped paths must publish identical telemetry"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_scratch_is_reused_across_calls() {
+        let mut oracle = VictimOracle::new(key(), ObservationConfig::ideal());
+        let first = oracle.encrypt_and_probe_batch(&[1, 2, 3], 1).to_vec();
+        // A smaller follow-up batch only exposes its own observations.
+        let second = oracle.encrypt_and_probe_batch(&[1], 1);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0], first[0]);
+        assert_eq!(oracle.encryptions(), 4);
     }
 
     #[test]

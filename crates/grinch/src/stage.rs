@@ -165,33 +165,42 @@ pub fn run_stage<R: Rng + ?Sized>(
     let start_encryptions = oracle.encryptions();
     let telemetry = oracle.telemetry().clone();
     let _span = grinch_telemetry::span!(telemetry, "attack.stage", round = stage_round);
-    let entropy_gauge = telemetry
-        .is_enabled()
-        .then(|| format!("attack.entropy_bits.stage{stage_round}"));
+    let entropy_gauge = telemetry.is_enabled().then(|| {
+        (
+            telemetry.register_gauge(&format!("attack.entropy_bits.stage{stage_round}")),
+            telemetry.register_counter("attack.eliminations"),
+        )
+    });
     // Observability feed for `grinch-obs`: joint (forced pattern, observed
     // line) counts drive the per-stage mutual-information estimate, the
-    // elimination histogram the entropy-vs-probe trajectory. All names are
-    // rendered once, before the campaign loop.
-    let obs_names = telemetry.is_enabled().then(|| {
+    // elimination histogram the entropy-vs-probe trajectory. All slots are
+    // registered (names rendered) once, before the campaign loop.
+    let obs_handles = telemetry.is_enabled().then(|| {
         let lines = oracle.config().probe_line_addrs().len();
-        let joint: Vec<Vec<String>> = (0..16)
+        let joint: Vec<Vec<grinch_telemetry::CounterHandle>> = (0..16)
             .map(|p| {
                 (0..lines)
-                    .map(|l| format!("attack.stage{stage_round}.joint.p{p:x}.l{l:02}"))
+                    .map(|l| {
+                        telemetry.register_counter(&format!(
+                            "attack.stage{stage_round}.joint.p{p:x}.l{l:02}"
+                        ))
+                    })
                     .collect()
             })
             .collect();
         (
             joint,
-            format!("attack.stage{stage_round}.eliminations"),
-            format!("attack.stage{stage_round}.elimination_encryptions"),
+            telemetry.register_counter(&format!("attack.stage{stage_round}.eliminations")),
+            telemetry.register_histogram(&format!(
+                "attack.stage{stage_round}.elimination_encryptions"
+            )),
         )
     });
     let mut candidates: [CandidateSet; GIFT64_SEGMENTS] =
         core::array::from_fn(|_| CandidateSet::full());
     let mut capped = false;
-    if let Some(gauge) = &entropy_gauge {
-        telemetry.gauge_set(gauge, entropy_bits(&candidates));
+    if let Some((gauge, _)) = entropy_gauge {
+        telemetry.set(gauge, entropy_bits(&candidates));
     }
 
     'batches: for batch in disjoint_batches(stage_round) {
@@ -231,7 +240,7 @@ pub fn run_stage<R: Rng + ?Sized>(
                     let pt = craft_plaintext(&specs, known_round_keys, rng)
                         .expect("batched targets have disjoint sources");
                     let observed = oracle.observe_stage(pt, stage_round);
-                    if let Some((joint, _, _)) = &obs_names {
+                    if let Some((joint, _, _)) = &obs_handles {
                         // Joint (pattern, line) counts: with a leaky victim
                         // the forced pattern determines the signal line, so
                         // the profiler's I(pattern; line) comes out high;
@@ -245,7 +254,7 @@ pub fn run_stage<R: Rng + ?Sized>(
                                 .fold(0usize, |acc, (b, &v)| acc | (usize::from(v) << b));
                             for &addr in &observed {
                                 if let Some(l) = oracle.config().line_index_of_addr(addr) {
-                                    telemetry.counter_inc(&joint[p][l]);
+                                    telemetry.inc(joint[p][l]);
                                 }
                             }
                         }
@@ -258,14 +267,13 @@ pub fn run_stage<R: Rng + ?Sized>(
                         stall += 1;
                     } else {
                         stall = 0;
-                        if let Some(gauge) = &entropy_gauge {
-                            telemetry.counter_add("attack.eliminations", progressed as u64);
-                            telemetry.gauge_set(gauge, entropy_bits(&candidates));
+                        if let Some((gauge, eliminations)) = entropy_gauge {
+                            telemetry.add(eliminations, progressed as u64);
+                            telemetry.set(gauge, entropy_bits(&candidates));
                         }
-                        if let Some((_, eliminations, trajectory)) = &obs_names {
-                            telemetry.counter_add(eliminations, progressed as u64);
-                            telemetry
-                                .record_value(trajectory, oracle.encryptions() - start_encryptions);
+                        if let Some((_, eliminations, trajectory)) = &obs_handles {
+                            telemetry.add(*eliminations, progressed as u64);
+                            telemetry.record(*trajectory, oracle.encryptions() - start_encryptions);
                         }
                     }
                     if batch.iter().any(|&s| candidates[s].is_empty()) {

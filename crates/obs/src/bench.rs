@@ -33,6 +33,41 @@ pub struct BenchReport {
     pub name: String,
     /// Metric name → value, name-sorted.
     pub metrics: Vec<(String, f64)>,
+    /// Wall-clock sections — additive perf trajectory. Machine-dependent,
+    /// so [`BenchReport::compare`] never gates on them and baseline
+    /// refreshes strip them; they exist so committed `BENCH_*.json`
+    /// artifacts carry throughput history alongside the gated metrics.
+    pub wall: Vec<WallSection>,
+}
+
+/// One wall-clock measurement: how long a section of the bench took and
+/// what rate of work that implies.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WallSection {
+    /// Section name (`run`, `matrix`, ...), unique within a report.
+    pub name: String,
+    /// Elapsed wall-clock time in nanoseconds.
+    pub wall_ns: f64,
+    /// Work units per second of wall time (units are section-specific:
+    /// cells/s for the arena, cache accesses/s for the microbenches, ...).
+    pub throughput: f64,
+}
+
+impl WallSection {
+    /// Builds a section from an elapsed time and a unit count, deriving
+    /// the throughput (0 when no time elapsed).
+    pub fn new(name: &str, wall_ns: u64, units: f64) -> Self {
+        let throughput = if wall_ns == 0 {
+            0.0
+        } else {
+            units / (wall_ns as f64 / 1e9)
+        };
+        Self {
+            name: name.to_string(),
+            wall_ns: wall_ns as f64,
+            throughput,
+        }
+    }
 }
 
 /// One metric that failed the gate.
@@ -127,6 +162,21 @@ impl BenchReport {
         Self {
             name: name.to_string(),
             metrics,
+            wall: Vec::new(),
+        }
+    }
+
+    /// Appends a wall-clock section (see [`WallSection::new`]).
+    pub fn record_wall(&mut self, section: &str, wall_ns: u64, units: f64) {
+        self.wall.push(WallSection::new(section, wall_ns, units));
+    }
+
+    /// A copy with the machine-dependent wall sections removed — what a
+    /// committed baseline should contain.
+    pub fn without_wall(&self) -> Self {
+        Self {
+            wall: Vec::new(),
+            ..self.clone()
         }
     }
 
@@ -156,11 +206,32 @@ impl BenchReport {
         let mut w = ObjWriter::new();
         w.str("schema", SCHEMA).str("name", &self.name);
         w.raw("metrics", &metrics_json);
+        if !self.wall.is_empty() {
+            // Additive block: reports without wall timings serialize
+            // exactly as before, so existing baselines stay byte-stable.
+            let mut wall_json = String::from("{");
+            for (i, section) in self.wall.iter().enumerate() {
+                if i > 0 {
+                    wall_json.push(',');
+                }
+                wall_json.push_str("\n    ");
+                let mut cell = String::new();
+                grinch_telemetry::json::escape_into(&mut cell, &section.name);
+                let _ = write!(wall_json, "\"{cell}\": {{\"wall_ns\": ");
+                grinch_telemetry::json::write_f64(&mut wall_json, section.wall_ns);
+                wall_json.push_str(", \"throughput\": ");
+                grinch_telemetry::json::write_f64(&mut wall_json, section.throughput);
+                wall_json.push('}');
+            }
+            wall_json.push_str("\n  }");
+            w.raw("wall", &wall_json);
+        }
         // Re-indent the outer object for readability.
         let flat = w.finish();
         flat.replacen("{\"schema\"", "{\n  \"schema\"", 1)
             .replacen(",\"name\"", ",\n  \"name\"", 1)
             .replacen(",\"metrics\"", ",\n  \"metrics\"", 1)
+            .replacen(",\"wall\"", ",\n  \"wall\"", 1)
             + "\n"
     }
 
@@ -191,14 +262,37 @@ impl BenchReport {
             metrics.push((metric.clone(), v));
         }
         metrics.sort_by(|a, b| a.0.cmp(&b.0));
-        Ok(Self { name, metrics })
+        let mut wall = Vec::new();
+        if let Some(JsonValue::Obj(sections)) = value.get("wall") {
+            for (section, timing) in sections {
+                let wall_ns = timing
+                    .get("wall_ns")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("wall section {section:?} lacks wall_ns"))?;
+                let throughput = timing
+                    .get("throughput")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("wall section {section:?} lacks throughput"))?;
+                wall.push(WallSection {
+                    name: section.clone(),
+                    wall_ns,
+                    throughput,
+                });
+            }
+        }
+        Ok(Self {
+            name,
+            metrics,
+            wall,
+        })
     }
 
     /// Compares `current` against this baseline. A metric fails when it is
     /// missing from `current` or its relative deviation from the baseline
     /// exceeds `rel_tol` (e.g. `0.05` = ±5%). Metrics present only in
     /// `current` (newly added instrumentation) do not fail the gate — they
-    /// become part of the baseline on the next refresh.
+    /// become part of the baseline on the next refresh. Wall-clock sections
+    /// are never compared: they vary with the machine, not the simulation.
     pub fn compare(&self, current: &Self, rel_tol: f64) -> Vec<MetricDeviation> {
         let mut failures = Vec::new();
         for (name, baseline) in &self.metrics {
@@ -248,7 +342,7 @@ pub fn check_or_bootstrap(
         if let Some(parent) = baseline_path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(baseline_path, current.to_json())?;
+        std::fs::write(baseline_path, current.without_wall().to_json())?;
         return Ok(GateOutcome::Bootstrapped);
     }
     let text = std::fs::read_to_string(baseline_path)?;
@@ -318,6 +412,39 @@ mod tests {
         assert_eq!(back, report);
         assert!(BenchReport::from_json("{}").is_err());
         assert!(BenchReport::from_json("{\"schema\":\"other/v9\"}").is_err());
+    }
+
+    #[test]
+    fn wall_sections_round_trip_and_never_gate() {
+        let mut report = sample_report();
+        report.record_wall("run", 2_000_000_000, 500.0);
+        let json = report.to_json();
+        assert!(json.contains("\"wall\""));
+        let back = BenchReport::from_json(&json).expect("parses");
+        assert_eq!(back, report);
+        assert_eq!(back.wall[0].wall_ns, 2e9);
+        assert_eq!(back.wall[0].throughput, 250.0, "500 units over 2 s");
+
+        // A wildly different wall time never fails the gate...
+        let mut slower = report.clone();
+        slower.wall[0].wall_ns *= 100.0;
+        slower.wall[0].throughput /= 100.0;
+        assert!(report.compare(&slower, 0.0).is_empty());
+        // ...and baselines are written without the machine-dependent block.
+        let stripped = report.without_wall();
+        assert!(stripped.wall.is_empty());
+        assert_eq!(stripped.metrics, report.metrics);
+        assert!(!stripped.to_json().contains("wall_ns"));
+        // Reports without a wall block (every pre-existing baseline) still
+        // serialize and parse exactly as before.
+        let plain = sample_report();
+        assert!(!plain.to_json().contains("\"wall\""));
+        assert!(BenchReport::from_json(&plain.to_json())
+            .expect("parses")
+            .wall
+            .is_empty());
+        // Zero elapsed time degrades to zero throughput, not a NaN.
+        assert_eq!(WallSection::new("empty", 0, 10.0).throughput, 0.0);
     }
 
     #[test]

@@ -181,9 +181,16 @@ fn cmd_bench(mut args: Vec<String>) -> Result<ExitCode, String> {
     for (name, trace_path) in &traces {
         let snapshot =
             Snapshot::from_jsonl_file(trace_path).map_err(|e| format!("cannot read trace: {e}"))?;
-        let report = BenchReport::from_snapshot(name, &snapshot);
+        let mut report = BenchReport::from_snapshot(name, &snapshot);
 
         let report_path = results.join(format!("BENCH_{name}.json"));
+        // The trace only carries simulated metrics; keep whatever wall
+        // sections the bench binary already recorded in its report.
+        if let Ok(prev) = std::fs::read_to_string(&report_path) {
+            if let Ok(prev) = BenchReport::from_json(&prev) {
+                report.wall = prev.wall;
+            }
+        }
         std::fs::write(&report_path, report.to_json())
             .map_err(|e| format!("cannot write {}: {e}", report_path.display()))?;
 
@@ -192,7 +199,7 @@ fn cmd_bench(mut args: Vec<String>) -> Result<ExitCode, String> {
             if let Some(parent) = baseline_path.parent() {
                 std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
             }
-            std::fs::write(&baseline_path, report.to_json())
+            std::fs::write(&baseline_path, report.without_wall().to_json())
                 .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
             println!(
                 "{name}: baseline refreshed ({} metrics)",

@@ -43,7 +43,7 @@ pub mod leakage;
 pub mod matrix;
 pub mod paths;
 
-pub use bench::{BenchReport, GateOutcome, MetricDeviation};
+pub use bench::{BenchReport, GateOutcome, MetricDeviation, WallSection};
 pub use chrome::chrome_trace_json;
 pub use dashboard::dashboard;
 pub use heatmap::Heatmap;

@@ -67,6 +67,15 @@ impl RoundRobinScheduler {
         log: &mut ScenarioLog,
     ) -> u64 {
         let telemetry = log.telemetry().clone();
+        // Render each per-process counter name exactly once per run instead
+        // of once per quantum; `cycle_counters[i]` stays aligned with
+        // `processes[i]` as finished processes are removed below.
+        let quanta = telemetry.register_counter("scheduler.quanta");
+        let mut cycle_counters: Vec<_> = self
+            .processes
+            .iter()
+            .map(|p| telemetry.register_counter(&format!("scheduler.cycles.{}", p.name())))
+            .collect();
         while now_ns < deadline_ns && !self.processes.is_empty() {
             let slice_ns = self.quantum_ns.min(deadline_ns - now_ns);
             let budget = clock.ns_to_cycles(slice_ns);
@@ -80,17 +89,15 @@ impl RoundRobinScheduler {
                 mem_access_ns,
                 log,
             };
-            let running = self.processes[self.current].name();
             let result = self.processes[self.current].run(&mut ctx, budget);
             debug_assert!(result.used_cycles <= budget, "process exceeded its budget");
             now_ns += clock.cycles_to_ns(result.used_cycles);
-            if telemetry.is_enabled() {
-                telemetry.counter_inc("scheduler.quanta");
-                telemetry.counter_add(&format!("scheduler.cycles.{running}"), result.used_cycles);
-            }
+            telemetry.inc(quanta);
+            telemetry.add(cycle_counters[self.current], result.used_cycles);
             match result.state {
                 RunState::Finished => {
                     self.processes.remove(self.current);
+                    cycle_counters.remove(self.current);
                     if self.processes.is_empty() {
                         break;
                     }

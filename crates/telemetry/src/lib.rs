@@ -6,7 +6,11 @@
 //! * a **metrics registry** — named [counters](Telemetry::counter_add),
 //!   [gauges](Telemetry::gauge_set) and log-scale
 //!   [histograms](Telemetry::record_value) with percentile queries
-//!   ([`LogHistogram`]);
+//!   ([`LogHistogram`]). Hot paths resolve a name **once** to a typed
+//!   handle ([`Telemetry::register_counter`] → [`CounterHandle`] →
+//!   [`Telemetry::add`]) and thereafter update a flat slot table with no
+//!   string hashing; the string methods remain as a thin compatibility
+//!   layer over the same slots, so both paths export identical snapshots;
 //! * **hierarchical trace spans** — [`span!`] /
 //!   [`Telemetry::span`] guards stamped with *simulated* nanoseconds
 //!   (the simulations advance the clock; wall time never appears);
@@ -232,14 +236,123 @@ impl Snapshot {
     }
 }
 
+/// Sentinel slot index carried by handles registered on a disabled
+/// [`Telemetry`]; every operation through such a handle is a no-op.
+const NOOP_SLOT: u32 = u32::MAX;
+
+/// A pre-resolved counter slot. Obtained once from
+/// [`Telemetry::register_counter`]; each [`Telemetry::add`] through it is
+/// a bounds-checked vector write — no name hashing, no allocation.
+///
+/// A handle indexes the registry of the `Telemetry` that issued it; using
+/// it on a different enabled handle's registry either panics (index out of
+/// range) or touches the wrong slot, so keep handle and telemetry paired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterHandle(u32);
+
+/// A pre-resolved gauge slot (see [`CounterHandle`] for the contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeHandle(u32);
+
+/// A pre-resolved histogram slot (see [`CounterHandle`] for the contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramHandle(u32);
+
+impl CounterHandle {
+    /// A handle whose operations all no-op, regardless of telemetry state.
+    pub const NOOP: Self = Self(NOOP_SLOT);
+}
+
+impl GaugeHandle {
+    /// A handle whose operations all no-op, regardless of telemetry state.
+    pub const NOOP: Self = Self(NOOP_SLOT);
+}
+
+impl HistogramHandle {
+    /// A handle whose operations all no-op, regardless of telemetry state.
+    pub const NOOP: Self = Self(NOOP_SLOT);
+}
+
+// Slots are created by registration (handle or first string use) but only
+// appear in snapshots once touched, so pre-registering every metric a
+// component *might* bump does not change the exported registry: snapshots
+// stay byte-identical with the old create-on-first-touch string API.
+#[derive(Debug)]
+struct CounterSlot {
+    name: String,
+    value: u64,
+    touched: bool,
+}
+
+#[derive(Debug)]
+struct GaugeSlot {
+    name: String,
+    value: f64,
+    touched: bool,
+}
+
+#[derive(Debug)]
+struct HistogramSlot {
+    name: String,
+    hist: LogHistogram,
+    touched: bool,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     now_ns: u64,
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, LogHistogram>,
+    counter_index: BTreeMap<String, u32>,
+    counters: Vec<CounterSlot>,
+    gauge_index: BTreeMap<String, u32>,
+    gauges: Vec<GaugeSlot>,
+    histogram_index: BTreeMap<String, u32>,
+    histograms: Vec<HistogramSlot>,
     spans: Vec<SpanRecord>,
     open: Vec<usize>,
+}
+
+impl Inner {
+    fn counter_slot(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.counter_index.get(name) {
+            return i;
+        }
+        let i = u32::try_from(self.counters.len()).expect("counter registry overflow");
+        self.counters.push(CounterSlot {
+            name: name.to_string(),
+            value: 0,
+            touched: false,
+        });
+        self.counter_index.insert(name.to_string(), i);
+        i
+    }
+
+    fn gauge_slot(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.gauge_index.get(name) {
+            return i;
+        }
+        let i = u32::try_from(self.gauges.len()).expect("gauge registry overflow");
+        self.gauges.push(GaugeSlot {
+            name: name.to_string(),
+            value: 0.0,
+            touched: false,
+        });
+        self.gauge_index.insert(name.to_string(), i);
+        i
+    }
+
+    fn histogram_slot(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.histogram_index.get(name) {
+            return i;
+        }
+        let i = u32::try_from(self.histograms.len()).expect("histogram registry overflow");
+        self.histograms.push(HistogramSlot {
+            name: name.to_string(),
+            hist: LogHistogram::new(),
+            touched: false,
+        });
+        self.histogram_index.insert(name.to_string(), i);
+        i
+    }
 }
 
 /// The shared telemetry handle.
@@ -251,6 +364,55 @@ struct Inner {
 #[derive(Clone, Debug, Default)]
 pub struct Telemetry {
     inner: Option<Rc<RefCell<Inner>>>,
+}
+
+/// A batched update session from [`Telemetry::batch`]: holds the registry
+/// borrow once so a run of handle updates (the typical "counters plus a
+/// latency histogram per event" shape) pays for it once instead of per
+/// call. Updates are identical to the per-call methods — same slots, same
+/// touched semantics. Drop the batch before any reentrant telemetry use
+/// (snapshotting, registering) or the `RefCell` will panic, like any
+/// outstanding borrow.
+pub struct Batch<'a> {
+    inner: std::cell::RefMut<'a, Inner>,
+}
+
+impl Batch<'_> {
+    /// Adds `delta` to the counter behind `h` (no-op for NOOP handles).
+    #[inline]
+    pub fn add(&mut self, h: CounterHandle, delta: u64) {
+        if h.0 != NOOP_SLOT {
+            let slot = &mut self.inner.counters[h.0 as usize];
+            slot.value += delta;
+            slot.touched = true;
+        }
+    }
+
+    /// Increments the counter behind `h` by one.
+    #[inline]
+    pub fn inc(&mut self, h: CounterHandle) {
+        self.add(h, 1);
+    }
+
+    /// Sets the gauge behind `h`.
+    #[inline]
+    pub fn set(&mut self, h: GaugeHandle, value: f64) {
+        if h.0 != NOOP_SLOT {
+            let slot = &mut self.inner.gauges[h.0 as usize];
+            slot.value = value;
+            slot.touched = true;
+        }
+    }
+
+    /// Records `value` into the histogram behind `h`.
+    #[inline]
+    pub fn record(&mut self, h: HistogramHandle, value: u64) {
+        if h.0 != NOOP_SLOT {
+            let slot = &mut self.inner.histograms[h.0 as usize];
+            slot.hist.record(value);
+            slot.touched = true;
+        }
+    }
 }
 
 impl Telemetry {
@@ -293,18 +455,146 @@ impl Telemetry {
         self.inner.as_ref().map_or(0, |i| i.borrow().now_ns)
     }
 
-    // ---- metrics --------------------------------------------------------
+    // ---- typed handles --------------------------------------------------
 
-    /// Adds `delta` to a named counter (created at 0).
+    /// Resolves `name` to a [`CounterHandle`] — the one-time half of the
+    /// gem5-style "register once, bump through a slot" split. Re-registering
+    /// the same name returns the same slot, and the string API shares it,
+    /// so handle and string updates to one name always agree. On a
+    /// disabled handle this returns [`CounterHandle::NOOP`].
+    ///
+    /// Registration alone does not make the counter appear in snapshots;
+    /// it shows up (at its accumulated value) after the first
+    /// [`add`](Telemetry::add) or string update, exactly like the
+    /// create-on-first-touch string API.
+    pub fn register_counter(&self, name: &str) -> CounterHandle {
+        match &self.inner {
+            Some(inner) => CounterHandle(inner.borrow_mut().counter_slot(name)),
+            None => CounterHandle::NOOP,
+        }
+    }
+
+    /// Resolves `name` to a [`GaugeHandle`] (see
+    /// [`register_counter`](Telemetry::register_counter)).
+    pub fn register_gauge(&self, name: &str) -> GaugeHandle {
+        match &self.inner {
+            Some(inner) => GaugeHandle(inner.borrow_mut().gauge_slot(name)),
+            None => GaugeHandle::NOOP,
+        }
+    }
+
+    /// Resolves `name` to a [`HistogramHandle`] (see
+    /// [`register_counter`](Telemetry::register_counter)).
+    pub fn register_histogram(&self, name: &str) -> HistogramHandle {
+        match &self.inner {
+            Some(inner) => HistogramHandle(inner.borrow_mut().histogram_slot(name)),
+            None => HistogramHandle::NOOP,
+        }
+    }
+
+    /// Adds `delta` to the counter behind `h`: one slot write, no name
+    /// lookup. No-op for [`CounterHandle::NOOP`] or a disabled handle.
+    #[inline]
+    pub fn add(&self, h: CounterHandle, delta: u64) {
+        if h.0 == NOOP_SLOT {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.borrow_mut();
+            let slot = &mut inner.counters[h.0 as usize];
+            slot.value += delta;
+            slot.touched = true;
+        }
+    }
+
+    /// Increments the counter behind `h` by one.
+    #[inline]
+    pub fn inc(&self, h: CounterHandle) {
+        self.add(h, 1);
+    }
+
+    /// Sets the gauge behind `h`.
+    #[inline]
+    pub fn set(&self, h: GaugeHandle, value: f64) {
+        if h.0 == NOOP_SLOT {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.borrow_mut();
+            let slot = &mut inner.gauges[h.0 as usize];
+            slot.value = value;
+            slot.touched = true;
+        }
+    }
+
+    /// Records `value` into the histogram behind `h`.
+    #[inline]
+    pub fn record(&self, h: HistogramHandle, value: u64) {
+        if h.0 == NOOP_SLOT {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.borrow_mut();
+            let slot = &mut inner.histograms[h.0 as usize];
+            slot.hist.record(value);
+            slot.touched = true;
+        }
+    }
+
+    /// Opens a batched update session: one registry borrow amortized over
+    /// several handle updates. `None` when disabled, so a hot path costs a
+    /// single null-check per event:
+    ///
+    /// ```
+    /// # let tel = grinch_telemetry::Telemetry::new();
+    /// # let hits = tel.register_counter("hits");
+    /// # let lat = tel.register_histogram("latency");
+    /// if let Some(mut batch) = tel.batch() {
+    ///     batch.inc(hits);
+    ///     batch.record(lat, 12);
+    /// }
+    /// assert_eq!(tel.counter("hits"), 1);
+    /// ```
+    #[inline]
+    pub fn batch(&self) -> Option<Batch<'_>> {
+        self.inner.as_ref().map(|rc| Batch {
+            inner: rc.borrow_mut(),
+        })
+    }
+
+    /// Current value of the gauge behind `h` (`None` for NOOP/disabled or
+    /// a never-set gauge).
+    pub fn gauge_of(&self, h: GaugeHandle) -> Option<f64> {
+        if h.0 == NOOP_SLOT {
+            return None;
+        }
+        self.inner.as_ref().and_then(|i| {
+            let slot = &i.borrow().gauges[h.0 as usize];
+            slot.touched.then_some(slot.value)
+        })
+    }
+
+    /// Current value of the counter behind `h` (0 for NOOP/disabled).
+    pub fn counter_of(&self, h: CounterHandle) -> u64 {
+        if h.0 == NOOP_SLOT {
+            return 0;
+        }
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.borrow().counters[h.0 as usize].value)
+    }
+
+    // ---- metrics (string compatibility layer) ---------------------------
+
+    /// Adds `delta` to a named counter (created at 0). Thin layer over the
+    /// handle path: resolves the slot by name, then updates it.
     pub fn counter_add(&self, name: &str, delta: u64) {
         if let Some(inner) = &self.inner {
             let mut inner = inner.borrow_mut();
-            match inner.counters.get_mut(name) {
-                Some(c) => *c += delta,
-                None => {
-                    inner.counters.insert(name.to_string(), delta);
-                }
-            }
+            let i = inner.counter_slot(name);
+            let slot = &mut inner.counters[i as usize];
+            slot.value += delta;
+            slot.touched = true;
         }
     }
 
@@ -316,7 +606,11 @@ impl Telemetry {
     /// Sets a named gauge to `value`.
     pub fn gauge_set(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().gauges.insert(name.to_string(), value);
+            let mut inner = inner.borrow_mut();
+            let i = inner.gauge_slot(name);
+            let slot = &mut inner.gauges[i as usize];
+            slot.value = value;
+            slot.touched = true;
         }
     }
 
@@ -324,14 +618,10 @@ impl Telemetry {
     pub fn record_value(&self, name: &str, value: u64) {
         if let Some(inner) = &self.inner {
             let mut inner = inner.borrow_mut();
-            match inner.histograms.get_mut(name) {
-                Some(h) => h.record(value),
-                None => {
-                    let mut h = LogHistogram::new();
-                    h.record(value);
-                    inner.histograms.insert(name.to_string(), h);
-                }
-            }
+            let i = inner.histogram_slot(name);
+            let slot = &mut inner.histograms[i as usize];
+            slot.hist.record(value);
+            slot.touched = true;
         }
     }
 
@@ -380,35 +670,60 @@ impl Telemetry {
             return Snapshot::default();
         };
         let inner = inner.borrow();
+        // Slot order is registration order; snapshots stay name-sorted so
+        // exports are byte-identical with the BTreeMap-backed registry.
+        let mut counters: Vec<(String, u64)> = inner
+            .counters
+            .iter()
+            .filter(|s| s.touched)
+            .map(|s| (s.name.clone(), s.value))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, f64)> = inner
+            .gauges
+            .iter()
+            .filter(|s| s.touched)
+            .map(|s| (s.name.clone(), s.value))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, LogHistogram)> = inner
+            .histograms
+            .iter()
+            .filter(|s| s.touched)
+            .map(|s| (s.name.clone(), s.hist.clone()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
         Snapshot {
             sim_time_ns: inner.now_ns,
-            counters: inner
-                .counters
-                .iter()
-                .map(|(k, v)| (k.clone(), *v))
-                .collect(),
-            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
-            histograms: inner
-                .histograms
-                .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect(),
+            counters,
+            gauges,
+            histograms,
             spans: inner.spans.clone(),
         }
     }
 
     /// Current value of a counter (0 if never touched or disabled).
     pub fn counter(&self, name: &str) -> u64 {
-        self.inner
-            .as_ref()
-            .map_or(0, |i| i.borrow().counters.get(name).copied().unwrap_or(0))
+        self.inner.as_ref().map_or(0, |i| {
+            let inner = i.borrow();
+            inner
+                .counter_index
+                .get(name)
+                .map_or(0, |&idx| inner.counters[idx as usize].value)
+        })
     }
 
     /// Current value of a gauge.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.inner
-            .as_ref()
-            .and_then(|i| i.borrow().gauges.get(name).copied())
+        self.inner.as_ref().and_then(|i| {
+            let inner = i.borrow();
+            inner
+                .gauge_index
+                .get(name)
+                .map(|&idx| &inner.gauges[idx as usize])
+                .filter(|slot| slot.touched)
+                .map(|slot| slot.value)
+        })
     }
 
     /// Renders the whole registry as JSONL (see [`snapshot_to_jsonl`]).
@@ -643,6 +958,132 @@ mod tests {
         exercise(&tel);
         assert_eq!(tel.counter("a"), 1);
         assert_eq!(tel.now_ns(), 4);
+    }
+
+    #[test]
+    fn handles_resolve_once_and_share_slots_with_strings() {
+        let tel = Telemetry::new();
+        let hits = tel.register_counter("cache.l1.hits");
+        let entropy = tel.register_gauge("attack.entropy_bits");
+        let latency = tel.register_histogram("probe.latency");
+
+        tel.add(hits, 5);
+        tel.inc(hits);
+        tel.counter_add("cache.l1.hits", 4); // string path, same slot
+        tel.set(entropy, 17.5);
+        tel.record(latency, 80);
+        tel.record_value("probe.latency", 200);
+
+        assert_eq!(tel.counter("cache.l1.hits"), 10);
+        assert_eq!(tel.counter_of(hits), 10);
+        assert_eq!(tel.gauge("attack.entropy_bits"), Some(17.5));
+        assert_eq!(
+            tel.snapshot().histogram("probe.latency").unwrap().count(),
+            2
+        );
+        // Re-registration returns the same slot.
+        assert_eq!(tel.register_counter("cache.l1.hits"), hits);
+    }
+
+    #[test]
+    fn registered_but_untouched_slots_stay_out_of_snapshots() {
+        let tel = Telemetry::new();
+        let _never = tel.register_counter("cache.l1.invalidations");
+        let _cold = tel.register_gauge("attack.entropy_bits");
+        let _empty = tel.register_histogram("probe.latency");
+        tel.counter_add("cache.l1.hits", 1);
+
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters, vec![("cache.l1.hits".to_string(), 1)]);
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert_eq!(tel.gauge("attack.entropy_bits"), None);
+        // ...until touched: a zero-delta add counts as a touch, exactly
+        // like the string API's create-on-first-call behaviour.
+        tel.add(_never, 0);
+        assert_eq!(tel.snapshot().counter("cache.l1.invalidations"), 0);
+        assert_eq!(tel.snapshot().counters.len(), 2);
+    }
+
+    #[test]
+    fn disabled_handles_are_noop() {
+        let tel = Telemetry::disabled();
+        let c = tel.register_counter("x");
+        let g = tel.register_gauge("y");
+        let h = tel.register_histogram("z");
+        assert_eq!(c, CounterHandle::NOOP);
+        tel.add(c, 10);
+        tel.inc(c);
+        tel.set(g, 1.0);
+        tel.record(h, 5);
+        assert_eq!(tel.counter_of(c), 0);
+        assert_eq!(tel.snapshot(), Snapshot::default());
+        // NOOP handles are also inert on an *enabled* registry, so a
+        // component can cache handles from a disabled phase safely.
+        let live = Telemetry::new();
+        live.add(CounterHandle::NOOP, 3);
+        live.set(GaugeHandle::NOOP, 1.0);
+        live.record(HistogramHandle::NOOP, 2);
+        assert_eq!(live.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn batch_updates_match_per_call_updates() {
+        let per_call = Telemetry::new();
+        let batched = Telemetry::new();
+        for tel in [&per_call, &batched] {
+            let c = tel.register_counter("c");
+            let g = tel.register_gauge("g");
+            let h = tel.register_histogram("h");
+            if std::ptr::eq(tel, &batched) {
+                let mut b = tel.batch().expect("enabled");
+                b.add(c, 2);
+                b.inc(c);
+                b.set(g, 0.5);
+                b.record(h, 7);
+                b.add(CounterHandle::NOOP, 9);
+                b.set(GaugeHandle::NOOP, 9.0);
+                b.record(HistogramHandle::NOOP, 9);
+            } else {
+                tel.add(c, 2);
+                tel.inc(c);
+                tel.set(g, 0.5);
+                tel.record(h, 7);
+            }
+        }
+        assert_eq!(per_call.snapshot(), batched.snapshot());
+        assert!(Telemetry::disabled().batch().is_none());
+    }
+
+    #[test]
+    fn handle_and_string_paths_export_identical_jsonl() {
+        // The byte-identity regression the hot-path overhaul rests on:
+        // the same update sequence through handles and through strings
+        // must serialize to the same JSONL, including ordering.
+        let strings = Telemetry::new();
+        strings.counter_add("attack.probes", 7);
+        strings.counter_add("attack.encryptions", 3);
+        strings.gauge_set("attack.entropy_bits", 12.0);
+        strings.record_value("probe.latency", 90);
+        strings.record_value("probe.latency", 410);
+        strings.advance_time_ns(1_000);
+
+        let handles = Telemetry::new();
+        // Register in a *different* order than the string path touches
+        // them; name-sorted snapshots make slot order irrelevant.
+        let lat = handles.register_histogram("probe.latency");
+        let ent = handles.register_gauge("attack.entropy_bits");
+        let enc = handles.register_counter("attack.encryptions");
+        let probes = handles.register_counter("attack.probes");
+        handles.add(probes, 7);
+        handles.add(enc, 3);
+        handles.set(ent, 12.0);
+        handles.record(lat, 90);
+        handles.record(lat, 410);
+        handles.advance_time_ns(1_000);
+
+        assert_eq!(strings.snapshot(), handles.snapshot());
+        assert_eq!(strings.to_jsonl(), handles.to_jsonl());
     }
 
     #[test]

@@ -31,8 +31,13 @@ fn main() {
     let mut oracle = VictimOracle::new(secret, ObservationConfig::ideal());
     oracle.set_telemetry(telemetry.clone());
 
-    // 3. GRINCH: four stages, 32 key bits each.
+    // 3. GRINCH: four stages, 32 key bits each. Wall-clock the recovery so
+    //    the throughput of the fully instrumented attack lands in
+    //    results/BENCH_quickstart.json (see EXPERIMENTS.md, "Measuring
+    //    throughput").
+    let started = std::time::Instant::now();
     let outcome = recover_full_key(&mut oracle, &AttackConfig::default());
+    let recovery_wall_ns = started.elapsed().as_nanos() as u64;
 
     match outcome.key {
         Some(key) => {
@@ -80,5 +85,27 @@ fn main() {
             path.display()
         ),
         Err(e) => eprintln!("telemetry: write to {} failed: {e}", path.display()),
+    }
+
+    // 5. Wall-clock record: the telemetry-enabled recovery throughput, in
+    //    encryptions per second. Never gated — grinch-report compares
+    //    metrics only — but tracked so optimisation work stays honest.
+    let mut report = grinch_obs::BenchReport::from_snapshot("quickstart", &snapshot);
+    report.record_wall("recovery", recovery_wall_ns, outcome.encryptions as f64);
+    let bench_path = dir.join("BENCH_quickstart.json");
+    match std::fs::write(&bench_path, report.to_json()) {
+        Ok(()) => {
+            let secs = recovery_wall_ns as f64 / 1e9;
+            println!(
+                "wall clock: recovered in {:.2} ms ({:.0} encryptions/s) -> {}",
+                secs * 1e3,
+                outcome.encryptions as f64 / secs,
+                bench_path.display()
+            );
+        }
+        Err(e) => eprintln!(
+            "bench report: write to {} failed: {e}",
+            bench_path.display()
+        ),
     }
 }
