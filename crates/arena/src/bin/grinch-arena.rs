@@ -3,7 +3,8 @@
 //! ```text
 //! grinch-arena run [--preset smoke|full] [--trials N] [--seed N] [--jobs N]
 //!                  [--max-encryptions N] [--out FILE] [--svg FILE]
-//!                  [--check] [--baseline FILE]
+//!                  [--check] [--baseline FILE] [--live ADDR]
+//!                  [--live-interval-ms N] [--watchdog-ms N] [--linger-secs N]
 //! grinch-arena render <matrix.json> [--metric success-rate|encryptions|entropy-bits]
 //!                  [--svg FILE]
 //! grinch-arena trace [--epoch N] [--max-encryptions N] [--out-dir DIR]
@@ -19,7 +20,9 @@ use std::process::ExitCode;
 use gift_cipher::Key;
 use grinch::oracle::{ObservationConfig, VictimOracle};
 use grinch::stage::{run_stage, StageConfig};
-use grinch_arena::{run_campaign, ArenaMatrix, CampaignConfig, DefenseSpec, Metric};
+use grinch_arena::{
+    run_campaign_observed, ArenaMatrix, CampaignConfig, DefenseSpec, LiveOptions, LivePlane, Metric,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,7 +32,8 @@ grinch-arena: randomized-cache defenses vs the GRINCH attack variants
 usage:
   grinch-arena run [--preset smoke|full] [--trials N] [--seed N] [--jobs N]
                    [--max-encryptions N] [--out FILE] [--svg FILE]
-                   [--check] [--baseline FILE]
+                   [--check] [--baseline FILE] [--live ADDR]
+                   [--live-interval-ms N] [--watchdog-ms N] [--linger-secs N]
       sweep the (defense x attack x noise) grid and print the success-rate
       heatmap. The grinch-arena/v1 matrix lands in --out (default:
       results/ARENA_MATRIX.json); --svg also renders it as SVG. --check
@@ -38,6 +42,15 @@ usage:
       first run; exit 1 on drift. Presets: smoke (CI: 2 defenses x
       2 attacks, 2 trials) and full (4 defenses x 2 attacks x 2 noise
       levels, 8 trials). Default preset: smoke.
+      --live ADDR serves the live observability plane while the sweep runs
+      (ADDR like 127.0.0.1:9090; port 0 picks one — the bound address is
+      printed to stderr): GET /metrics (Prometheus text), /progress (JSON),
+      /healthz (503 while a worker misses its heartbeat; threshold
+      --watchdog-ms, default 5000). --live-interval-ms (default 250) rate-
+      limits the streamed metric deltas; --linger-secs (default 0) keeps
+      the endpoints up that long after the sweep so late scrapers see the
+      final state. The live plane only observes: the matrix stays
+      byte-identical with or without it.
   grinch-arena render <matrix.json> [--metric success-rate|encryptions|entropy-bits]
                    [--svg FILE]
       re-render a saved matrix. Default metric: success-rate.
@@ -98,10 +111,11 @@ fn write_file(path: &Path, contents: &str) -> Result<(), String> {
 }
 
 fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
-    let mut campaign = match take_value(&mut args, "--preset")?.as_deref() {
-        None | Some("smoke") => CampaignConfig::smoke(),
-        Some("full") => CampaignConfig::full(),
-        Some(other) => return Err(format!("--preset: unknown preset {other:?}")),
+    let preset = take_value(&mut args, "--preset")?.unwrap_or_else(|| "smoke".to_string());
+    let mut campaign = match preset.as_str() {
+        "smoke" => CampaignConfig::smoke(),
+        "full" => CampaignConfig::full(),
+        other => return Err(format!("--preset: unknown preset {other:?}")),
     };
     if let Some(v) = take_value(&mut args, "--trials")? {
         campaign.trials = parse_num("--trials", &v)?;
@@ -123,8 +137,37 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
     let baseline_path = take_value(&mut args, "--baseline")?
         .map(PathBuf::from)
         .unwrap_or_else(|| grinch_obs::paths::baselines_dir().join("ARENA_MATRIX.json"));
+    let live_addr = take_value(&mut args, "--live")?;
+    let live_interval_ms = match take_value(&mut args, "--live-interval-ms")? {
+        None => 250,
+        Some(v) => parse_num::<u64>("--live-interval-ms", &v)?,
+    };
+    let watchdog_ms = match take_value(&mut args, "--watchdog-ms")? {
+        None => 5_000,
+        Some(v) => parse_num::<u64>("--watchdog-ms", &v)?,
+    };
+    let linger_secs = match take_value(&mut args, "--linger-secs")? {
+        None => 0,
+        Some(v) => parse_num::<u64>("--linger-secs", &v)?,
+    };
     reject_leftover(&args)?;
     campaign.validate()?;
+
+    let live = match live_addr {
+        None => None,
+        Some(addr) => {
+            let mut opts = LiveOptions::new(addr, format!("arena {preset}"));
+            opts.stream_interval = std::time::Duration::from_millis(live_interval_ms);
+            opts.watchdog_threshold = std::time::Duration::from_millis(watchdog_ms);
+            let plane = LivePlane::start(&campaign, opts)
+                .map_err(|e| format!("cannot start live plane: {e}"))?;
+            eprintln!(
+                "grinch-arena: live plane listening on http://{}",
+                plane.addr()
+            );
+            Some(plane)
+        }
+    };
 
     eprintln!(
         "grinch-arena: sweeping {} cells x {} trials on {} worker(s)...",
@@ -133,7 +176,9 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
         campaign.jobs.clamp(1, campaign.num_cells())
     );
     let started = std::time::Instant::now();
-    let matrix = run_campaign(&campaign);
+    let sender = live.as_ref().map(|plane| plane.sender());
+    let matrix = run_campaign_observed(&campaign, sender.as_ref());
+    drop(sender);
     let wall_ns = started.elapsed().as_nanos() as u64;
     print!("{}", matrix.heat(Metric::SuccessRate).ascii());
     print!("{}", matrix.heat(Metric::EntropyBits).ascii());
@@ -174,34 +219,50 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
         eprintln!("grinch-arena: heatmap written to {svg_path}");
     }
 
-    if !check {
-        return Ok(ExitCode::SUCCESS);
-    }
-    if !baseline_path.exists() {
+    let code = if !check {
+        ExitCode::SUCCESS
+    } else if !baseline_path.exists() {
         write_file(&baseline_path, &json)?;
         eprintln!(
             "grinch-arena: baseline bootstrapped at {} — commit it",
             baseline_path.display()
         );
-        return Ok(ExitCode::SUCCESS);
-    }
-    let text = std::fs::read_to_string(&baseline_path)
-        .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
-    let baseline =
-        ArenaMatrix::from_json(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?;
-    match matrix.compare(&baseline) {
-        Ok(()) => {
+        ExitCode::SUCCESS
+    } else {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+        let baseline = ArenaMatrix::from_json(&text)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        match matrix.compare(&baseline) {
+            Ok(()) => {
+                eprintln!(
+                    "grinch-arena: matrix matches baseline {}",
+                    baseline_path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(diff) => {
+                eprintln!("grinch-arena: {diff}");
+                ExitCode::from(1)
+            }
+        }
+    };
+
+    if let Some(mut plane) = live {
+        // The sweep is done: flush the pipeline so /progress reports done
+        // and the final metrics are folded, then (optionally) keep the
+        // endpoints up for late scrapers before tearing the server down.
+        plane.finish();
+        if linger_secs > 0 {
             eprintln!(
-                "grinch-arena: matrix matches baseline {}",
-                baseline_path.display()
+                "grinch-arena: live plane lingering {linger_secs}s at http://{}",
+                plane.addr()
             );
-            Ok(ExitCode::SUCCESS)
+            std::thread::sleep(std::time::Duration::from_secs(linger_secs));
         }
-        Err(diff) => {
-            eprintln!("grinch-arena: {diff}");
-            Ok(ExitCode::from(1))
-        }
+        plane.shutdown();
     }
+    Ok(code)
 }
 
 fn cmd_render(mut args: Vec<String>) -> Result<ExitCode, String> {
@@ -251,6 +312,15 @@ fn trace_one(defense: DefenseSpec, max_encryptions: u64, path: &Path) -> Result<
 }
 
 fn cmd_trace(mut args: Vec<String>) -> Result<ExitCode, String> {
+    // The whole point of `trace` is writing telemetry; a registry silently
+    // disabled through the environment would emit empty artifacts.
+    if !grinch_telemetry::enabled_from_env() {
+        return Err(format!(
+            "trace needs telemetry, but {}={:?} disables it — unset it first",
+            grinch_telemetry::TELEMETRY_ENV,
+            std::env::var(grinch_telemetry::TELEMETRY_ENV).unwrap_or_default()
+        ));
+    }
     let epoch = match take_value(&mut args, "--epoch")? {
         None => 64,
         Some(v) => parse_num::<u64>("--epoch", &v)?,

@@ -67,8 +67,41 @@ fn residual_entropy_bits(candidates: &[grinch::eliminate::CandidateSet]) -> f64 
         .sum()
 }
 
+/// Per-trial progress notification passed to [`run_cell_hooked`]'s hook.
+///
+/// Purely observational: the hook runs outside every RNG draw, so a cell's
+/// result is identical with or without one (the live plane's byte-identity
+/// guarantee rests on this).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TrialProgress {
+    /// A trial is about to run — the natural heartbeat boundary.
+    Started {
+        /// Trial index within the cell.
+        trial: usize,
+    },
+    /// A trial finished.
+    Done {
+        /// Trial index within the cell.
+        trial: usize,
+        /// Victim encryptions the recovery attempt consumed.
+        encryptions: u64,
+        /// Whether the full key was recovered and verified.
+        success: bool,
+    },
+}
+
 /// Runs cell `cell_index` of `config` to completion.
 pub fn run_cell(config: &CampaignConfig, cell_index: usize) -> CellResult {
+    run_cell_hooked(config, cell_index, &mut |_| {})
+}
+
+/// [`run_cell`] with a per-trial progress hook (the sweep engine routes
+/// these into the live plane's worker events).
+pub fn run_cell_hooked(
+    config: &CampaignConfig,
+    cell_index: usize,
+    hook: &mut dyn FnMut(TrialProgress),
+) -> CellResult {
     let (d, a, n) = config.cell_coords(cell_index);
     let defense = config.defenses[d];
     let attack = config.attacks[a];
@@ -79,6 +112,7 @@ pub fn run_cell(config: &CampaignConfig, cell_index: usize) -> CellResult {
     let mut success_encryptions = 0u64;
     let mut entropy_sum = 0.0;
     for trial in 0..config.trials {
+        hook(TrialProgress::Started { trial });
         let trial_seed = splitmix64(cell_seed ^ splitmix64(trial as u64 + 1));
         let mut rng = StdRng::seed_from_u64(trial_seed);
         let secret = Key::from_u128(rng.gen::<u128>());
@@ -97,8 +131,14 @@ pub fn run_cell(config: &CampaignConfig, cell_index: usize) -> CellResult {
             .with_max_encryptions(config.max_stage_encryptions)
             .with_seed(rng.gen::<u64>());
         let outcome = recover_full_key(&mut oracle, &attack_cfg);
+        let success = outcome.key == Some(secret);
+        hook(TrialProgress::Done {
+            trial,
+            encryptions: outcome.encryptions,
+            success,
+        });
 
-        if outcome.key == Some(secret) {
+        if success {
             successes += 1;
             success_encryptions += outcome.encryptions;
             // A verified full key leaves no residual entropy.
@@ -182,6 +222,24 @@ mod tests {
             }
         }
         assert_eq!(residual_entropy_bits(&resolved), 0.0);
+    }
+
+    #[test]
+    fn hook_observes_every_trial_without_perturbing_the_result() {
+        let cfg = tiny(DefenseSpec::Baseline, AttackSpec::FlushReload);
+        let mut events = Vec::new();
+        let hooked = run_cell_hooked(&cfg, 0, &mut |p| events.push(p));
+        assert_eq!(hooked, run_cell(&cfg, 0), "hook must not change the cell");
+        assert_eq!(events.len(), 2 * cfg.trials, "Started + Done per trial");
+        assert_eq!(events[0], TrialProgress::Started { trial: 0 });
+        match events[1] {
+            TrialProgress::Done {
+                trial: 0,
+                encryptions,
+                success: true,
+            } => assert!(encryptions > 0),
+            other => panic!("expected successful Done for trial 0, got {other:?}"),
+        }
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! index, so the assembled matrix is byte-identical for `jobs = 1` and
 //! `jobs = N`.
 
-use crate::cell::{run_cell, CellResult};
+use crate::cell::{run_cell, run_cell_hooked, CellResult, TrialProgress};
+use crate::progress::WorkerEvent;
 use crate::report::ArenaMatrix;
 use crate::spec::CampaignConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
 use std::sync::Mutex;
 
 /// Runs the full campaign and assembles the result matrix.
@@ -21,12 +23,25 @@ use std::sync::Mutex;
 /// tests validate up front; reaching the engine with a degenerate grid is
 /// a programming error.
 pub fn run_campaign(config: &CampaignConfig) -> ArenaMatrix {
+    run_campaign_observed(config, None)
+}
+
+/// [`run_campaign`] with an optional progress observer: every worker
+/// routes [`WorkerEvent`]s (heartbeats, cell started/done, per-trial
+/// progress) into the sender — the live plane's collector sits on the
+/// other end. Send failures are ignored (a dead observer must never stop
+/// the sweep), and the observer cannot perturb results: cells stay a pure
+/// function of `(config, cell_index)`.
+pub fn run_campaign_observed(
+    config: &CampaignConfig,
+    observer: Option<&Sender<WorkerEvent>>,
+) -> ArenaMatrix {
     config.validate().expect("invalid campaign");
     let cells = config.num_cells();
     let jobs = config.jobs.clamp(1, cells);
 
     let mut results: Vec<Option<CellResult>> = vec![None; cells];
-    if jobs == 1 {
+    if jobs == 1 && observer.is_none() {
         for (idx, slot) in results.iter_mut().enumerate() {
             *slot = Some(run_cell(config, idx));
         }
@@ -34,15 +49,54 @@ pub fn run_campaign(config: &CampaignConfig) -> ArenaMatrix {
         let next = AtomicUsize::new(0);
         let slots = Mutex::new(&mut results);
         std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| loop {
+            for worker in 0..jobs {
+                // Each worker thread owns its own sender clone.
+                let tx = observer.cloned();
+                let (next, slots) = (&next, &slots);
+                scope.spawn(move || loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= cells {
+                        if let Some(tx) = &tx {
+                            let _ = tx.send(WorkerEvent::WorkerDone { worker });
+                        }
                         break;
+                    }
+                    if let Some(tx) = &tx {
+                        let (d, a, n) = config.cell_coords(idx);
+                        let _ = tx.send(WorkerEvent::CellStarted {
+                            worker,
+                            cell: idx,
+                            label: format!(
+                                "{}/{}/{}",
+                                config.defenses[d].name(),
+                                config.attacks[a].name(),
+                                config.noise_levels[n]
+                            ),
+                            seed: config.cell_seed(idx),
+                        });
                     }
                     // The heavy work happens outside the lock; the lock
                     // only guards the per-index store.
-                    let result = run_cell(config, idx);
+                    let result = run_cell_hooked(config, idx, &mut |p| {
+                        let Some(tx) = &tx else { return };
+                        let _ = tx.send(match p {
+                            TrialProgress::Started { .. } => WorkerEvent::Heartbeat { worker },
+                            TrialProgress::Done {
+                                trial,
+                                encryptions,
+                                success,
+                            } => WorkerEvent::TrialDone {
+                                worker,
+                                cell: idx,
+                                trial,
+                                encryptions,
+                                success,
+                            },
+                        });
+                    });
+                    if let Some(tx) = &tx {
+                        let _ = tx.send(WorkerEvent::CellDone { worker, cell: idx });
+                    }
                     slots.lock().expect("poisoned")[idx] = Some(result);
                 });
             }
@@ -89,6 +143,54 @@ mod tests {
         cfg.jobs = 4;
         let parallel = run_campaign(&cfg).to_json();
         assert_eq!(serial, parallel);
+    }
+
+    /// The live plane's core guarantee: observing a campaign changes the
+    /// event stream, never the matrix — and every progress event arrives.
+    #[test]
+    fn observer_sees_every_event_and_never_perturbs_the_matrix() {
+        let cfg = CampaignConfig {
+            defenses: vec![DefenseSpec::Baseline, DefenseSpec::WayPartition],
+            attacks: vec![AttackSpec::FlushReload],
+            noise_levels: vec![0.0],
+            trials: 2,
+            seed: 0x0b5e_12ed,
+            max_stage_encryptions: 1_500,
+            jobs: 2,
+        };
+        let plain = run_campaign(&cfg).to_json();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let observed = run_campaign_observed(&cfg, Some(&tx)).to_json();
+        drop(tx);
+        assert_eq!(plain, observed, "observer must not perturb the matrix");
+
+        let events: Vec<WorkerEvent> = rx.iter().collect();
+        let count = |pred: &dyn Fn(&WorkerEvent) -> bool| events.iter().filter(|e| pred(e)).count();
+        let cells = cfg.num_cells();
+        assert_eq!(
+            count(&|e| matches!(e, WorkerEvent::CellStarted { .. })),
+            cells
+        );
+        assert_eq!(count(&|e| matches!(e, WorkerEvent::CellDone { .. })), cells);
+        assert_eq!(
+            count(&|e| matches!(e, WorkerEvent::TrialDone { .. })),
+            cells * cfg.trials
+        );
+        assert_eq!(
+            count(&|e| matches!(e, WorkerEvent::Heartbeat { .. })),
+            cells * cfg.trials,
+            "one heartbeat per trial start"
+        );
+        assert_eq!(
+            count(&|e| matches!(e, WorkerEvent::WorkerDone { .. })),
+            cfg.jobs
+        );
+        // CellStarted carries the deterministic seed of its cell.
+        for event in &events {
+            if let WorkerEvent::CellStarted { cell, seed, .. } = event {
+                assert_eq!(*seed, cfg.cell_seed(*cell));
+            }
+        }
     }
 
     /// The ISSUE's efficacy acceptance criterion: the undefended baseline

@@ -17,7 +17,12 @@
 //!   encryptions-to-success and residual stage-1 key entropy;
 //! * [`engine`] — [`run_campaign`]: cells distributed over `std::thread`
 //!   workers with per-cell splitmix64 seeds, byte-identical results for
-//!   any worker count;
+//!   any worker count; [`run_campaign_observed`] streams per-worker
+//!   progress events on top without touching determinism;
+//! * [`progress`] — the live plane: worker events collected into streamed
+//!   telemetry deltas and a shared progress view, a stalled-worker
+//!   watchdog, and the [`LivePlane`] assembly behind
+//!   `grinch-arena run --live <addr>`;
 //! * [`report`] — the stable `grinch-arena/v1` JSON document, the
 //!   byte-exact baseline gate, and heatmap rendering via
 //!   [`grinch_obs::MatrixHeat`].
@@ -26,6 +31,7 @@
 //!
 //! ```text
 //! grinch-arena run --preset smoke --jobs 4 --check
+//! grinch-arena run --preset full --live 127.0.0.1:9090
 //! grinch-arena render results/ARENA_MATRIX.json --metric entropy-bits
 //! grinch-arena trace --epoch 64
 //! ```
@@ -34,10 +40,12 @@
 
 pub mod cell;
 pub mod engine;
+pub mod progress;
 pub mod report;
 pub mod spec;
 
-pub use cell::CellResult;
-pub use engine::run_campaign;
+pub use cell::{CellResult, TrialProgress};
+pub use engine::{run_campaign, run_campaign_observed};
+pub use progress::{LiveOptions, LivePlane, WorkerEvent};
 pub use report::{ArenaMatrix, Metric};
 pub use spec::{AttackSpec, CampaignConfig, DefenseSpec};

@@ -8,15 +8,12 @@
 use grinch::experiments::CellResult;
 
 /// Creates the telemetry handle the bench binaries record into. Disabled
-/// when the `GRINCH_TELEMETRY` environment variable is `0` or `off`, in
-/// which case every instrumentation point collapses to one branch.
+/// when the `GRINCH_TELEMETRY` environment variable is `0` or `off`
+/// ([`grinch_telemetry::enabled_from_env`] is the single parser of that
+/// convention), in which case every instrumentation point collapses to one
+/// branch.
 pub fn bench_telemetry() -> grinch_telemetry::Telemetry {
-    match std::env::var("GRINCH_TELEMETRY") {
-        Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => {
-            grinch_telemetry::Telemetry::disabled()
-        }
-        _ => grinch_telemetry::Telemetry::new(),
-    }
+    grinch_telemetry::Telemetry::from_env()
 }
 
 /// Writes `telemetry`'s snapshot to `<results>/<name>.telemetry.jsonl` —
@@ -59,13 +56,24 @@ pub fn emit_telemetry_report_with_wall(
             return;
         }
     }
-    let mut report =
-        grinch_obs::BenchReport::from_snapshot(&name_sanitized(name), &telemetry.snapshot());
+    let snapshot = telemetry.snapshot();
+    let mut report = grinch_obs::BenchReport::from_snapshot(&name_sanitized(name), &snapshot);
     report.wall = wall.to_vec();
     let report_path = dir.join(format!("BENCH_{}.json", name_sanitized(name)));
     match std::fs::write(&report_path, report.to_json()) {
         Ok(()) => println!("bench report:    {}", report_path.display()),
         Err(e) => eprintln!("telemetry: write to {} failed: {e}", report_path.display()),
+    }
+
+    // Traced runs also land a collapsed-stack span profile next to the
+    // report, ready for `grinch-report profile` or any flamegraph tool.
+    if !snapshot.spans.is_empty() {
+        let profile = grinch_obs::SpanProfile::from_snapshot(&snapshot);
+        let folded_path = dir.join(format!("PROFILE_{}.folded", name_sanitized(name)));
+        match std::fs::write(&folded_path, profile.folded()) {
+            Ok(()) => println!("span profile:    {}", folded_path.display()),
+            Err(e) => eprintln!("telemetry: write to {} failed: {e}", folded_path.display()),
+        }
     }
 }
 

@@ -5,19 +5,28 @@
 //! grinch-report heatmap <trace.jsonl> [--svg OUT.svg]
 //! grinch-report leakage <trace.jsonl>
 //! grinch-report dashboard <trace.jsonl>
+//! grinch-report profile <trace.jsonl> [--folded OUT.folded]
+//! grinch-report tail <host:port> [--interval-ms N] [--once]
+//! grinch-report promcheck <scrape.txt>
 //! grinch-report bench [--results DIR] [--baselines DIR] [--check]
 //!                     [--write-baselines] [--tolerance FRACTION]
 //! ```
 //!
 //! Exit codes: `0` success (including baseline bootstrap), `1` regression
-//! gate failure, `2` usage or I/O error. Argument parsing is hand-rolled —
-//! the build environment is offline and the surface is five subcommands.
+//! gate / exposition-format failure, `2` usage or I/O error. Argument
+//! parsing is hand-rolled — the build environment is offline and the
+//! surface is a handful of subcommands.
 
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use grinch_obs::bench::check_or_bootstrap;
-use grinch_obs::{chrome_trace_json, dashboard, leakage, paths, BenchReport, GateOutcome, Heatmap};
+use grinch_obs::live::{http_get, validate_exposition};
+use grinch_obs::{
+    chrome_trace_json, dashboard, leakage, paths, BenchReport, GateOutcome, Heatmap, SpanProfile,
+};
+use grinch_telemetry::json::{self, JsonValue};
 use grinch_telemetry::Snapshot;
 
 const USAGE: &str = "\
@@ -33,6 +42,18 @@ usage:
       per-stage mutual information I(forced pattern; observed line)
   grinch-report dashboard <trace.jsonl>
       attack-progress report: budgets, entropy trajectory, hit rates
+  grinch-report profile <trace.jsonl> [--folded OUT.folded]
+      fold the trace's span tree into per-stack self times (hottest
+      first); --folded writes collapsed stacks for inferno-flamegraph /
+      flamegraph.pl / speedscope
+  grinch-report tail <host:port> [--interval-ms N] [--once]
+      terminal HUD for a live `grinch-arena run --live` campaign: polls
+      /progress every N ms (default 500) and redraws until the campaign
+      reports done; --once prints a single snapshot and exits
+  grinch-report promcheck <scrape.txt>
+      validate a /metrics scrape against Prometheus text-format rules
+      (TYPE lines, no duplicate families or samples, parseable values);
+      exit 1 on violation
   grinch-report bench [--results DIR] [--baselines DIR] [--check]
                       [--write-baselines] [--tolerance FRACTION]
       aggregate every results/*.telemetry.jsonl into BENCH_<name>.json
@@ -130,6 +151,153 @@ fn cmd_dashboard(args: Vec<String>) -> Result<ExitCode, String> {
     };
     print!("{}", dashboard(&load(trace)?));
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_profile(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let folded_out = take_value(&mut args, "--folded")?;
+    let trace = args.pop().ok_or("profile: missing <trace.jsonl>")?;
+    reject_leftover(&args)?;
+    let profile = SpanProfile::from_snapshot(&load(&trace)?);
+    print!("{}", profile.report());
+    if let Some(out) = folded_out {
+        std::fs::write(&out, profile.folded()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!(
+            "wrote collapsed stacks: {out} ({} stacks; feed to inferno-flamegraph or flamegraph.pl)",
+            profile.lines.len()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_promcheck(args: Vec<String>) -> Result<ExitCode, String> {
+    let [file] = args.as_slice() else {
+        return Err("promcheck: expected exactly one <scrape.txt>".into());
+    };
+    let body = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    match validate_exposition(&body) {
+        Ok(samples) => {
+            println!("{file}: OK ({samples} samples)");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(violation) => {
+            eprintln!("grinch-report: {file}: {violation}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Renders one `/progress` document as the `tail` HUD frame.
+fn render_progress(doc: &JsonValue) -> String {
+    let num = |k: &str| doc.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+    let campaign = doc
+        .get("campaign")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("?");
+    let done = doc.get("done") == Some(&JsonValue::Bool(true));
+    let (cells_done, total_cells) = (num("cells_completed"), num("total_cells"));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{campaign} — {}  [{}]",
+        if done { "done" } else { "running" },
+        progress_bar(cells_done, total_cells, 24)
+    );
+    let _ = writeln!(
+        out,
+        "cells {cells_done}/{total_cells} done ({} started) | trials {}/{} | \
+         {} encryptions | {:.1} s elapsed",
+        num("cells_started"),
+        num("trials_completed"),
+        total_cells * num("trials_per_cell"),
+        num("encryptions_total"),
+        num("elapsed_ms") as f64 / 1e3
+    );
+    let _ = writeln!(
+        out,
+        "{:>3} {:>6} {:>7} {:>12} {:>9}  {:<8} current",
+        "id", "cells", "trials", "encryptions", "beat(ms)", "state"
+    );
+    if let Some(JsonValue::Arr(workers)) = doc.get("workers") {
+        for w in workers {
+            let wnum = |k: &str| w.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+            let state = if w.get("done") == Some(&JsonValue::Bool(true)) {
+                "done"
+            } else if w.get("stalled") == Some(&JsonValue::Bool(true)) {
+                "STALLED"
+            } else {
+                "live"
+            };
+            let beat = w
+                .get("beat_age_ms")
+                .and_then(JsonValue::as_u64)
+                .map_or("-".to_string(), |ms| ms.to_string());
+            let label = w
+                .get("current_label")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("");
+            let _ = writeln!(
+                out,
+                "{:>3} {:>6} {:>7} {:>12} {:>9}  {:<8} {}",
+                wnum("id"),
+                wnum("cells_completed"),
+                wnum("trials_completed"),
+                wnum("encryptions"),
+                beat,
+                state,
+                if label.is_empty() { "-" } else { label }
+            );
+        }
+    }
+    out
+}
+
+fn progress_bar(done: u64, total: u64, width: u64) -> String {
+    let filled = (done * width).checked_div(total).unwrap_or(0).min(width);
+    let mut bar = String::with_capacity(width as usize);
+    for i in 0..width {
+        bar.push(if i < filled { '#' } else { '.' });
+    }
+    bar
+}
+
+fn cmd_tail(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let interval_ms = match take_value(&mut args, "--interval-ms")? {
+        None => 500,
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("--interval-ms: invalid value {v:?}"))?,
+    };
+    let once = take_switch(&mut args, "--once");
+    let addr = args.pop().ok_or("tail: missing <host:port>")?;
+    reject_leftover(&args)?;
+
+    loop {
+        let (code, body) =
+            http_get(&addr, "/progress").map_err(|e| format!("GET http://{addr}/progress: {e}"))?;
+        if code != 200 {
+            return Err(format!("GET http://{addr}/progress returned {code}"));
+        }
+        let doc = json::parse(body.trim())
+            .ok_or_else(|| format!("malformed /progress JSON from {addr}"))?;
+        let frame = render_progress(&doc);
+        if once {
+            print!("{frame}");
+        } else {
+            // Clear screen + home, like `watch` does, then the frame.
+            print!("\x1b[2J\x1b[H{frame}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        let done = doc.get("done") == Some(&JsonValue::Bool(true));
+        if once || done {
+            if done && !once {
+                println!("campaign done.");
+            }
+            return Ok(ExitCode::SUCCESS);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
 }
 
 fn telemetry_traces(results: &Path) -> Result<Vec<(String, PathBuf)>, String> {
@@ -263,6 +431,9 @@ fn main() -> ExitCode {
         "heatmap" => cmd_heatmap(argv),
         "leakage" => cmd_leakage(argv),
         "dashboard" => cmd_dashboard(argv),
+        "profile" => cmd_profile(argv),
+        "tail" => cmd_tail(argv),
+        "promcheck" => cmd_promcheck(argv),
         "bench" => cmd_bench(argv),
         other => {
             return fail(&format!("unknown command {other:?} (try --help)"));

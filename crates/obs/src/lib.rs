@@ -17,6 +17,12 @@
 //!   per-stage probe / cycle budgets, cache hit rates;
 //! * [`matrix`] — generic labelled rows × columns heat grids (the arena's
 //!   defense × attack matrix), same ASCII/SVG idiom as [`heatmap`];
+//! * [`live`] — the *during*-the-run half: streamed-delta metric state,
+//!   Prometheus text exposition, campaign progress/health views and a
+//!   zero-dependency HTTP server (`/metrics`, `/progress`, `/healthz`)
+//!   that `grinch-arena run --live` plugs into;
+//! * [`profile`] — span-profile aggregation: per-stack self-time totals
+//!   and collapsed-stack `.folded` output for flamegraph tooling;
 //! * [`bench`] — the regression gate: aggregates a run's telemetry into a
 //!   schema'd `BENCH_<name>.json` and compares it against committed
 //!   baselines with configurable tolerances;
@@ -40,12 +46,16 @@ pub mod chrome;
 pub mod dashboard;
 pub mod heatmap;
 pub mod leakage;
+pub mod live;
 pub mod matrix;
 pub mod paths;
+pub mod profile;
 
 pub use bench::{BenchReport, GateOutcome, MetricDeviation, WallSection};
 pub use chrome::chrome_trace_json;
 pub use dashboard::dashboard;
 pub use heatmap::Heatmap;
 pub use leakage::{JointCounts, StageLeakage};
+pub use live::{LiveServer, LiveState, MetricsState, ProgressView, WorkerView};
 pub use matrix::MatrixHeat;
+pub use profile::SpanProfile;

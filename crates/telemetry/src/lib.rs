@@ -49,10 +49,26 @@ pub mod histogram;
 pub mod json;
 pub mod read;
 pub mod sink;
+pub mod stream;
 
 pub use histogram::LogHistogram;
 pub use read::{snapshot_from_jsonl, ReadError};
 pub use sink::{snapshot_to_jsonl, summary_string, JsonlSink, NullSink, Sink, SummarySink};
+pub use stream::{DeltaSnapshot, HistogramDelta, StreamingSink};
+
+/// Name of the environment variable that globally disables telemetry.
+pub const TELEMETRY_ENV: &str = "GRINCH_TELEMETRY";
+
+/// Whether `GRINCH_TELEMETRY` asks for telemetry to be enabled: everything
+/// except `0` and `off` (case-insensitive) — including unset — means on.
+/// The single source of truth for the convention every binary honours;
+/// bench bins, quickstart and the arena all route through here.
+pub fn enabled_from_env() -> bool {
+    match std::env::var(TELEMETRY_ENV) {
+        Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("off")),
+        Err(_) => true,
+    }
+}
 
 /// A typed span/event field value.
 #[derive(Clone, Debug, PartialEq)]
@@ -426,6 +442,17 @@ impl Telemetry {
     /// A disabled handle: every operation is a no-op.
     pub fn disabled() -> Self {
         Self { inner: None }
+    }
+
+    /// An enabled handle, unless the `GRINCH_TELEMETRY` environment
+    /// variable is `0` or `off` (case-insensitive) — then a
+    /// [disabled](Telemetry::disabled) one. See [`enabled_from_env`].
+    pub fn from_env() -> Self {
+        if enabled_from_env() {
+            Self::new()
+        } else {
+            Self::disabled()
+        }
     }
 
     /// Whether this handle records anything.

@@ -113,26 +113,47 @@ pub fn snapshot_to_jsonl(snapshot: &Snapshot) -> String {
 }
 
 /// A [`Sink`] writing JSONL to any `io::Write`.
+///
+/// The writer is flushed when the sink drops, so a bench bin that panics
+/// (or forgets a final flush) with a buffered writer cannot leave a
+/// truncated `.telemetry.jsonl` behind: whatever was exported is on disk
+/// by the time the sink unwinds.
 pub struct JsonlSink<W: io::Write> {
-    writer: W,
+    // `None` only after `into_inner` has moved the writer out (drop must
+    // not flush a writer the caller now owns).
+    writer: Option<W>,
 }
 
 impl<W: io::Write> JsonlSink<W> {
     /// Wraps a writer.
     pub fn new(writer: W) -> Self {
-        Self { writer }
+        Self {
+            writer: Some(writer),
+        }
     }
 
-    /// Unwraps the writer.
-    pub fn into_inner(self) -> W {
-        self.writer
+    /// Unwraps the writer without flushing (the caller owns it again).
+    pub fn into_inner(mut self) -> W {
+        self.writer.take().expect("writer present until into_inner")
     }
 }
 
 impl<W: io::Write> Sink for JsonlSink<W> {
     fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
         self.writer
+            .as_mut()
+            .expect("writer present until into_inner")
             .write_all(snapshot_to_jsonl(snapshot).as_bytes())
+    }
+}
+
+impl<W: io::Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(writer) = &mut self.writer {
+            // Unwind-time best effort: surfacing an error from drop would
+            // abort a panicking process.
+            let _ = writer.flush();
+        }
     }
 }
 
@@ -352,6 +373,65 @@ mod tests {
         // Stage spans are nested one level under the attack root.
         assert!(summary.contains("\n  attack @"));
         assert!(summary.contains("\n    attack.stage @"));
+    }
+
+    /// An `io::Write` that records how often it was flushed.
+    struct FlushCounting {
+        flushes: std::rc::Rc<std::cell::Cell<usize>>,
+        buf: Vec<u8>,
+    }
+
+    impl std::io::Write for FlushCounting {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.buf.extend_from_slice(data);
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushes.set(self.flushes.get() + 1);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop_even_through_a_panic() {
+        let flushes = std::rc::Rc::new(std::cell::Cell::new(0));
+        let tel = small_run();
+        {
+            let mut sink = JsonlSink::new(FlushCounting {
+                flushes: std::rc::Rc::clone(&flushes),
+                buf: Vec::new(),
+            });
+            sink.export(&tel.snapshot()).unwrap();
+            assert_eq!(flushes.get(), 0, "export alone does not flush");
+        }
+        assert_eq!(flushes.get(), 1, "drop flushes the writer");
+
+        // The unwinding path a panicking bench bin takes.
+        let flushes_panic = std::rc::Rc::new(std::cell::Cell::new(0));
+        let cloned = std::rc::Rc::clone(&flushes_panic);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut sink = JsonlSink::new(FlushCounting {
+                flushes: cloned,
+                buf: Vec::new(),
+            });
+            sink.export(&Snapshot::default()).unwrap();
+            panic!("bench bin died mid-run");
+        }));
+        assert!(result.is_err());
+        assert_eq!(flushes_panic.get(), 1, "unwind still flushes");
+    }
+
+    #[test]
+    fn jsonl_sink_into_inner_skips_the_drop_flush() {
+        let flushes = std::rc::Rc::new(std::cell::Cell::new(0));
+        let sink = JsonlSink::new(FlushCounting {
+            flushes: std::rc::Rc::clone(&flushes),
+            buf: Vec::new(),
+        });
+        let writer = sink.into_inner();
+        assert_eq!(flushes.get(), 0, "the caller owns flushing again");
+        drop(writer);
     }
 
     #[test]

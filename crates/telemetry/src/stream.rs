@@ -1,0 +1,310 @@
+//! Streaming telemetry: sequence-numbered delta snapshots over an `mpsc`
+//! channel.
+//!
+//! The JSONL sink is post-hoc by design — one snapshot at exit. A
+//! [`StreamingSink`] is the *live* tap: attached next to the JSONL sink, it
+//! periodically diffs the registry against the last emission and sends a
+//! compact [`DeltaSnapshot`] (only the series that changed, at their new
+//! cumulative values) to whoever holds the receiving end — an HTTP
+//! exposition endpoint, a terminal HUD, a test harness.
+//!
+//! The sink only ever *reads* snapshots, so attaching one cannot perturb
+//! the JSONL export: byte-identity of `Telemetry::to_jsonl` with and
+//! without a streaming tap is pinned by test (and by the arena's live-plane
+//! integration tests).
+//!
+//! ```
+//! use std::time::Duration;
+//! use grinch_telemetry::{StreamingSink, Telemetry};
+//!
+//! let tel = Telemetry::new();
+//! let (mut tap, rx) = StreamingSink::channel(Duration::ZERO);
+//! tel.counter_add("probes", 3);
+//! tap.tick(&tel);
+//! tel.counter_add("probes", 2);
+//! tap.tick(&tel);
+//! let deltas: Vec<_> = rx.try_iter().collect();
+//! assert_eq!(deltas.len(), 2);
+//! assert_eq!(deltas[0].counters, vec![("probes".to_string(), 3)]);
+//! assert_eq!(deltas[1].counters, vec![("probes".to_string(), 5)]);
+//! assert_eq!(deltas[1].seq, 1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::{Duration, Instant};
+
+use crate::{Snapshot, Telemetry};
+
+/// A histogram's streamed aggregate: sample count and sum since the start
+/// of the run (cumulative, like the counters — consumers diff if they want
+/// rates).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramDelta {
+    /// Total samples recorded so far.
+    pub count: u64,
+    /// Sum of all recorded values so far.
+    pub sum: u128,
+}
+
+/// One streamed emission: everything that changed since the previous one.
+///
+/// Values are **cumulative** (the series' current value, not the
+/// increment), so a consumer that drops or joins late is still correct —
+/// it folds each delta into its view with last-write-wins semantics. The
+/// `seq` field numbers emissions from 0 with no gaps, so a consumer *can*
+/// detect that it missed one.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DeltaSnapshot {
+    /// Emission number: 0 for the first delta a sink sends, then +1 each.
+    pub seq: u64,
+    /// Simulated clock at emission time.
+    pub sim_time_ns: u64,
+    /// Counters whose value changed, at their new cumulative value.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges whose value changed (or were first set), at their new value.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms that received samples, as cumulative count/sum.
+    pub histograms: Vec<(String, HistogramDelta)>,
+    /// Total spans recorded so far (open + closed).
+    pub spans_total: u64,
+}
+
+impl DeltaSnapshot {
+    /// True when the emission carries no changed series (a pure stream
+    /// heartbeat — the clock and span totals still update).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// The live tap: diffs a [`Telemetry`] registry against its previous
+/// emission and streams [`DeltaSnapshot`]s over an `mpsc` channel.
+///
+/// [`tick`](StreamingSink::tick) is rate-limited by the configured
+/// interval so it can sit in a hot-ish loop; [`flush`](StreamingSink::flush)
+/// emits unconditionally (use it for the final emission of a run). If the
+/// receiver hangs up the sink goes quiet instead of erroring — a dead HUD
+/// must never take the producer down with it.
+pub struct StreamingSink {
+    tx: Sender<DeltaSnapshot>,
+    interval: Duration,
+    last_emit: Option<Instant>,
+    seq: u64,
+    closed: bool,
+    prev_counters: BTreeMap<String, u64>,
+    prev_gauges: BTreeMap<String, f64>,
+    prev_histograms: BTreeMap<String, HistogramDelta>,
+}
+
+impl StreamingSink {
+    /// Wraps an existing sender. `interval` is the minimum wall-clock gap
+    /// between [`tick`](StreamingSink::tick) emissions
+    /// (`Duration::ZERO` = emit on every tick, handy in tests).
+    pub fn new(tx: Sender<DeltaSnapshot>, interval: Duration) -> Self {
+        Self {
+            tx,
+            interval,
+            last_emit: None,
+            seq: 0,
+            closed: false,
+            prev_counters: BTreeMap::new(),
+            prev_gauges: BTreeMap::new(),
+            prev_histograms: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a sink and its paired receiver in one call.
+    pub fn channel(interval: Duration) -> (Self, Receiver<DeltaSnapshot>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Self::new(tx, interval), rx)
+    }
+
+    /// Number of deltas emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.seq
+    }
+
+    /// True once the receiving end has hung up; subsequent emissions are
+    /// silently dropped.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Emits a delta if at least the configured interval has passed since
+    /// the last emission (the first tick always emits). Returns whether an
+    /// emission happened.
+    pub fn tick(&mut self, telemetry: &Telemetry) -> bool {
+        match self.last_emit {
+            Some(at) if at.elapsed() < self.interval => false,
+            _ => self.flush(telemetry),
+        }
+    }
+
+    /// Emits a delta right now, regardless of the interval. Empty deltas
+    /// (nothing changed) are still sent — they carry the fresh clock and
+    /// act as stream-level heartbeats. Returns false only when the
+    /// receiver is gone.
+    pub fn flush(&mut self, telemetry: &Telemetry) -> bool {
+        let snapshot = telemetry.snapshot();
+        self.flush_snapshot(&snapshot)
+    }
+
+    /// [`flush`](StreamingSink::flush) from an already-taken snapshot —
+    /// the [`Sink`](crate::Sink)-trait path.
+    pub fn flush_snapshot(&mut self, snapshot: &Snapshot) -> bool {
+        if self.closed {
+            return false;
+        }
+        let delta = self.diff(snapshot);
+        self.last_emit = Some(Instant::now());
+        match self.tx.send(delta) {
+            Ok(()) => {
+                self.seq += 1;
+                true
+            }
+            Err(_) => {
+                self.closed = true;
+                false
+            }
+        }
+    }
+
+    fn diff(&mut self, snapshot: &Snapshot) -> DeltaSnapshot {
+        let mut delta = DeltaSnapshot {
+            seq: self.seq,
+            sim_time_ns: snapshot.sim_time_ns,
+            spans_total: snapshot.spans.len() as u64,
+            ..DeltaSnapshot::default()
+        };
+        for (name, value) in &snapshot.counters {
+            if self.prev_counters.get(name) != Some(value) {
+                self.prev_counters.insert(name.clone(), *value);
+                delta.counters.push((name.clone(), *value));
+            }
+        }
+        for (name, value) in &snapshot.gauges {
+            // Bit-compare so a gauge re-set to the same value stays quiet
+            // and NaN doesn't re-emit forever.
+            let same = self
+                .prev_gauges
+                .get(name)
+                .is_some_and(|prev| prev.to_bits() == value.to_bits());
+            if !same {
+                self.prev_gauges.insert(name.clone(), *value);
+                delta.gauges.push((name.clone(), *value));
+            }
+        }
+        for (name, hist) in &snapshot.histograms {
+            let cur = HistogramDelta {
+                count: hist.count(),
+                sum: hist.sum(),
+            };
+            if self.prev_histograms.get(name) != Some(&cur) {
+                self.prev_histograms.insert(name.clone(), cur);
+                delta.histograms.push((name.clone(), cur));
+            }
+        }
+        delta
+    }
+}
+
+impl crate::Sink for StreamingSink {
+    /// Exporting a snapshot streams it as a delta (unconditionally, like
+    /// [`flush`](StreamingSink::flush)). A hung-up receiver is not an
+    /// error — the sink just goes quiet.
+    fn export(&mut self, snapshot: &Snapshot) -> std::io::Result<()> {
+        self.flush_snapshot(snapshot);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_carry_only_changed_series_at_cumulative_values() {
+        let tel = Telemetry::new();
+        let (mut tap, rx) = StreamingSink::channel(Duration::ZERO);
+
+        tel.counter_add("a", 2);
+        tel.gauge_set("g", 1.5);
+        tel.record_value("h", 10);
+        assert!(tap.tick(&tel));
+        tel.counter_add("a", 3);
+        tel.counter_add("b", 1);
+        assert!(tap.tick(&tel));
+        assert!(tap.tick(&tel), "empty heartbeat still emits");
+
+        let deltas: Vec<_> = rx.try_iter().collect();
+        assert_eq!(deltas.len(), 3);
+        assert_eq!(deltas[0].counters, vec![("a".to_string(), 2)]);
+        assert_eq!(deltas[0].gauges, vec![("g".to_string(), 1.5)]);
+        assert_eq!(
+            deltas[0].histograms,
+            vec![("h".to_string(), HistogramDelta { count: 1, sum: 10 })]
+        );
+        // Second delta: only what changed, cumulative values.
+        assert_eq!(
+            deltas[1].counters,
+            vec![("a".to_string(), 5), ("b".to_string(), 1)]
+        );
+        assert!(deltas[1].gauges.is_empty());
+        assert!(deltas[1].histograms.is_empty());
+        // Third delta: a pure heartbeat.
+        assert!(deltas[2].is_empty());
+        assert_eq!(
+            deltas.iter().map(|d| d.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn interval_rate_limits_ticks_but_not_flush() {
+        let tel = Telemetry::new();
+        let (mut tap, rx) = StreamingSink::channel(Duration::from_secs(3600));
+        assert!(tap.tick(&tel), "first tick always emits");
+        assert!(!tap.tick(&tel), "second tick inside the interval is quiet");
+        assert!(tap.flush(&tel), "flush ignores the interval");
+        assert_eq!(rx.try_iter().count(), 2);
+    }
+
+    #[test]
+    fn hung_up_receiver_silences_the_sink() {
+        let tel = Telemetry::new();
+        let (mut tap, rx) = StreamingSink::channel(Duration::ZERO);
+        drop(rx);
+        assert!(!tap.flush(&tel));
+        assert!(tap.is_closed());
+        assert_eq!(tap.emitted(), 0);
+        // The Sink-trait path swallows the hangup too.
+        use crate::Sink as _;
+        tap.export(&tel.snapshot())
+            .expect("hangup is not an io error");
+    }
+
+    #[test]
+    fn streaming_does_not_perturb_the_jsonl_export() {
+        // The coexistence contract: a run with a streaming tap attached
+        // exports byte-identical JSONL to the same run without one.
+        let run = |stream: bool| -> String {
+            let tel = Telemetry::new();
+            let (mut tap, _rx) = StreamingSink::channel(Duration::ZERO);
+            for round in 0..3u64 {
+                let _span = crate::span!(tel, "attack.stage", round = round);
+                tel.counter_add("attack.probes", 16);
+                tel.record_value("probe.latency_ns", 80 + round * 40);
+                tel.advance_time_ns(1_000);
+                if stream {
+                    tap.tick(&tel);
+                }
+            }
+            if stream {
+                tap.flush(&tel);
+            }
+            tel.to_jsonl()
+        };
+        assert_eq!(run(false), run(true));
+    }
+}

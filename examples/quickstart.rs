@@ -26,8 +26,9 @@ fn main() {
     // 2. The attack surface: a lookup-table implementation whose S-box
     //    accesses hit a shared cache, probed with Flush+Reload at the
     //    paper's ideal moment (probing round 1, with flush). Telemetry
-    //    records every probe, cache event, and stage span.
-    let telemetry = Telemetry::new();
+    //    records every probe, cache event, and stage span —
+    //    GRINCH_TELEMETRY=0 turns all of it off.
+    let telemetry = Telemetry::from_env();
     let mut oracle = VictimOracle::new(secret, ObservationConfig::ideal());
     oracle.set_telemetry(telemetry.clone());
 
@@ -57,6 +58,13 @@ fn main() {
     }
 
     // 4. What the telemetry saw.
+    if !telemetry.is_enabled() {
+        println!(
+            "\ntelemetry disabled via {}; no trace, bench report or profile written",
+            grinch_telemetry::TELEMETRY_ENV
+        );
+        return;
+    }
     let snapshot = telemetry.snapshot();
     println!("\n--- telemetry ---");
     println!("probes issued: {}", snapshot.counter("attack.probes"));
@@ -87,7 +95,29 @@ fn main() {
         Err(e) => eprintln!("telemetry: write to {} failed: {e}", path.display()),
     }
 
-    // 5. Wall-clock record: the telemetry-enabled recovery throughput, in
+    // 5. Span profile: the trace's span tree collapsed into per-stack self
+    //    times (flamegraph-ready). Self times are a partition of the root
+    //    span's duration — the totals must sum exactly.
+    let profile = grinch_obs::SpanProfile::from_snapshot(&snapshot);
+    assert_eq!(
+        profile.total_self_ns(),
+        profile.root_total_ns,
+        "span self-times must partition the root span duration"
+    );
+    let folded_path = dir.join("PROFILE_quickstart.folded");
+    match std::fs::write(&folded_path, profile.folded()) {
+        Ok(()) => println!(
+            "span profile: {} ({} stacks, {} simulated ns across roots; \
+             try: grinch-report profile {})",
+            folded_path.display(),
+            profile.lines.len(),
+            profile.root_total_ns,
+            path.display()
+        ),
+        Err(e) => eprintln!("profile: write to {} failed: {e}", folded_path.display()),
+    }
+
+    // 6. Wall-clock record: the telemetry-enabled recovery throughput, in
     //    encryptions per second. Never gated — grinch-report compares
     //    metrics only — but tracked so optimisation work stays honest.
     let mut report = grinch_obs::BenchReport::from_snapshot("quickstart", &snapshot);
