@@ -211,6 +211,15 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
         bench.wall[0].throughput,
         bench_path.display()
     );
+    // The sweep also appends one grinch-run/v1 record to the run ledger
+    // (GRINCH_LEDGER=0 opts out) so `grinch-report regress`/`trend` see the
+    // arena's trajectory. ARENA_MATRIX.json itself is untouched.
+    if let Some(ledger_path) = grinch_obs::history::append_run(&bench, None, Some(campaign.seed)) {
+        eprintln!(
+            "grinch-arena: run ledger appended -> {}",
+            ledger_path.display()
+        );
+    }
     if let Some(svg_path) = svg {
         write_file(
             Path::new(&svg_path),

@@ -10,7 +10,7 @@ use gift_cipher::Key;
 use grinch::analysis::expected_stage_encryptions;
 use grinch::oracle::{ObservationConfig, VictimOracle};
 use grinch::stage::{run_stage, StageConfig};
-use grinch_bench::{bench_telemetry, emit_telemetry_report, group_thousands};
+use grinch_bench::{bench_telemetry_for, emit_telemetry_report, group_thousands};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,7 +46,7 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(5);
 
-    let telemetry = bench_telemetry();
+    let telemetry = bench_telemetry_for("analysis");
     println!("Closed-form effort model vs measured stage-1 recovery\n");
     println!(
         "{:>6} {:>7} {:>14} {:>14} {:>8}",

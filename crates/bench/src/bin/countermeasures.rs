@@ -6,7 +6,7 @@
 //! ```
 
 use grinch::experiments::countermeasures::{run_traced, AblationConfig};
-use grinch_bench::{bench_telemetry, emit_telemetry_report};
+use grinch_bench::{bench_telemetry_for, emit_telemetry_report};
 
 fn main() {
     let cap: u64 = std::env::args()
@@ -18,7 +18,7 @@ fn main() {
         ..AblationConfig::default()
     };
 
-    let telemetry = bench_telemetry();
+    let telemetry = bench_telemetry_for("countermeasures");
     println!("Countermeasure ablation (cap {cap} encryptions/stage)\n");
     println!(
         "{:>22} {:>14} {:>14}",

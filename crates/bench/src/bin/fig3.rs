@@ -7,7 +7,7 @@
 //! ```
 
 use grinch::experiments::probing_round::{measure_cell_traced, Fig3Config};
-use grinch_bench::{bench_telemetry, emit_telemetry_report_with_wall, format_cell, WallTimer};
+use grinch_bench::{bench_telemetry_for, emit_telemetry_report_with_wall, format_cell, WallTimer};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -22,7 +22,7 @@ fn main() {
         ..Fig3Config::default()
     };
 
-    let telemetry = bench_telemetry();
+    let telemetry = bench_telemetry_for("fig3");
     println!("Fig. 3 — Required encryptions to break 1st GIFT round");
     println!("(32 key bits; drop-out cap {cap} encryptions)\n");
     println!(

@@ -7,7 +7,7 @@
 
 use gift_cipher::Key;
 use grinch::experiments::hierarchy::run_traced;
-use grinch_bench::{bench_telemetry, emit_telemetry_report, group_thousands};
+use grinch_bench::{bench_telemetry_for, emit_telemetry_report, group_thousands};
 
 fn main() {
     let cap: u64 = std::env::args()
@@ -16,7 +16,7 @@ fn main() {
         .unwrap_or(400_000);
     let key = Key::from_u128(0x0f1e_2d3c_4b5a_6978_8796_a5b4_c3d2_e1f0);
 
-    let telemetry = bench_telemetry();
+    let telemetry = bench_telemetry_for("hierarchy");
     println!("Memory-hierarchy effect on first-round recovery (cap {cap})\n");
     println!(
         "{:>26} {:>10} {:>14}",

@@ -7,7 +7,7 @@
 //! ```
 
 use grinch::experiments::noise::{measure_traced, NoiseConfig, NOISE_LEVELS};
-use grinch_bench::{bench_telemetry, emit_telemetry_report, group_thousands};
+use grinch_bench::{bench_telemetry_for, emit_telemetry_report, group_thousands};
 
 fn main() {
     let cap: u64 = std::env::args()
@@ -19,7 +19,7 @@ fn main() {
         ..NoiseConfig::default()
     };
 
-    let telemetry = bench_telemetry();
+    let telemetry = bench_telemetry_for("noise");
     println!("Noise ablation — first-round (32-bit) recovery (cap {cap})\n");
     println!(
         "{:>12} {:>18} {:>18} {:>16}",

@@ -6,10 +6,10 @@
 //! ```
 
 use grinch::experiments::present_compare::run_traced;
-use grinch_bench::{bench_telemetry, emit_telemetry_report, group_thousands};
+use grinch_bench::{bench_telemetry_for, emit_telemetry_report, group_thousands};
 
 fn main() {
-    let telemetry = bench_telemetry();
+    let telemetry = bench_telemetry_for("present_compare");
     println!("Cache-leakage rate comparison (earliest clean probe)\n");
     println!(
         "{:>12} {:>10} {:>18} {:>14} {:>12}",

@@ -6,7 +6,7 @@
 //! ```
 
 use grinch::experiments::line_size::{measure_cell_traced, Table1Config};
-use grinch_bench::{bench_telemetry, emit_telemetry_report_with_wall, format_cell, WallTimer};
+use grinch_bench::{bench_telemetry_for, emit_telemetry_report_with_wall, format_cell, WallTimer};
 
 fn main() {
     let cap: u64 = std::env::args()
@@ -18,7 +18,7 @@ fn main() {
         ..Table1Config::default()
     };
 
-    let telemetry = bench_telemetry();
+    let telemetry = bench_telemetry_for("table1");
     println!("Table I — Required encryptions to attack the first round");
     println!("(drop-out cap {cap} encryptions)\n");
     print!("{:>16}", "cache line size");

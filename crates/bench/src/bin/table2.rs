@@ -7,11 +7,11 @@
 //! ```
 
 use grinch::experiments::practical::{measure_cell_traced, TABLE2_FREQUENCIES};
-use grinch_bench::{bench_telemetry, emit_telemetry_report_with_wall, WallTimer};
+use grinch_bench::{bench_telemetry_for, emit_telemetry_report_with_wall, WallTimer};
 use soc_sim::platform::PlatformKind;
 
 fn main() {
-    let telemetry = bench_telemetry();
+    let telemetry = bench_telemetry_for("table2");
     let timer = WallTimer::start("cells");
     let mut cells = 0u64;
     println!("Table II — Attack efficiency (first probed round)\n");

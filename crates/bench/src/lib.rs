@@ -16,6 +16,22 @@ pub fn bench_telemetry() -> grinch_telemetry::Telemetry {
     grinch_telemetry::Telemetry::from_env()
 }
 
+/// [`bench_telemetry`] plus the crash flight recorder: arms a ring of the
+/// last [`grinch_telemetry::DEFAULT_FLIGHT_CAPACITY`] telemetry events and
+/// registers a panic-time dump to `<results>/FLIGHT_<name>.json`, so a
+/// bench that dies mid-run leaves `grinch-report postmortem` something to
+/// read. A disabled handle stays a plain no-op.
+pub fn bench_telemetry_for(name: &str) -> grinch_telemetry::Telemetry {
+    let telemetry = bench_telemetry();
+    if telemetry.is_enabled() {
+        telemetry.enable_flight_recorder(grinch_telemetry::DEFAULT_FLIGHT_CAPACITY);
+        let path =
+            grinch_obs::paths::results_dir().join(format!("FLIGHT_{}.json", name_sanitized(name)));
+        telemetry.install_flight_dump_on_panic(&name_sanitized(name), path);
+    }
+    telemetry
+}
+
 /// Writes `telemetry`'s snapshot to `<results>/<name>.telemetry.jsonl` —
 /// one metric or span per line — plus the distilled `BENCH_<name>.json`
 /// report the regression gate consumes, and prints where both went.
@@ -67,13 +83,21 @@ pub fn emit_telemetry_report_with_wall(
 
     // Traced runs also land a collapsed-stack span profile next to the
     // report, ready for `grinch-report profile` or any flamegraph tool.
-    if !snapshot.spans.is_empty() {
+    let profile = (!snapshot.spans.is_empty()).then(|| {
         let profile = grinch_obs::SpanProfile::from_snapshot(&snapshot);
         let folded_path = dir.join(format!("PROFILE_{}.folded", name_sanitized(name)));
         match std::fs::write(&folded_path, profile.folded()) {
             Ok(()) => println!("span profile:    {}", folded_path.display()),
             Err(e) => eprintln!("telemetry: write to {} failed: {e}", folded_path.display()),
         }
+        profile
+    });
+
+    // Every report also appends one grinch-run/v1 record to the run
+    // ledger — the longitudinal history behind `grinch-report regress` /
+    // `trend`. Opt out with GRINCH_LEDGER=0.
+    if let Some(path) = grinch_obs::history::append_run(&report, profile.as_ref(), None) {
+        println!("run ledger:      {}", path.display());
     }
 }
 

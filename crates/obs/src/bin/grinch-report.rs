@@ -10,6 +10,12 @@
 //! grinch-report promcheck <scrape.txt>
 //! grinch-report bench [--results DIR] [--baselines DIR] [--check]
 //!                     [--write-baselines] [--tolerance FRACTION]
+//! grinch-report regress [--ledger FILE] [--name NAME] [--metric NAME]
+//!                       [--window N] [--threshold Z] [--min-rel F]
+//!                       [--include-wall] [--check]
+//! grinch-report trend [--ledger FILE] [--name NAME] [--metric NAME]
+//!                     [--last N] [--svg OUT.svg]
+//! grinch-report postmortem <FLIGHT.json> [--events N]
 //! ```
 //!
 //! Exit codes: `0` success (including baseline bootstrap), `1` regression
@@ -22,9 +28,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use grinch_obs::bench::check_or_bootstrap;
+use grinch_obs::history::{metric_series, run_names, trend_rows, Ledger, SentinelConfig, TrendRow};
 use grinch_obs::live::{http_get, validate_exposition};
 use grinch_obs::{
-    chrome_trace_json, dashboard, leakage, paths, BenchReport, GateOutcome, Heatmap, SpanProfile,
+    chrome_trace_json, dashboard, leakage, paths, BenchReport, FlightDump, GateOutcome, Heatmap,
+    SpanProfile,
 };
 use grinch_telemetry::json::{self, JsonValue};
 use grinch_telemetry::Snapshot;
@@ -58,10 +66,26 @@ usage:
                       [--write-baselines] [--tolerance FRACTION]
       aggregate every results/*.telemetry.jsonl into BENCH_<name>.json
       and gate against bench/baselines/ (default tolerance 0.05 = 5%)
+  grinch-report regress [--ledger FILE] [--name NAME] [--metric NAME]
+                        [--window N] [--threshold Z] [--min-rel F]
+                        [--include-wall] [--check]
+      score the latest ledger run of each producer against its rolling
+      window (median/MAD z-score, default window 8 / threshold 4 sigma /
+      min relative change 0.1) and scan each series for change points;
+      machine-dependent wall.* series are informational unless
+      --include-wall; --check exits 1 on a flagged simulated regression
+  grinch-report trend [--ledger FILE] [--name NAME] [--metric NAME]
+                      [--last N] [--svg OUT.svg]
+      render per-metric ledger series as sparklines (and, with --svg, a
+      self-contained SVG chart) with change points marked
+  grinch-report postmortem <FLIGHT.json> [--events N]
+      read a flight-recorder panic dump: final span stack (innermost
+      open span last), per-metric movement over the recorded window and
+      the last N events (default 20)
 
 environment:
-  GRINCH_RESULTS_DIR / GRINCH_BASELINES_DIR override the default
-  workspace-rooted locations.
+  GRINCH_RESULTS_DIR / GRINCH_BASELINES_DIR / GRINCH_LEDGER_DIR override
+  the default workspace-rooted locations.
 ";
 
 fn fail(message: &str) -> ExitCode {
@@ -273,8 +297,18 @@ fn cmd_tail(mut args: Vec<String>) -> Result<ExitCode, String> {
     reject_leftover(&args)?;
 
     loop {
-        let (code, body) =
-            http_get(&addr, "/progress").map_err(|e| format!("GET http://{addr}/progress: {e}"))?;
+        // A dead or not-yet-listening live plane is an expected condition
+        // (exit 1 with a plain message), not a usage error (exit 2).
+        let (code, body) = match http_get(&addr, "/progress") {
+            Ok(response) => response,
+            Err(e) => {
+                eprintln!(
+                    "grinch-report: no live plane at {addr} ({e}) — start one with \
+                     `grinch-arena run --live {addr}`"
+                );
+                return Ok(ExitCode::FAILURE);
+            }
+        };
         if code != 200 {
             return Err(format!("GET http://{addr}/progress returned {code}"));
         }
@@ -415,6 +449,237 @@ fn cmd_bench(mut args: Vec<String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Shared ledger-loading path for `regress` / `trend`: flag override,
+/// default location, and a friendly error for an empty history.
+fn load_ledger(args: &mut Vec<String>) -> Result<Vec<grinch_obs::RunRecord>, String> {
+    let ledger = match take_value(args, "--ledger")? {
+        Some(path) => Ledger::at(path),
+        None => Ledger::open_default(),
+    };
+    let records = ledger
+        .load()
+        .map_err(|e| format!("cannot load ledger: {e}"))?;
+    if records.is_empty() {
+        return Err(format!(
+            "ledger {} is empty — run quickstart, a bench bin or `grinch-arena run` \
+             first (they append grinch-run/v1 records automatically)",
+            ledger.path().display()
+        ));
+    }
+    Ok(records)
+}
+
+/// Applies the optional `--name` / `--metric` selection to a record set,
+/// returning `(name, rows)` groups ready for scoring or rendering.
+fn select_series(
+    records: &[grinch_obs::RunRecord],
+    name: Option<&str>,
+    metric: Option<&str>,
+    last: Option<usize>,
+    cfg: &SentinelConfig,
+) -> Result<Vec<(String, Vec<TrendRow>)>, String> {
+    let names = match name {
+        Some(n) => {
+            let known = run_names(records);
+            if !known.iter().any(|k| k == n) {
+                return Err(format!(
+                    "no runs named {n:?} in the ledger (have: {known:?})"
+                ));
+            }
+            vec![n.to_string()]
+        }
+        None => run_names(records),
+    };
+    let mut groups = Vec::new();
+    for n in names {
+        let mut series = metric_series(records, &n);
+        if let Some(m) = metric {
+            series.retain(|k, _| k == m);
+        }
+        if let Some(last) = last {
+            for values in series.values_mut() {
+                let cut = values.len().saturating_sub(last);
+                values.drain(..cut);
+            }
+        }
+        let rows = trend_rows(&series, cfg);
+        if !rows.is_empty() {
+            groups.push((n, rows));
+        }
+    }
+    if groups.is_empty() {
+        return Err(match metric {
+            Some(m) => format!("metric {m:?} does not appear in the selected ledger series"),
+            None => "no series selected from the ledger".to_string(),
+        });
+    }
+    Ok(groups)
+}
+
+fn sentinel_config(args: &mut Vec<String>) -> Result<SentinelConfig, String> {
+    let mut cfg = SentinelConfig::default();
+    if let Some(v) = take_value(args, "--window")? {
+        cfg.window = v
+            .parse::<usize>()
+            .ok()
+            .filter(|w| *w >= 2)
+            .ok_or(format!("--window must be an integer >= 2, got {v:?}"))?;
+    }
+    if let Some(v) = take_value(args, "--threshold")? {
+        cfg.z_threshold = v
+            .parse::<f64>()
+            .ok()
+            .filter(|z| *z > 0.0)
+            .ok_or(format!("--threshold must be a positive number, got {v:?}"))?;
+    }
+    if let Some(v) = take_value(args, "--min-rel")? {
+        cfg.min_rel = v.parse::<f64>().ok().filter(|r| *r >= 0.0).ok_or(format!(
+            "--min-rel must be a non-negative fraction, got {v:?}"
+        ))?;
+    }
+    Ok(cfg)
+}
+
+fn cmd_regress(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let cfg = sentinel_config(&mut args)?;
+    let name = take_value(&mut args, "--name")?;
+    let metric = take_value(&mut args, "--metric")?;
+    let include_wall = take_switch(&mut args, "--include-wall");
+    let check = take_switch(&mut args, "--check");
+    let records = load_ledger(&mut args)?;
+    reject_leftover(&args)?;
+
+    let groups = select_series(&records, name.as_deref(), metric.as_deref(), None, &cfg)?;
+    let mut gated_regressions = 0usize;
+    let mut informational = 0usize;
+    for (name, rows) in &groups {
+        let fingerprints: std::collections::BTreeSet<&str> = records
+            .iter()
+            .filter(|r| r.name == *name)
+            .map(|r| r.config_fingerprint.as_str())
+            .collect();
+        let config_note = if fingerprints.len() > 1 {
+            format!(" [{} configs mixed in series]", fingerprints.len())
+        } else {
+            String::new()
+        };
+        println!("== regress: {name} ({} series){config_note} ==", rows.len());
+        for row in rows {
+            let is_wall = row.metric.starts_with("wall.");
+            let Some(verdict) = &row.verdict else {
+                println!(
+                    "  {}: n={} — too few points to score (need {})",
+                    row.metric,
+                    row.values.len(),
+                    cfg.min_points.max(2)
+                );
+                continue;
+            };
+            let mut status = if verdict.flagged { "REGRESSED" } else { "ok" };
+            if verdict.flagged && is_wall && !include_wall {
+                status = "regressed (wall, informational)";
+            }
+            println!(
+                "  {}: {} n={} latest={} window-median={} z={:+.1} rel={:+.1}%",
+                row.metric,
+                status,
+                verdict.n,
+                verdict.latest,
+                verdict.baseline_median,
+                verdict.z,
+                verdict.rel_change * 100.0
+            );
+            if let Some(cp) = &verdict.change_point {
+                println!(
+                    "    change point at run {}: {} -> {} (score {:.1})",
+                    cp.index, cp.before_median, cp.after_median, cp.score
+                );
+            }
+            if verdict.flagged {
+                if is_wall && !include_wall {
+                    informational += 1;
+                } else {
+                    gated_regressions += 1;
+                }
+            }
+        }
+    }
+    if informational > 0 {
+        println!(
+            "({informational} wall-clock series regressed — machine-dependent, \
+             pass --include-wall to gate on them)"
+        );
+    }
+    if gated_regressions > 0 {
+        if check {
+            eprintln!("grinch-report: {gated_regressions} ledger series regressed");
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("(informational: pass --check to turn regressions into a failing exit code)");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_trend(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let cfg = sentinel_config(&mut args)?;
+    let name = take_value(&mut args, "--name")?;
+    let metric = take_value(&mut args, "--metric")?;
+    let svg_out = take_value(&mut args, "--svg")?;
+    let last = match take_value(&mut args, "--last")? {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .ok()
+                .filter(|n| *n >= 2)
+                .ok_or(format!("--last must be an integer >= 2, got {v:?}"))?,
+        ),
+    };
+    let records = load_ledger(&mut args)?;
+    reject_leftover(&args)?;
+
+    let groups = select_series(&records, name.as_deref(), metric.as_deref(), last, &cfg)?;
+    for (name, rows) in &groups {
+        print!("{}", grinch_obs::history::trend_report(name, rows));
+    }
+    if let Some(out) = svg_out {
+        // One SVG across all selected producers: prefix each metric with
+        // its producer so multi-producer charts stay unambiguous.
+        let (title, rows) = if groups.len() == 1 {
+            (groups[0].0.clone(), groups[0].1.clone())
+        } else {
+            let rows = groups
+                .iter()
+                .flat_map(|(name, rows)| {
+                    rows.iter().map(move |row| TrendRow {
+                        metric: format!("{name}/{}", row.metric),
+                        ..row.clone()
+                    })
+                })
+                .collect();
+            ("ledger".to_string(), rows)
+        };
+        let svg = grinch_obs::history::trend_svg(&title, &rows);
+        std::fs::write(&out, &svg).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote trend chart: {out} ({} series)", rows.len());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_postmortem(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let events = match take_value(&mut args, "--events")? {
+        None => 20,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--events: invalid value {v:?}"))?,
+    };
+    let dump_path = args.pop().ok_or("postmortem: missing <FLIGHT.json>")?;
+    reject_leftover(&args)?;
+    let dump =
+        FlightDump::from_file(&dump_path).map_err(|e| format!("cannot read flight dump: {e}"))?;
+    print!("{}", dump.report(events));
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") {
@@ -435,6 +700,9 @@ fn main() -> ExitCode {
         "tail" => cmd_tail(argv),
         "promcheck" => cmd_promcheck(argv),
         "bench" => cmd_bench(argv),
+        "regress" => cmd_regress(argv),
+        "trend" => cmd_trend(argv),
+        "postmortem" => cmd_postmortem(argv),
         other => {
             return fail(&format!("unknown command {other:?} (try --help)"));
         }

@@ -1,0 +1,333 @@
+//! Postmortem analysis of flight-recorder dumps.
+//!
+//! A `FLIGHT_<name>.json` dump (schema `grinch-flight/v1`, written by the
+//! telemetry panic hook) carries the open-span stack at the moment of the
+//! panic and the last ring of telemetry events before it. This module
+//! parses the dump and answers the two questions a crashed run raises:
+//! *where was it* (the final span stack, innermost frame last) and *what
+//! was it doing* (per-metric first→last deltas over the recorded window).
+
+use grinch_telemetry::json::{parse, JsonValue};
+use grinch_telemetry::FLIGHT_SCHEMA;
+
+/// One frame of the open-span stack captured at panic time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenSpan {
+    /// Span id in the crashed run's trace.
+    pub id: u64,
+    /// Span name.
+    pub name: String,
+    /// Nesting depth (0 = root).
+    pub depth: u64,
+    /// Simulated-ns timestamp at span entry.
+    pub start_ns: u64,
+}
+
+/// One recorded event, names already resolved by the dumper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightEvent {
+    /// Monotone event index over the recorder's lifetime.
+    pub index: u64,
+    /// Simulated clock at record time.
+    pub sim_time_ns: u64,
+    /// Event kind: `counter`, `gauge`, `hist`, `span_open`, `span_close`.
+    pub kind: String,
+    /// Metric or span name.
+    pub name: String,
+    /// Metric value (cumulative for counters, current for gauges, the
+    /// sample for histograms); `None` for span events.
+    pub value: Option<f64>,
+}
+
+/// A parsed flight dump.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightDump {
+    /// Producer name the dump was registered under.
+    pub name: String,
+    /// Ring capacity at dump time.
+    pub capacity: u64,
+    /// Events recorded over the recorder's lifetime.
+    pub events_total: u64,
+    /// Events that fell off the front of the ring.
+    pub dropped: u64,
+    /// Simulated clock at dump time.
+    pub sim_time_ns: u64,
+    /// Open spans at dump time, outermost first / innermost last.
+    pub open_spans: Vec<OpenSpan>,
+    /// The surviving ring, oldest first.
+    pub events: Vec<FlightEvent>,
+}
+
+/// First→last movement of one metric across the recorded window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub name: String,
+    /// Event kind (`counter` / `gauge` / `hist`).
+    pub kind: String,
+    /// First recorded value in the window.
+    pub first: f64,
+    /// Last recorded value in the window.
+    pub last: f64,
+    /// Events for this metric inside the window.
+    pub events: u64,
+}
+
+impl FlightDump {
+    /// Parses a `grinch-flight/v1` document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = parse(text).ok_or("invalid JSON")?;
+        let schema = value
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing schema")?;
+        if schema != FLIGHT_SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?} (want {FLIGHT_SCHEMA})"
+            ));
+        }
+        let u64_field = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing or non-integer {key:?}"))
+        };
+        let open_spans = match value.get("open_spans") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|item| {
+                    Ok::<_, String>(OpenSpan {
+                        id: item
+                            .get("id")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or("open span missing id")?,
+                        name: item
+                            .get("name")
+                            .and_then(JsonValue::as_str)
+                            .ok_or("open span missing name")?
+                            .to_string(),
+                        depth: item.get("depth").and_then(JsonValue::as_u64).unwrap_or(0),
+                        start_ns: item
+                            .get("start_ns")
+                            .and_then(JsonValue::as_u64)
+                            .unwrap_or(0),
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing open_spans array".into()),
+        };
+        let events = match value.get("events") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|item| {
+                    Ok::<_, String>(FlightEvent {
+                        index: item
+                            .get("i")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or("event missing index")?,
+                        sim_time_ns: item.get("t").and_then(JsonValue::as_u64).unwrap_or(0),
+                        kind: item
+                            .get("kind")
+                            .and_then(JsonValue::as_str)
+                            .ok_or("event missing kind")?
+                            .to_string(),
+                        name: item
+                            .get("name")
+                            .and_then(JsonValue::as_str)
+                            .ok_or("event missing name")?
+                            .to_string(),
+                        value: item.get("value").and_then(JsonValue::as_f64),
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing events array".into()),
+        };
+        Ok(Self {
+            name: value
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("missing name")?
+                .to_string(),
+            capacity: u64_field("capacity")?,
+            events_total: u64_field("events_total")?,
+            dropped: u64_field("dropped")?,
+            sim_time_ns: u64_field("sim_time_ns")?,
+            open_spans,
+            events,
+        })
+    }
+
+    /// Reads and parses a dump file.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(&path)?;
+        Self::from_json(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.as_ref().display()),
+            )
+        })
+    }
+
+    /// The innermost span still open at the panic — where the run died.
+    pub fn innermost_open_span(&self) -> Option<&OpenSpan> {
+        self.open_spans.last()
+    }
+
+    /// First→last movement of every metric seen in the recorded window,
+    /// ordered by metric name.
+    pub fn metric_deltas(&self) -> Vec<MetricDelta> {
+        let mut deltas: Vec<MetricDelta> = Vec::new();
+        for event in &self.events {
+            let Some(value) = event.value else { continue };
+            match deltas
+                .iter_mut()
+                .find(|d| d.name == event.name && d.kind == event.kind)
+            {
+                Some(delta) => {
+                    delta.last = value;
+                    delta.events += 1;
+                }
+                None => deltas.push(MetricDelta {
+                    name: event.name.clone(),
+                    kind: event.kind.clone(),
+                    first: value,
+                    last: value,
+                    events: 1,
+                }),
+            }
+        }
+        deltas.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.kind.cmp(&b.kind)));
+        deltas
+    }
+
+    /// Renders the postmortem: the final span stack (innermost frame
+    /// marked), the metric deltas, and the tail of the event window
+    /// (`last_n` events).
+    pub fn report(&self, last_n: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== postmortem: {} (clock {} ns, {} events recorded, {} dropped) ==",
+            self.name, self.sim_time_ns, self.events_total, self.dropped
+        );
+        if self.open_spans.is_empty() {
+            let _ = writeln!(out, "  no spans were open at the dump");
+        } else {
+            let _ = writeln!(out, "  final span stack (outermost first):");
+            for span in &self.open_spans {
+                let _ = writeln!(
+                    out,
+                    "    {:indent$}{} (opened at {} ns)",
+                    "",
+                    span.name,
+                    span.start_ns,
+                    indent = span.depth as usize * 2
+                );
+            }
+            if let Some(innermost) = self.innermost_open_span() {
+                let _ = writeln!(out, "  innermost open span: {}", innermost.name);
+            }
+        }
+        let deltas = self.metric_deltas();
+        if !deltas.is_empty() {
+            let _ = writeln!(out, "  metric movement over the recorded window:");
+            for d in &deltas {
+                let _ = writeln!(
+                    out,
+                    "    {:7} {}  {} -> {}  ({} events)",
+                    d.kind, d.name, d.first, d.last, d.events
+                );
+            }
+        }
+        let tail_start = self.events.len().saturating_sub(last_n);
+        let tail = &self.events[tail_start..];
+        if !tail.is_empty() {
+            let _ = writeln!(out, "  last {} events:", tail.len());
+            for event in tail {
+                match event.value {
+                    Some(v) => {
+                        let _ = writeln!(
+                            out,
+                            "    #{:<6} t={:<10} {:10} {} = {v}",
+                            event.index, event.sim_time_ns, event.kind, event.name
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "    #{:<6} t={:<10} {:10} {}",
+                            event.index, event.sim_time_ns, event.kind, event.name
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grinch_telemetry::{span, Telemetry};
+
+    /// A dump produced by the real recorder, mid-span.
+    fn crashed_dump() -> String {
+        let tel = Telemetry::new();
+        tel.enable_flight_recorder(16);
+        let outer = span!(tel, "attack");
+        tel.advance_time_ns(10);
+        let inner = span!(tel, "attack.stage");
+        tel.counter_add("probes", 3);
+        tel.counter_add("probes", 5);
+        tel.gauge_set("entropy", 2.5);
+        tel.advance_time_ns(90);
+        let dump = tel.flight_dump("crashed").expect("recorder on");
+        drop(inner);
+        drop(outer);
+        dump
+    }
+
+    #[test]
+    fn parses_the_recorder_output_and_finds_the_innermost_span() {
+        let dump = FlightDump::from_json(&crashed_dump()).expect("parses");
+        assert_eq!(dump.name, "crashed");
+        assert_eq!(dump.dropped, 0);
+        assert_eq!(dump.sim_time_ns, 100);
+        let innermost = dump.innermost_open_span().expect("two spans open");
+        assert_eq!(innermost.name, "attack.stage");
+        assert_eq!(dump.open_spans[0].name, "attack");
+    }
+
+    #[test]
+    fn metric_deltas_track_first_to_last() {
+        let dump = FlightDump::from_json(&crashed_dump()).unwrap();
+        let deltas = dump.metric_deltas();
+        let probes = deltas.iter().find(|d| d.name == "probes").unwrap();
+        assert_eq!((probes.first, probes.last, probes.events), (3.0, 8.0, 2));
+        let entropy = deltas.iter().find(|d| d.name == "entropy").unwrap();
+        assert_eq!(entropy.kind, "gauge");
+        assert_eq!(entropy.last, 2.5);
+    }
+
+    #[test]
+    fn report_is_greppable() {
+        let dump = FlightDump::from_json(&crashed_dump()).unwrap();
+        let report = dump.report(10);
+        assert!(report.contains("innermost open span: attack.stage"));
+        assert!(report.contains("final span stack"));
+        assert!(report.contains("probes  3 -> 8"));
+        // Tail honours last_n.
+        let short = dump.report(1);
+        assert_eq!(short.matches("\n    #").count(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_dumps() {
+        assert!(FlightDump::from_json("{}").unwrap_err().contains("schema"));
+        assert!(FlightDump::from_json("nope").is_err());
+        let wrong = "{\"schema\":\"grinch-flight/v0\"}";
+        assert!(FlightDump::from_json(wrong).unwrap_err().contains("v0"));
+    }
+}

@@ -1,0 +1,268 @@
+//! The regression sentinel: robust statistics over per-metric ledger
+//! series.
+//!
+//! The byte-exact bench gate (`grinch-report bench --check`) answers "did
+//! *this* run match *the* baseline"; the sentinel answers the longitudinal
+//! question — "is the latest run an outlier against the rolling window of
+//! its own history?" Two detectors, both deliberately simple:
+//!
+//! * a **median/MAD z-score** for the latest point: robust to the odd
+//!   historical outlier (a mean/stddev gate would be dragged by it), with
+//!   the MAD scaled by 1.4826 so thresholds read like Gaussian sigmas.
+//!   A relative-change floor keeps near-constant series (MAD ≈ 0) from
+//!   flagging on numerically-trivial jitter;
+//! * a **two-window change-point scan** over the whole series: for each
+//!   split, compare the medians of the windows on either side in units of
+//!   their pooled MAD, and report the strongest split that clears the
+//!   threshold. This catches a *persistent* shift the latest-point test
+//!   stops seeing once the shifted points dominate the window.
+
+/// Tuning knobs for both detectors.
+#[derive(Clone, Copy, Debug)]
+pub struct SentinelConfig {
+    /// Rolling baseline size: the latest point is scored against up to
+    /// this many points immediately before it.
+    pub window: usize,
+    /// Robust z-score a point must exceed to flag.
+    pub z_threshold: f64,
+    /// Relative change (vs the baseline median) a point must also exceed
+    /// — the guard against MAD-collapse on near-constant series.
+    pub min_rel: f64,
+    /// Minimum series length before the sentinel says anything at all.
+    pub min_points: usize,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        Self {
+            window: 8,
+            z_threshold: 4.0,
+            min_rel: 0.1,
+            min_points: 4,
+        }
+    }
+}
+
+/// A detected persistent shift: the series' behaviour before and after
+/// `index` differs beyond the threshold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChangePoint {
+    /// First index of the "after" regime.
+    pub index: usize,
+    /// Median of the window before the split.
+    pub before_median: f64,
+    /// Median of the window after the split.
+    pub after_median: f64,
+    /// Shift magnitude in pooled-MAD units.
+    pub score: f64,
+}
+
+/// The sentinel's full answer for one metric series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesVerdict {
+    /// Points in the series.
+    pub n: usize,
+    /// The latest value — the one under test.
+    pub latest: f64,
+    /// Median of the rolling baseline window (excluding the latest).
+    pub baseline_median: f64,
+    /// Scaled MAD of the baseline window.
+    pub baseline_mad: f64,
+    /// Robust z-score of the latest point.
+    pub z: f64,
+    /// Relative change of the latest point vs the baseline median.
+    pub rel_change: f64,
+    /// Whether the latest point flags as a regression candidate.
+    pub flagged: bool,
+    /// Strongest persistent shift found anywhere in the series, if any.
+    pub change_point: Option<ChangePoint>,
+}
+
+/// Median of a slice (average of the middle two for even lengths).
+/// NaN-free input is the caller's contract; empty input returns 0.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation around `center` (unscaled).
+pub fn mad(values: &[f64], center: f64) -> f64 {
+    let deviations: Vec<f64> = values.iter().map(|v| (v - center).abs()).collect();
+    median(&deviations)
+}
+
+/// *Mean* absolute deviation around `center`. The change-point scan uses
+/// this instead of the MAD: a window contaminated by the other regime
+/// keeps a zero MAD as long as the majority is pure, which would let
+/// several splits tie at the maximum score — the mean deviation charges
+/// contamination linearly, so the clean split scores strictly highest.
+pub fn mean_abs_dev(values: &[f64], center: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().map(|v| (v - center).abs()).sum::<f64>() / values.len() as f64
+}
+
+/// The consistency constant that makes a MAD comparable to a Gaussian
+/// standard deviation.
+pub const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// The denominator floor: even a zero-MAD (constant) baseline admits a
+/// scale of 1% of its median, so large genuine jumps still score while
+/// float dust does not.
+fn scale_floor(center: f64) -> f64 {
+    (center.abs() * 0.01).max(1e-12)
+}
+
+/// Scores a series: latest point against its rolling window, plus the
+/// change-point scan. `None` when the series is shorter than
+/// `min_points`.
+pub fn analyze(series: &[f64], cfg: &SentinelConfig) -> Option<SeriesVerdict> {
+    if series.len() < cfg.min_points.max(2) {
+        return None;
+    }
+    let (history, latest) = series.split_at(series.len() - 1);
+    let latest = latest[0];
+    let start = history.len().saturating_sub(cfg.window);
+    let window = &history[start..];
+    let baseline_median = median(window);
+    let baseline_mad = MAD_TO_SIGMA * mad(window, baseline_median);
+    let scale = baseline_mad.max(scale_floor(baseline_median));
+    let z = (latest - baseline_median) / scale;
+    let rel_change = if baseline_median.abs() > 1e-12 {
+        (latest - baseline_median) / baseline_median.abs()
+    } else if latest.abs() > 1e-12 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    let flagged = z.abs() > cfg.z_threshold && rel_change.abs() > cfg.min_rel;
+    Some(SeriesVerdict {
+        n: series.len(),
+        latest,
+        baseline_median,
+        baseline_mad,
+        z,
+        rel_change,
+        flagged,
+        change_point: change_point(series, cfg),
+    })
+}
+
+/// Two-window change-point scan: the strongest split where the medians of
+/// the flanking windows differ beyond the threshold (in pooled-MAD units
+/// *and* relative terms). Windows are capped at `cfg.window` points each.
+pub fn change_point(series: &[f64], cfg: &SentinelConfig) -> Option<ChangePoint> {
+    if series.len() < 4 {
+        return None;
+    }
+    let mut best: Option<ChangePoint> = None;
+    for split in 2..=(series.len() - 2) {
+        let left_start = split.saturating_sub(cfg.window);
+        let right_end = (split + cfg.window).min(series.len());
+        let left = &series[left_start..split];
+        let right = &series[split..right_end];
+        let med_l = median(left);
+        let med_r = median(right);
+        let pooled = MAD_TO_SIGMA * (mean_abs_dev(left, med_l) + mean_abs_dev(right, med_r)) / 2.0;
+        let scale = pooled.max(scale_floor(med_l));
+        let score = (med_r - med_l).abs() / scale;
+        let rel = if med_l.abs() > 1e-12 {
+            (med_r - med_l).abs() / med_l.abs()
+        } else if med_r.abs() > 1e-12 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        if score > cfg.z_threshold && rel > cfg.min_rel {
+            let candidate = ChangePoint {
+                index: split,
+                before_median: med_l,
+                after_median: med_r,
+                score,
+            };
+            if best.is_none_or(|b| candidate.score > b.score) {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medians_and_mads_are_robust() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        // One wild outlier barely moves the median, unlike a mean.
+        assert_eq!(median(&[10.0, 10.0, 10.0, 10.0, 1e9]), 10.0);
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 100.0], 3.0), 1.0);
+    }
+
+    #[test]
+    fn sentinel_flags_a_3x_wall_time_regression() {
+        // The acceptance-pinned scenario: stable wall times, then one run
+        // takes 3× as long.
+        let series = [100.0, 102.0, 98.0, 101.0, 99.0, 103.0, 100.0, 300.0];
+        let verdict = analyze(&series, &SentinelConfig::default()).expect("enough points");
+        assert!(verdict.flagged, "3× jump must flag: {verdict:?}");
+        assert!(verdict.z > 4.0);
+        assert!(verdict.rel_change > 1.5);
+    }
+
+    #[test]
+    fn sentinel_stays_quiet_on_mad_level_noise() {
+        // The other acceptance pin: jitter at the scale of the series' own
+        // MAD must not flag.
+        let series = [100.0, 102.0, 98.0, 101.0, 99.0, 103.0, 100.0, 104.0];
+        let verdict = analyze(&series, &SentinelConfig::default()).expect("enough points");
+        assert!(
+            !verdict.flagged,
+            "MAD-level noise must not flag: {verdict:?}"
+        );
+
+        // Constant series + trivial jitter: the scale floor keeps it quiet.
+        let constant = [50.0, 50.0, 50.0, 50.0, 50.0, 50.000001];
+        let verdict = analyze(&constant, &SentinelConfig::default()).unwrap();
+        assert!(!verdict.flagged, "float dust must not flag: {verdict:?}");
+
+        // ...but a real jump off a constant baseline still flags.
+        let jump = [50.0, 50.0, 50.0, 50.0, 50.0, 150.0];
+        let verdict = analyze(&jump, &SentinelConfig::default()).unwrap();
+        assert!(verdict.flagged, "constant-baseline jump flags: {verdict:?}");
+    }
+
+    #[test]
+    fn change_point_lands_on_the_shift() {
+        let series = [
+            100.0, 100.0, 100.0, 100.0, 100.0, 300.0, 300.0, 300.0, 300.0, 300.0,
+        ];
+        let cp = change_point(&series, &SentinelConfig::default()).expect("shift detected");
+        assert_eq!(cp.index, 5);
+        assert_eq!(cp.before_median, 100.0);
+        assert_eq!(cp.after_median, 300.0);
+
+        let quiet = [100.0, 101.0, 99.0, 100.0, 102.0, 98.0, 100.0, 101.0];
+        assert_eq!(change_point(&quiet, &SentinelConfig::default()), None);
+    }
+
+    #[test]
+    fn short_series_return_nothing() {
+        let cfg = SentinelConfig::default();
+        assert!(analyze(&[1.0, 2.0, 3.0], &cfg).is_none());
+        assert!(change_point(&[1.0, 2.0, 3.0], &cfg).is_none());
+    }
+}

@@ -26,8 +26,13 @@
 //! * [`bench`] — the regression gate: aggregates a run's telemetry into a
 //!   schema'd `BENCH_<name>.json` and compares it against committed
 //!   baselines with configurable tolerances;
-//! * [`paths`] — canonical locations (`results/`, `bench/baselines/`) that
-//!   stay correct regardless of the invoking working directory.
+//! * [`history`] — the persistent half: the append-only run ledger
+//!   (`grinch-run/v1` records in `results/ledger/LEDGER.jsonl`), the
+//!   median/MAD regression sentinel with change-point detection, trend
+//!   sparklines/SVG, and the flight-recorder postmortem reader;
+//! * [`paths`] — canonical locations (`results/`, `bench/baselines/`,
+//!   `results/ledger/`) that stay correct regardless of the invoking
+//!   working directory.
 //!
 //! The `grinch-report` binary wires all of this into a CLI:
 //!
@@ -37,6 +42,9 @@
 //! grinch-report leakage results/quickstart.telemetry.jsonl
 //! grinch-report dashboard results/quickstart.telemetry.jsonl
 //! grinch-report bench --check
+//! grinch-report regress --check
+//! grinch-report trend --svg results/trend.svg
+//! grinch-report postmortem results/FLIGHT_quickstart.json
 //! ```
 
 #![warn(missing_docs)]
@@ -45,6 +53,7 @@ pub mod bench;
 pub mod chrome;
 pub mod dashboard;
 pub mod heatmap;
+pub mod history;
 pub mod leakage;
 pub mod live;
 pub mod matrix;
@@ -55,6 +64,7 @@ pub use bench::{BenchReport, GateOutcome, MetricDeviation, WallSection};
 pub use chrome::chrome_trace_json;
 pub use dashboard::dashboard;
 pub use heatmap::Heatmap;
+pub use history::{FlightDump, Ledger, RunRecord, SentinelConfig};
 pub use leakage::{JointCounts, StageLeakage};
 pub use live::{LiveServer, LiveState, MetricsState, ProgressView, WorkerView};
 pub use matrix::MatrixHeat;

@@ -191,12 +191,16 @@ fn format_prom_f64(v: f64) -> String {
 /// * every sample belongs to a declared family (directly, or via the
 ///   `_sum`/`_count`/`_bucket` suffixes of summaries and histograms);
 /// * no duplicate samples (same name and label set);
-/// * every sample value parses as a Prometheus float.
+/// * every sample value parses as a Prometheus float;
+/// * every declared family has at least one sample — a `# TYPE` line with
+///   no samples means the producer dropped data on the floor.
 ///
 /// Returns the number of samples on success.
 pub fn validate_exposition(body: &str) -> Result<usize, String> {
     let mut types: BTreeMap<String, String> = BTreeMap::new();
     let mut seen_samples: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut families_with_samples: std::collections::HashSet<String> =
+        std::collections::HashSet::new();
     let mut samples = 0usize;
 
     let valid_name = |name: &str| -> bool {
@@ -281,10 +285,29 @@ pub fn validate_exposition(body: &str) -> Result<usize, String> {
         if !family_known {
             return Err(format!("line {n}: sample {name:?} has no # TYPE line"));
         }
+        // Credit the sample to its family, so empty families can be
+        // rejected after the scan.
+        let family = if types.contains_key(name) {
+            name.to_string()
+        } else {
+            ["_sum", "_count", "_bucket"]
+                .iter()
+                .find_map(|suffix| name.strip_suffix(suffix))
+                .expect("family_known implies a suffix match")
+                .to_string()
+        };
+        families_with_samples.insert(family);
         if !seen_samples.insert(format!("{name}{{{labels}}}")) {
             return Err(format!("line {n}: duplicate sample {name:?}"));
         }
         samples += 1;
+    }
+    for family in types.keys() {
+        if !families_with_samples.contains(family) {
+            return Err(format!(
+                "family {family:?} is declared by # TYPE but has no samples"
+            ));
+        }
     }
     Ok(samples)
 }
@@ -751,6 +774,25 @@ mod tests {
         assert_eq!(validate_exposition(summary), Ok(2));
         let labeled = "# TYPE a counter\na{worker=\"1\"} 1\na{worker=\"2\"} 1\n";
         assert_eq!(validate_exposition(labeled), Ok(2));
+    }
+
+    #[test]
+    fn validator_rejects_a_type_line_with_no_samples() {
+        let empty_family = "# TYPE a counter\n# TYPE b counter\nb 1\n";
+        let err = validate_exposition(empty_family).unwrap_err();
+        assert!(
+            err.contains("\"a\"") && err.contains("no samples"),
+            "empty family named in {err:?}"
+        );
+        // A summary satisfied only through its child series still counts.
+        let summary_children = "# TYPE s summary\ns_sum 10\ns_count 2\n";
+        assert!(validate_exposition(summary_children).is_ok());
+        // Order independence: samples may precede later TYPE declarations,
+        // but an empty family is caught regardless of where it appears.
+        let empty_last = "# TYPE b counter\nb 1\n# TYPE a counter\n";
+        assert!(validate_exposition(empty_last)
+            .unwrap_err()
+            .contains("no samples"));
     }
 
     #[test]

@@ -42,6 +42,23 @@ pub fn baselines_dir() -> PathBuf {
     resolve("GRINCH_BASELINES_DIR", "bench/baselines")
 }
 
+/// Where the append-only run ledger lives (`results/ledger/` at the
+/// workspace root; override with `GRINCH_LEDGER_DIR`). When only
+/// `GRINCH_RESULTS_DIR` is set, the ledger follows it.
+pub fn ledger_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("GRINCH_LEDGER_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    results_dir().join("ledger")
+}
+
+/// The ledger file itself: `ledger_dir()/LEDGER.jsonl`.
+pub fn ledger_path() -> PathBuf {
+    ledger_dir().join("LEDGER.jsonl")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,6 +80,15 @@ mod tests {
         }
         if std::env::var("GRINCH_BASELINES_DIR").is_err() {
             assert!(baselines.ends_with("bench/baselines"));
+        }
+    }
+
+    #[test]
+    fn ledger_follows_the_results_dir() {
+        // Same env caveat as above: assert only when no override is set.
+        if std::env::var("GRINCH_LEDGER_DIR").is_err() {
+            assert_eq!(ledger_dir(), results_dir().join("ledger"));
+            assert_eq!(ledger_path(), ledger_dir().join("LEDGER.jsonl"));
         }
     }
 }

@@ -24,6 +24,8 @@ fn run(args: &[&str]) -> Output {
         .args(args)
         .env_remove("GRINCH_RESULTS_DIR")
         .env_remove("GRINCH_BASELINES_DIR")
+        .env_remove("GRINCH_LEDGER_DIR")
+        .env_remove("GRINCH_LEDGER")
         .output()
         .expect("grinch-report runs")
 }
@@ -208,6 +210,182 @@ fn bench_gate_bootstraps_passes_and_catches_regressions() {
 
     let _ = std::fs::remove_dir_all(&results);
     let _ = std::fs::remove_dir_all(&baselines);
+}
+
+/// One synthetic `grinch-run/v1` record for the sentinel tests.
+fn ledger_record(name: &str, idx: usize, probes: f64, wall_ns: u64) -> grinch_obs::RunRecord {
+    grinch_obs::RunRecord {
+        run_id: format!("test-{idx:x}"),
+        name: name.to_string(),
+        config_fingerprint: "cafe0000cafe0000".to_string(),
+        campaign_seed: None,
+        env: vec![("os".to_string(), "test".to_string())],
+        metrics: vec![("attack.probes".to_string(), probes)],
+        wall: vec![grinch_obs::WallSection::new("recovery", wall_ns, probes)],
+        profile: None,
+    }
+}
+
+fn write_ledger(path: &Path, records: &[grinch_obs::RunRecord]) {
+    let ledger = grinch_obs::Ledger::at(path);
+    for record in records {
+        ledger.append(record).unwrap();
+    }
+}
+
+#[test]
+fn regress_gates_on_simulated_metrics_and_reports_wall_separately() {
+    let dir = scratch("regress");
+    let path = dir.join("LEDGER.jsonl");
+
+    // Stable history, then the last run triples its probe count: a gated
+    // simulated-metric regression.
+    let mut records: Vec<_> = (0..7)
+        .map(|i| ledger_record("quickstart", i, 640.0 + i as f64, 4_000_000))
+        .collect();
+    records.push(ledger_record("quickstart", 7, 1920.0, 4_000_000));
+    write_ledger(&path, &records);
+
+    let ledger_arg = path.to_str().unwrap();
+    let out = run(&["regress", "--ledger", ledger_arg]);
+    assert!(out.status.success(), "without --check regress informs only");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("attack.probes: REGRESSED"), "stdout:\n{text}");
+
+    let out = run(&["regress", "--ledger", ledger_arg, "--check"]);
+    assert_eq!(out.status.code(), Some(1), "--check turns it into exit 1");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regressed"));
+
+    // MAD-level noise: quiet, exit 0 even under --check.
+    let quiet_path = dir.join("QUIET.jsonl");
+    let quiet: Vec<_> = [640.0, 642.0, 638.0, 641.0, 639.0, 643.0, 640.0, 644.0]
+        .iter()
+        .enumerate()
+        .map(|(i, p)| ledger_record("quickstart", i, *p, 4_000_000))
+        .collect();
+    write_ledger(&quiet_path, &quiet);
+    let out = run(&[
+        "regress",
+        "--ledger",
+        quiet_path.to_str().unwrap(),
+        "--check",
+    ]);
+    assert!(
+        out.status.success(),
+        "noise must stay quiet: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("attack.probes: ok"));
+
+    // A wall-clock-only regression is informational by default (committed
+    // wall times are machine-dependent) and only gates under
+    // --include-wall.
+    let wall_path = dir.join("WALL.jsonl");
+    let mut wall: Vec<_> = (0..7)
+        .map(|i| ledger_record("quickstart", i, 640.0, 4_000_000))
+        .collect();
+    wall.push(ledger_record("quickstart", 7, 640.0, 12_000_000));
+    write_ledger(&wall_path, &wall);
+    let wall_arg = wall_path.to_str().unwrap();
+    let out = run(&["regress", "--ledger", wall_arg, "--check"]);
+    assert!(
+        out.status.success(),
+        "wall regressions must not gate by default: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("informational"));
+    let out = run(&["regress", "--ledger", wall_arg, "--check", "--include-wall"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "--include-wall gates wall series"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trend_renders_sparklines_and_a_self_contained_svg() {
+    let dir = scratch("trend");
+    let path = dir.join("LEDGER.jsonl");
+    let records: Vec<_> = (0..6)
+        .map(|i| ledger_record("quickstart", i, 640.0 + 10.0 * i as f64, 4_000_000))
+        .collect();
+    write_ledger(&path, &records);
+
+    let out = run(&["trend", "--ledger", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("== trend: quickstart"), "stdout:\n{text}");
+    assert!(text.contains('▁') && text.contains('█'), "stdout:\n{text}");
+
+    let svg_path = dir.join("trend.svg");
+    let out = run(&[
+        "trend",
+        "--ledger",
+        path.to_str().unwrap(),
+        "--svg",
+        svg_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let svg = std::fs::read_to_string(&svg_path).unwrap();
+    assert!(svg.starts_with("<svg"), "svg:\n{svg}");
+    assert!(svg.contains("attack.probes"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn postmortem_resolves_the_innermost_open_span_of_a_real_dump() {
+    let dir = scratch("postmortem");
+    let tel = Telemetry::new();
+    tel.set_time_ns(0);
+    tel.enable_flight_recorder(64);
+    let _attack = tel.span("attack");
+    let _stage = tel.span("attack.stage");
+    tel.counter_add("attack.probes", 5);
+    // Dump while the spans are still open — exactly what the panic hook
+    // sees mid-unwind.
+    let dump = tel.flight_dump("cli-crash").expect("recorder enabled");
+    let path = dir.join("FLIGHT_cli-crash.json");
+    std::fs::write(&path, dump).unwrap();
+
+    let out = run(&["postmortem", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains("innermost open span: attack.stage"),
+        "stdout:\n{text}"
+    );
+    assert!(text.contains("attack.probes"), "stdout:\n{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tail_against_a_dead_plane_exits_1_with_a_clear_error() {
+    // Port 1 is never listening; --once must not hang or dump a raw io
+    // error with exit 2.
+    let out = run(&["tail", "127.0.0.1:1", "--once"]);
+    assert_eq!(out.status.code(), Some(1), "dead plane is exit 1");
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        err.contains("no live plane at 127.0.0.1:1"),
+        "stderr:\n{err}"
+    );
+    assert!(err.contains("grinch-arena run --live"), "stderr:\n{err}");
+}
+
+#[test]
+fn empty_ledger_is_a_usage_error() {
+    let dir = scratch("empty-ledger");
+    let path = dir.join("LEDGER.jsonl");
+    let out = run(&["regress", "--ledger", path.to_str().unwrap(), "--check"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("is empty"));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

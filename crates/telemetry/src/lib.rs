@@ -45,12 +45,14 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+pub mod flight;
 pub mod histogram;
 pub mod json;
 pub mod read;
 pub mod sink;
 pub mod stream;
 
+pub use flight::{dump_event_count, DEFAULT_FLIGHT_CAPACITY, FLIGHT_SCHEMA};
 pub use histogram::LogHistogram;
 pub use read::{snapshot_from_jsonl, ReadError};
 pub use sink::{snapshot_to_jsonl, summary_string, JsonlSink, NullSink, Sink, SummarySink};
@@ -325,6 +327,7 @@ struct Inner {
     histograms: Vec<HistogramSlot>,
     spans: Vec<SpanRecord>,
     open: Vec<usize>,
+    flight: Option<flight::FlightRing>,
 }
 
 impl Inner {
@@ -401,6 +404,9 @@ impl Batch<'_> {
             let slot = &mut self.inner.counters[h.0 as usize];
             slot.value += delta;
             slot.touched = true;
+            let value = slot.value;
+            self.inner
+                .flight_record(flight::RawKind::Counter { slot: h.0, value });
         }
     }
 
@@ -417,6 +423,8 @@ impl Batch<'_> {
             let slot = &mut self.inner.gauges[h.0 as usize];
             slot.value = value;
             slot.touched = true;
+            self.inner
+                .flight_record(flight::RawKind::Gauge { slot: h.0, value });
         }
     }
 
@@ -427,6 +435,8 @@ impl Batch<'_> {
             let slot = &mut self.inner.histograms[h.0 as usize];
             slot.hist.record(value);
             slot.touched = true;
+            self.inner
+                .flight_record(flight::RawKind::Histogram { slot: h.0, value });
         }
     }
 }
@@ -531,6 +541,8 @@ impl Telemetry {
             let slot = &mut inner.counters[h.0 as usize];
             slot.value += delta;
             slot.touched = true;
+            let value = slot.value;
+            inner.flight_record(flight::RawKind::Counter { slot: h.0, value });
         }
     }
 
@@ -551,6 +563,7 @@ impl Telemetry {
             let slot = &mut inner.gauges[h.0 as usize];
             slot.value = value;
             slot.touched = true;
+            inner.flight_record(flight::RawKind::Gauge { slot: h.0, value });
         }
     }
 
@@ -565,6 +578,7 @@ impl Telemetry {
             let slot = &mut inner.histograms[h.0 as usize];
             slot.hist.record(value);
             slot.touched = true;
+            inner.flight_record(flight::RawKind::Histogram { slot: h.0, value });
         }
     }
 
@@ -622,6 +636,8 @@ impl Telemetry {
             let slot = &mut inner.counters[i as usize];
             slot.value += delta;
             slot.touched = true;
+            let value = slot.value;
+            inner.flight_record(flight::RawKind::Counter { slot: i, value });
         }
     }
 
@@ -638,6 +654,7 @@ impl Telemetry {
             let slot = &mut inner.gauges[i as usize];
             slot.value = value;
             slot.touched = true;
+            inner.flight_record(flight::RawKind::Gauge { slot: i, value });
         }
     }
 
@@ -649,6 +666,7 @@ impl Telemetry {
             let slot = &mut inner.histograms[i as usize];
             slot.hist.record(value);
             slot.touched = true;
+            inner.flight_record(flight::RawKind::Histogram { slot: i, value });
         }
     }
 
@@ -683,6 +701,7 @@ impl Telemetry {
             end_ns: None,
         });
         borrow.open.push(id);
+        borrow.flight_record(flight::RawKind::SpanOpen { id });
         SpanGuard {
             inner: Some(Rc::clone(inner)),
             id,
@@ -797,6 +816,7 @@ impl Drop for SpanGuard {
             if let Some(pos) = inner.open.iter().rposition(|&i| i == self.id) {
                 inner.open.remove(pos);
             }
+            inner.flight_record(flight::RawKind::SpanClose { id: self.id });
         }
     }
 }

@@ -29,6 +29,26 @@ fn main() {
     //    records every probe, cache event, and stage span —
     //    GRINCH_TELEMETRY=0 turns all of it off.
     let telemetry = Telemetry::from_env();
+    if telemetry.is_enabled() {
+        // Crash flight recorder: keep the last events in a ring and dump
+        // them on panic, so a dead run leaves `grinch-report postmortem`
+        // something to read.
+        telemetry.enable_flight_recorder(grinch_telemetry::DEFAULT_FLIGHT_CAPACITY);
+        telemetry.install_flight_dump_on_panic(
+            "quickstart",
+            grinch_obs::paths::results_dir().join("FLIGHT_quickstart.json"),
+        );
+    }
+    if std::env::var("GRINCH_FORCE_PANIC").as_deref() == Ok("1") {
+        // CI's flight-recorder drill: open a recognisable span stack, emit
+        // a few events, and die mid-span. The panic hook must leave a
+        // FLIGHT_quickstart.json whose postmortem resolves the innermost
+        // open span to `attack.flight_test`.
+        let _attack = telemetry.span("attack");
+        let _stage = telemetry.span("attack.flight_test");
+        telemetry.counter_add("attack.probes", 3);
+        panic!("GRINCH_FORCE_PANIC=1: deliberate crash to exercise the flight recorder");
+    }
     let mut oracle = VictimOracle::new(secret, ObservationConfig::ideal());
     oracle.set_telemetry(telemetry.clone());
 
@@ -137,5 +157,15 @@ fn main() {
             "bench report: write to {} failed: {e}",
             bench_path.display()
         ),
+    }
+
+    // 7. One `grinch-run/v1` record into the append-only run ledger — the
+    //    longitudinal history behind `grinch-report regress` and
+    //    `grinch-report trend`. GRINCH_LEDGER=0 opts out.
+    if let Some(ledger_path) = grinch_obs::history::append_run(&report, Some(&profile), None) {
+        println!(
+            "run ledger: {} (try: grinch-report trend)",
+            ledger_path.display()
+        );
     }
 }
