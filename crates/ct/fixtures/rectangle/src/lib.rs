@@ -1,0 +1,39 @@
+//! Stub RECTANGLE cipher: the second `grinch-ct` target, proving the taint
+//! engine is cipher-agnostic. Not a workspace member — these sources exist
+//! only to be analyzed, with secret roots declared in `../ct-config.toml`.
+
+mod sbox;
+
+pub use sbox::{sub_column, RECT_SBOX};
+
+/// 80-bit RECTANGLE key, packed into two words.
+pub struct RectKey {
+    /// Key words, low word first.
+    pub words: [u64; 2],
+}
+
+/// Expanded key schedule (the `subkeys` field name is a declared secret).
+pub struct Rectangle {
+    subkeys: Vec<u64>,
+}
+
+impl Rectangle {
+    /// Expands the key schedule eagerly.
+    pub fn new(key: RectKey) -> Self {
+        let mut subkeys = Vec::new();
+        let mut w = key.words[0];
+        let mut i = 0usize;
+        while i < 26 {
+            w = w.rotate_left(8) ^ key.words[1] ^ (i as u64);
+            subkeys.push(w);
+            i += 1;
+        }
+        Rectangle { subkeys }
+    }
+
+    /// One table-driven round: the lookup a cache observer sees.
+    pub fn round(&self, block: u64, r: usize) -> u64 {
+        let mixed = block ^ self.subkeys[r];
+        sub_column(mixed)
+    }
+}

@@ -1,0 +1,37 @@
+//! RECTANGLE S-box layer, with one deliberate leak, one reviewed branch,
+//! and one `// ct-secret` annotation — the fixture exercises every way a
+//! secret root can be declared.
+
+use crate::RectKey;
+
+/// The RECTANGLE 4-bit S-box (16 bytes: spans two 8-byte cache lines).
+pub const RECT_SBOX: [u8; 16] = [
+    0x6, 0x5, 0xc, 0xa, 0x1, 0xe, 0x7, 0x9, 0xb, 0x0, 0x3, 0xd, 0x8, 0xf, 0x4, 0x2,
+];
+
+/// Parity helper table: 8 bytes, fits one cache line.
+pub const PARITY: [u8; 8] = [0, 1, 1, 0, 1, 0, 0, 1];
+
+/// Substitutes the low column through the table — leaks the nibble.
+pub fn sub_column(mixed: u64) -> u64 {
+    let nibble = (mixed & 0xf) as usize;
+    u64::from(RECT_SBOX[nibble])
+}
+
+/// The `// ct-secret` mark makes `shared` a root even though nothing in
+/// the target config names it; the PARITY lookup is line-safe at 8 bytes.
+pub fn whiten(block: u64) -> u64 {
+    // ct-secret
+    let shared = block.rotate_left(17);
+    let row = (shared & 0x7) as usize;
+    u64::from(PARITY[row]) ^ block
+}
+
+/// Weak-key screening: the branch is reviewed, the early return is not.
+pub fn is_weak(key: RectKey) -> bool {
+    // ct-allow: weak-key screening happens once at key setup
+    if key.words[0] == 0 {
+        return true;
+    }
+    false
+}

@@ -42,6 +42,10 @@ pub struct SourceFile {
     pub structs: Vec<StructDef>,
     /// `line -> reason` suppression comments from the lexer.
     pub allows: BTreeMap<u32, String>,
+    /// `line -> reason` determinism-suppression comments from the lexer.
+    pub det_allows: BTreeMap<u32, String>,
+    /// Lines carrying a `// ct-secret` annotation.
+    pub secret_marks: BTreeMap<u32, String>,
 }
 
 /// One function or method.
@@ -172,8 +176,9 @@ pub enum Expr {
     Index(Box<Expr>, Box<Expr>, u32),
     /// `callee(args)`.
     Call(Box<Expr>, Vec<Expr>, u32),
-    /// `recv.method(args)`.
-    MethodCall(Box<Expr>, String, Vec<Expr>, u32),
+    /// `recv.method::<T>(args)` — turbofish type idents are kept so type
+    /// ascriptions through `collect::<BTreeMap<_, _>>()` stay visible.
+    MethodCall(Box<Expr>, String, Vec<String>, Vec<Expr>, u32),
     /// `name!(args)` — args parsed best-effort as expressions.
     Macro(String, Vec<Expr>, u32),
     /// `(a, b, …)`; 1-tuples are plain parens.
@@ -242,7 +247,7 @@ pub enum Expr {
     /// `return expr?`.
     Return(Option<Box<Expr>>, u32),
     /// `break expr?` / `continue`.
-    Jump(Option<Box<Expr>>),
+    Jump(Option<Box<Expr>>, u32),
     /// `expr?`.
     Try(Box<Expr>),
 }
@@ -258,7 +263,7 @@ impl Expr {
             | Expr::TupleField(_, l)
             | Expr::Index(_, _, l)
             | Expr::Call(_, _, l)
-            | Expr::MethodCall(_, _, _, l)
+            | Expr::MethodCall(_, _, _, _, l)
             | Expr::Macro(_, _, l)
             | Expr::StructLit(_, _, l)
             | Expr::Range(_, _, l)
@@ -266,7 +271,8 @@ impl Expr {
             | Expr::Match { line: l, .. }
             | Expr::For { line: l, .. }
             | Expr::While { line: l, .. }
-            | Expr::Return(_, l) => Some(*l),
+            | Expr::Return(_, l)
+            | Expr::Jump(_, l) => Some(*l),
             Expr::Unary(e) | Expr::Cast(e) | Expr::Try(e) => e.line(),
             _ => None,
         }
@@ -338,6 +344,8 @@ pub fn parse_file(src: &str) -> Result<SourceFile, ParseError> {
     };
     let mut file = SourceFile {
         allows: lexed.allows,
+        det_allows: lexed.det_allows,
+        secret_marks: lexed.secret_marks,
         ..SourceFile::default()
     };
     parser.parse_items(&mut file, None)?;
@@ -671,7 +679,10 @@ impl Parser {
                 self.parse_struct_or_enum(file)?;
                 continue;
             }
-            if self.at_kw("impl") {
+            if self.at_kw("impl")
+                || (self.at_kw("unsafe") && self.peek_at(1).is_some_and(|t| t.is_kw("impl")))
+            {
+                self.eat_kw("unsafe");
                 self.bump();
                 self.skip_generics()?;
                 let first = self.parse_type_text()?;
@@ -709,6 +720,28 @@ impl Parser {
                 self.bump(); // name
                 self.skip_group()?;
                 continue;
+            }
+            // Item-level macro invocations: `thread_local! { ... }`,
+            // `impl_standard_int!(u8, u16);` — opaque to the analysis.
+            if matches!(self.peek(), Some(TokenKind::Ident(_))) {
+                let save = self.pos;
+                let mut is_macro = false;
+                while matches!(self.peek(), Some(TokenKind::Ident(_))) {
+                    self.bump();
+                    if self.eat_punct("!") {
+                        is_macro = true;
+                        break;
+                    }
+                    if !self.eat_punct("::") {
+                        break;
+                    }
+                }
+                if is_macro && matches!(self.peek(), Some(TokenKind::Open(_))) {
+                    self.skip_group()?;
+                    self.eat_punct(";");
+                    continue;
+                }
+                self.pos = save;
             }
             return Err(self.error("unsupported item"));
         }
@@ -780,14 +813,32 @@ impl Parser {
         // Array type `[elem; len]`?
         let (elem_ty, len) = if self.at_open('[') {
             self.bump();
-            let elem = match self.peek() {
-                Some(TokenKind::Ident(s)) => {
-                    let s = s.clone();
-                    self.bump();
-                    Some(s)
+            // Element type up to the depth-0 `;` — `u8`, `& str`, `( u8 ,
+            // u8 )`; nested groups contribute their idents.
+            let mut elem_idents: Vec<String> = Vec::new();
+            loop {
+                match self.peek() {
+                    Some(TokenKind::Punct(";")) => break,
+                    Some(TokenKind::Open(_)) => {
+                        let start = self.pos;
+                        self.skip_group()?;
+                        for t in &self.tokens[start..self.pos] {
+                            if let Some(s) = t.kind.ident() {
+                                elem_idents.push(s.to_string());
+                            }
+                        }
+                    }
+                    Some(TokenKind::Ident(s)) => {
+                        elem_idents.push(s.clone());
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        self.bump();
+                    }
+                    None => return Err(self.error("unterminated array type")),
                 }
-                _ => None,
-            };
+            }
+            let elem = elem_idents.last().cloned();
             self.expect_punct(";")?;
             let len = match self.bump() {
                 Some(TokenKind::Int(Some(v))) => Some(ConstLen::Lit(v)),
@@ -1138,6 +1189,12 @@ impl Parser {
 
     fn parse_pat_single(&mut self) -> Result<Pat, ParseError> {
         let line = self.line();
+        if self.eat_punct("&&") {
+            // `|&&x|` — two refs.
+            self.eat_kw("mut");
+            let inner = self.parse_pat_single()?;
+            return Ok(Pat::Ref(Box::new(Pat::Ref(Box::new(inner)))));
+        }
         if self.eat_punct("&") {
             self.eat_kw("mut");
             return Ok(Pat::Ref(Box::new(self.parse_pat_single()?)));
@@ -1439,14 +1496,21 @@ impl Parser {
                 match self.peek().cloned() {
                     Some(TokenKind::Ident(name)) => {
                         self.bump();
-                        // Turbofish on methods.
+                        // Turbofish on methods — keep the type idents.
+                        let mut turbofish = Vec::new();
                         if self.at_punct("::") {
                             self.bump();
+                            let start = self.pos;
                             self.skip_generics()?;
+                            for t in &self.tokens[start..self.pos] {
+                                if let Some(s) = t.kind.ident() {
+                                    turbofish.push(s.to_string());
+                                }
+                            }
                         }
                         if self.at_open('(') {
                             let args = self.parse_call_args()?;
-                            e = Expr::MethodCall(Box::new(e), name, args, line);
+                            e = Expr::MethodCall(Box::new(e), name, turbofish, args, line);
                         } else if name == "await" {
                             // no-op
                         } else {
@@ -1582,9 +1646,9 @@ impl Parser {
                         self.bump();
                     }
                     if self.return_value_follows() {
-                        Ok(Expr::Jump(Some(Box::new(self.parse_expr(false)?))))
+                        Ok(Expr::Jump(Some(Box::new(self.parse_expr(false)?)), line))
                     } else {
-                        Ok(Expr::Jump(None))
+                        Ok(Expr::Jump(None, line))
                     }
                 }
                 "continue" => {
@@ -1592,7 +1656,7 @@ impl Parser {
                     if matches!(self.peek(), Some(TokenKind::Lifetime(_))) {
                         self.bump();
                     }
-                    Ok(Expr::Jump(None))
+                    Ok(Expr::Jump(None, line))
                 }
                 "unsafe" => {
                     self.bump();
@@ -1764,7 +1828,13 @@ impl Parser {
                 None
             };
             self.expect_punct("=>")?;
-            let body = self.parse_expr(false)?;
+            // A braced arm body is a block, never the head of a postfix
+            // chain — `{ .. } (pat) => ..` must not parse as a call.
+            let body = if self.at_open('{') {
+                Expr::Block(self.parse_block()?)
+            } else {
+                self.parse_expr(false)?
+            };
             self.eat_punct(",");
             arms.push((pat, guard, body));
         }
@@ -1961,6 +2031,76 @@ mod tests {
         assert_eq!(file.structs[0].name, "PresentKey");
         assert_eq!(file.structs[0].fields.len(), 2);
         assert_eq!(file.structs[0].fields[0].1, "u128");
+    }
+
+    #[test]
+    fn parses_raw_strings_and_raw_string_sinks() {
+        let src = "fn f() -> String {\n\
+                   let a = r\"no \\escapes here\";\n\
+                   let b = r#\"quote \" inside, even }{ braces\"#;\n\
+                   let c = r##\"nested \"# terminator\"##;\n\
+                   format!(\"{a}{b}{c}\")\n\
+                   }";
+        let file = parse_file(src).unwrap();
+        assert_eq!(file.functions.len(), 1);
+    }
+
+    #[test]
+    fn parses_nested_turbofish_generics() {
+        let src = "fn f(v: Vec<Vec<u64>>) -> Vec<(usize, u64)> {\n\
+                   let flat = v.into_iter().flatten().collect::<Vec<u64>>();\n\
+                   let pairs = flat.iter().copied().enumerate().collect::<Vec<(usize, u64)>>();\n\
+                   let _deep = Vec::<BTreeMap<String, Vec<u8>>>::new();\n\
+                   pairs\n\
+                   }";
+        let file = parse_file(src).unwrap();
+        assert_eq!(file.functions.len(), 1);
+    }
+
+    #[test]
+    fn parses_matches_and_write_macro_bodies() {
+        let src = "fn f(x: Option<u32>, out: &mut String) -> bool {\n\
+                   write!(out, \"x={:>8}\", x.unwrap_or(0)).unwrap();\n\
+                   writeln!(out, \"{}\", 1 + 2).unwrap();\n\
+                   matches!(x, Some(v) if v > 3) || matches!(x, None)\n\
+                   }";
+        let file = parse_file(src).unwrap();
+        assert_eq!(file.functions.len(), 1);
+    }
+
+    #[test]
+    fn parses_lifetimes_in_impl_headers_and_types() {
+        let src = "pub struct View<'a> { data: &'a [u8] }\n\
+                   impl<'a> View<'a> {\n\
+                     pub fn first(&self) -> Option<&'a u8> { self.data.first() }\n\
+                     pub fn rest(&'a self) -> &'a [u8] { &self.data[1..] }\n\
+                   }\n\
+                   impl<'a> Iterator for View<'a> {\n\
+                     type Item = &'a u8;\n\
+                     fn next(&mut self) -> Option<Self::Item> { None }\n\
+                   }";
+        let file = parse_file(src).unwrap();
+        assert_eq!(file.functions.len(), 3);
+        assert_eq!(file.functions[0].qualified_name(), "View::first");
+    }
+
+    #[test]
+    fn match_arm_block_followed_by_tuple_pattern_is_not_a_call() {
+        // Regression: `{ .. }` arm bodies must not absorb the next arm's
+        // parenthesized pattern as a call-argument list.
+        let src = "fn f(a: &str, b: &str) -> u32 {\n\
+                   match (a, b) {\n\
+                     (\"x\", \"y\") => {\n\
+                       let t = 1;\n\
+                       let _ = t;\n\
+                     }\n\
+                     (\"x\", _) => {}\n\
+                     _ => {}\n\
+                   }\n\
+                   0\n\
+                   }";
+        let file = parse_file(src).unwrap();
+        assert_eq!(file.functions.len(), 1);
     }
 
     #[test]

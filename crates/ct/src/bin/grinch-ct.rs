@@ -1,40 +1,62 @@
-//! `grinch-ct` — the static constant-time analyzer CLI.
+//! `grinch-ct` — the workspace static analysis CLI: a secret-taint
+//! constant-time engine and a determinism-hazard lint behind one binary.
 //!
 //! ```text
-//! grinch-ct check <path> [--line-bytes N] [--deny-level leak|line-safe|none]
-//!                        [--json] [--out FILE]
+//! grinch-ct check [<path>] [--target DIR] [--line-bytes N]
+//!                 [--deny-level leak|line-safe|none]
+//!                 [--json] [--out FILE] [--sarif FILE]
+//! grinch-ct determinism [<path>] [--target DIR]
+//!                 [--allow SUFFIX[:KIND]]... [--deny-level leak|none]
+//!                 [--json] [--out FILE] [--sarif FILE]
 //! grinch-ct cross-validate <path> --trace <trace.jsonl>
-//!                        [--defended-trace <trace.jsonl>]
-//!                        [--impl-file FILE] [--line-bytes N]
-//!                        [--mi-threshold BITS] [--json]
+//!                 [--defended-trace <trace.jsonl>]
+//!                 [--impl-file FILE] [--line-bytes N]
+//!                 [--mi-threshold BITS] [--json]
 //! ```
 //!
 //! Exit codes: `0` clean / agreement, `1` deny-level violation or
-//! static-vs-empirical disagreement, `2` usage or I/O error. Argument
-//! parsing is hand-rolled — the build environment is offline and the
-//! surface is two subcommands.
+//! static-vs-empirical disagreement, `2` usage or I/O error (including "no
+//! .rs sources under <path>"). Argument parsing is hand-rolled — the build
+//! environment is offline and the surface is three subcommands.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use grinch_ct::{analyze_dir, cross_check, DenyLevel};
+use grinch_ct::{analyze_dir_with, cross_check, determinism_dir, DenyLevel, TargetConfig};
 use grinch_telemetry::Snapshot;
 
 const USAGE: &str = "\
-grinch-ct: static secret-taint constant-time analysis for GIFT sources
+grinch-ct: workspace static analysis — secret-taint constant-time checking
+and determinism-hazard linting for Rust sources
 
 usage:
-  grinch-ct check <path> [--line-bytes N] [--deny-level leak|line-safe|none]
-                         [--json] [--out FILE]
-      analyse every .rs file under <path>; exit 1 if any unsuppressed
-      finding violates the deny level (default: leak). --line-bytes sets
-      the cache-line granularity for severity (default 8: a table that
-      fits in one 8-byte line is `line-safe`). --json prints the stable
-      grinch-ct-report/v1 document; --out also writes it to FILE.
+  grinch-ct check [<path>] [--target DIR] [--line-bytes N]
+                  [--deny-level leak|line-safe|none]
+                  [--json] [--out FILE] [--sarif FILE]
+      analyse every .rs file under <path> (or DIR/src for --target) with
+      the taint engine; exit 1 if any unsuppressed finding violates the
+      deny level (default: leak). --target DIR also reads DIR/ct-config.toml
+      for secret roots, cache-line size, and determinism allows; without a
+      config the built-in secret names/types apply, plus any `// ct-secret`
+      annotations in the sources. --line-bytes overrides the cache-line
+      granularity for severity (default 8: a table that fits in one 8-byte
+      line is `line-safe`). --json prints the stable grinch-ct-report/v2
+      document; --out also writes it to FILE; --sarif writes a SARIF 2.1.0
+      document for CI annotation upload.
+  grinch-ct determinism [<path>] [--target DIR]
+                  [--allow SUFFIX[:KIND]]... [--deny-level leak|none]
+                  [--json] [--out FILE] [--sarif FILE]
+      lint for hazards that break byte-identical reruns: HashMap/HashSet
+      iteration reaching serialization, RNG seeded from OS entropy,
+      wall-clock values stored into artifact structs, thread-identity
+      aggregation. --allow suppresses findings whose file label ends with
+      SUFFIX (optionally restricted to one finding KIND); `[determinism]
+      allow` in ct-config.toml does the same. Exit 1 on unsuppressed
+      hazards unless --deny-level none.
   grinch-ct cross-validate <path> --trace <trace.jsonl>
-                         [--defended-trace <trace.jsonl>]
-                         [--impl-file FILE] [--line-bytes N]
-                         [--mi-threshold BITS] [--json]
+                  [--defended-trace <trace.jsonl>]
+                  [--impl-file FILE] [--line-bytes N]
+                  [--mi-threshold BITS] [--json]
       join the static verdict for --impl-file (default: table.rs) with
       the per-stage mutual-information estimate grinch-obs extracts from
       the trace's attack.stage<r>.joint.* counters; exit 1 on
@@ -45,8 +67,10 @@ usage:
       the static verdict is a source property.
 
 suppressions:
-  a `// ct-allow: <reason>` comment on (or directly above) a flagged line
-  suppresses the finding; suppressed findings stay in the report.
+  a `// ct-allow: <reason>` comment on (or directly above) a line flagged
+  by the taint engine suppresses the finding; `// det-allow: <reason>`
+  does the same for the determinism lint. Suppressed findings stay in the
+  report (and surface as SARIF suppressions).
 ";
 
 fn fail(message: &str) -> ExitCode {
@@ -84,34 +108,71 @@ fn reject_leftover(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn line_bytes_arg(args: &mut Vec<String>) -> Result<u64, String> {
+fn line_bytes_arg(args: &mut Vec<String>) -> Result<Option<u64>, String> {
     match take_value(args, "--line-bytes")? {
-        None => Ok(8),
+        None => Ok(None),
         Some(v) => v
             .parse::<u64>()
             .ok()
             .filter(|n| *n > 0)
+            .map(Some)
             .ok_or_else(|| format!("--line-bytes: invalid value {v:?}")),
     }
 }
 
-fn cmd_check(mut args: Vec<String>) -> Result<ExitCode, String> {
-    let line_bytes = line_bytes_arg(&mut args)?;
-    let deny = match take_value(&mut args, "--deny-level")? {
-        None => DenyLevel::Leak,
-        Some(v) => {
-            DenyLevel::parse(&v).ok_or_else(|| format!("--deny-level: unknown level {v:?}"))?
-        }
-    };
-    let json = take_switch(&mut args, "--json");
-    let out = take_value(&mut args, "--out")?;
-    let path = args.pop().ok_or("check: missing <path>")?;
-    reject_leftover(&args)?;
+/// What one `check`/`determinism` invocation analyses: a source directory,
+/// the label stamped into the report's `target` field, and the per-target
+/// config (defaults when no `ct-config.toml` exists).
+struct Target {
+    sources: PathBuf,
+    label: String,
+    config: TargetConfig,
+}
 
-    let report = analyze_dir(Path::new(&path), line_bytes).map_err(|e| e.to_string())?;
+/// Resolves `--target DIR` (crate directory: sources under `DIR/src` when
+/// present, config from `DIR/ct-config.toml`) or a positional `<path>`
+/// (sources as given, config from `<path>/ct-config.toml` if any).
+fn resolve_target(args: &mut Vec<String>, cmd: &str) -> Result<Target, String> {
+    if let Some(dir) = take_value(args, "--target")? {
+        reject_leftover(args)?;
+        let root = PathBuf::from(&dir);
+        let config = TargetConfig::load(&root)?.unwrap_or_default();
+        let src = root.join("src");
+        let sources = if src.is_dir() { src } else { root };
+        return Ok(Target {
+            sources,
+            label: dir,
+            config,
+        });
+    }
+    let path = args
+        .pop()
+        .ok_or_else(|| format!("{cmd}: missing <path> or --target DIR"))?;
+    reject_leftover(args)?;
+    let sources = PathBuf::from(&path);
+    let config = TargetConfig::load(&sources)?.unwrap_or_default();
+    Ok(Target {
+        sources,
+        label: path,
+        config,
+    })
+}
+
+/// Renders, writes, and gates one finished report; shared by both engines.
+fn emit_report(
+    report: &grinch_ct::Report,
+    json: bool,
+    out: Option<&str>,
+    sarif: Option<&str>,
+    deny: DenyLevel,
+) -> Result<ExitCode, String> {
     let rendered = report.to_json();
-    if let Some(out) = &out {
+    if let Some(out) = out {
         std::fs::write(out, &rendered).map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
+    if let Some(sarif_path) = sarif {
+        let doc = grinch_ct::sarif::to_sarif(report);
+        std::fs::write(sarif_path, &doc).map_err(|e| format!("cannot write {sarif_path}: {e}"))?;
     }
     if json {
         print!("{rendered}");
@@ -130,8 +191,50 @@ fn cmd_check(mut args: Vec<String>) -> Result<ExitCode, String> {
     }
 }
 
-fn cmd_cross_validate(mut args: Vec<String>) -> Result<ExitCode, String> {
+fn cmd_check(mut args: Vec<String>) -> Result<ExitCode, String> {
     let line_bytes = line_bytes_arg(&mut args)?;
+    let deny = match take_value(&mut args, "--deny-level")? {
+        None => DenyLevel::Leak,
+        Some(v) => {
+            DenyLevel::parse(&v).ok_or_else(|| format!("--deny-level: unknown level {v:?}"))?
+        }
+    };
+    let json = take_switch(&mut args, "--json");
+    let out = take_value(&mut args, "--out")?;
+    let sarif = take_value(&mut args, "--sarif")?;
+    let target = resolve_target(&mut args, "check")?;
+
+    let line_bytes = line_bytes.or(target.config.line_bytes).unwrap_or(8);
+    let report = analyze_dir_with(&target.sources, &target.config.secrets, line_bytes)
+        .map_err(|e| e.to_string())?
+        .with_target(&target.label);
+    emit_report(&report, json, out.as_deref(), sarif.as_deref(), deny)
+}
+
+fn cmd_determinism(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let deny = match take_value(&mut args, "--deny-level")? {
+        None => DenyLevel::Leak,
+        Some(v) => {
+            DenyLevel::parse(&v).ok_or_else(|| format!("--deny-level: unknown level {v:?}"))?
+        }
+    };
+    let json = take_switch(&mut args, "--json");
+    let out = take_value(&mut args, "--out")?;
+    let sarif = take_value(&mut args, "--sarif")?;
+    let mut allow = Vec::new();
+    while let Some(entry) = take_value(&mut args, "--allow")? {
+        allow.push(entry);
+    }
+    let target = resolve_target(&mut args, "determinism")?;
+    allow.extend(target.config.det_allow.iter().cloned());
+
+    let report =
+        determinism_dir(&target.sources, &target.label, &allow).map_err(|e| e.to_string())?;
+    emit_report(&report, json, out.as_deref(), sarif.as_deref(), deny)
+}
+
+fn cmd_cross_validate(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let line_bytes = line_bytes_arg(&mut args)?.unwrap_or(8);
     let trace = take_value(&mut args, "--trace")?.ok_or("cross-validate: missing --trace")?;
     let defended_trace = take_value(&mut args, "--defended-trace")?;
     let impl_file = take_value(&mut args, "--impl-file")?.unwrap_or_else(|| "table.rs".to_string());
@@ -147,7 +250,12 @@ fn cmd_cross_validate(mut args: Vec<String>) -> Result<ExitCode, String> {
     let path = args.pop().ok_or("cross-validate: missing <path>")?;
     reject_leftover(&args)?;
 
-    let report = analyze_dir(Path::new(&path), line_bytes).map_err(|e| e.to_string())?;
+    let report = analyze_dir_with(
+        Path::new(&path),
+        &grinch_ct::SecretConfig::default(),
+        line_bytes,
+    )
+    .map_err(|e| e.to_string())?;
     if !report.files.iter().any(|f| f == &impl_file) {
         return Err(format!(
             "cross-validate: {impl_file:?} not among analysed files {:?}",
@@ -187,6 +295,7 @@ fn main() -> ExitCode {
     let cmd = args.remove(0);
     let result = match cmd.as_str() {
         "check" => cmd_check(args),
+        "determinism" => cmd_determinism(args),
         "cross-validate" => cmd_cross_validate(args),
         other => Err(format!("unknown subcommand {other:?}")),
     };

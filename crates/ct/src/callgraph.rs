@@ -1,0 +1,223 @@
+//! Crate-level call graph: global function ids and cross-module resolution.
+//!
+//! Every function in every parsed file gets a **global id** (files in input
+//! order, functions in source order within a file). Resolution is two-tier:
+//! the current module is searched first with exactly the module-local rules
+//! the analyzer has always used, and only an *unambiguous* crate-wide match
+//! is accepted beyond that. Ambiguity degrades to opaque (taint propagates,
+//! no findings are invented), never to a guess — the same discipline the
+//! module-local analyzer applies to unknown calls.
+
+use crate::ast::SourceFile;
+use std::collections::BTreeMap;
+
+/// Per-function metadata the resolver needs without touching the AST.
+#[derive(Clone, Debug)]
+struct FnMeta {
+    name: String,
+    qual: Option<String>,
+    has_self: bool,
+}
+
+/// The crate-wide function table and name indexes.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// Global id -> `(file index, function index within that file)`.
+    pub fns: Vec<(usize, usize)>,
+    /// File index -> global ids of its functions, in source order.
+    pub by_file: Vec<Vec<usize>>,
+    metas: Vec<FnMeta>,
+    /// Free functions by bare name.
+    free: BTreeMap<String, Vec<usize>>,
+    /// Associated functions and methods by `(impl type, name)`.
+    assoc: BTreeMap<(String, String), Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over all parsed files.
+    pub fn build(files: &[(String, SourceFile)]) -> Self {
+        let mut g = CallGraph::default();
+        for (file_idx, (_, module)) in files.iter().enumerate() {
+            let mut ids = Vec::with_capacity(module.functions.len());
+            for (local_idx, f) in module.functions.iter().enumerate() {
+                let gid = g.fns.len();
+                g.fns.push((file_idx, local_idx));
+                g.metas.push(FnMeta {
+                    name: f.name.clone(),
+                    qual: f.qual.clone(),
+                    has_self: f.params.first().is_some_and(|p| p.is_self),
+                });
+                match &f.qual {
+                    None => g.free.entry(f.name.clone()).or_default().push(gid),
+                    Some(q) => g
+                        .assoc
+                        .entry((q.clone(), f.name.clone()))
+                        .or_default()
+                        .push(gid),
+                }
+                ids.push(gid);
+            }
+            g.by_file.push(ids);
+        }
+        g
+    }
+
+    /// Number of functions across the crate.
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// Whether the crate defines no functions at all.
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+
+    /// Resolves a bare call `name(...)`: the current module first, then a
+    /// unique crate-wide free function.
+    pub fn resolve_free(&self, cur_file: usize, name: &str) -> Option<usize> {
+        if let Some(&gid) = self.by_file[cur_file]
+            .iter()
+            .find(|&&g| self.metas[g].qual.is_none() && self.metas[g].name == name)
+        {
+            return Some(gid);
+        }
+        match self.free.get(name).map(Vec::as_slice) {
+            Some([single]) => Some(*single),
+            _ => None,
+        }
+    }
+
+    /// Resolves `Type::name(...)`: the current module first, then a unique
+    /// crate-wide associated function on that type.
+    pub fn resolve_assoc(&self, cur_file: usize, ty: &str, name: &str) -> Option<usize> {
+        if let Some(&gid) = self.by_file[cur_file]
+            .iter()
+            .find(|&&g| self.metas[g].qual.as_deref() == Some(ty) && self.metas[g].name == name)
+        {
+            return Some(gid);
+        }
+        match self
+            .assoc
+            .get(&(ty.to_string(), name.to_string()))
+            .map(Vec::as_slice)
+        {
+            Some([single]) => Some(*single),
+            _ => None,
+        }
+    }
+
+    /// Resolves `recv.name(...)`. With a known receiver type the search is
+    /// by impl type (module first, then unique crate-wide). Without one, the
+    /// call resolves only if the current module has exactly one `self`-taking
+    /// method of that name — cross-module method resolution always requires
+    /// the receiver type.
+    pub fn resolve_method(
+        &self,
+        cur_file: usize,
+        recv_ty: Option<&str>,
+        name: &str,
+    ) -> Option<usize> {
+        let local: Vec<usize> = self.by_file[cur_file]
+            .iter()
+            .copied()
+            .filter(|&g| self.metas[g].name == name && self.metas[g].has_self)
+            .collect();
+        match recv_ty {
+            Some(t) => {
+                if let Some(&gid) = local
+                    .iter()
+                    .find(|&&g| self.metas[g].qual.as_deref() == Some(t))
+                {
+                    return Some(gid);
+                }
+                let global: Vec<usize> = self
+                    .assoc
+                    .get(&(t.to_string(), name.to_string()))
+                    .map(|v| {
+                        v.iter()
+                            .copied()
+                            .filter(|&g| self.metas[g].has_self)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                match global.as_slice() {
+                    [single] => Some(*single),
+                    _ => None,
+                }
+            }
+            None => {
+                if local.len() == 1 {
+                    Some(local[0])
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_file;
+
+    fn graph(files: &[(&str, &str)]) -> (Vec<(String, SourceFile)>, CallGraph) {
+        let parsed: Vec<(String, SourceFile)> = files
+            .iter()
+            .map(|(l, s)| (l.to_string(), parse_file(s).expect("parse")))
+            .collect();
+        let g = CallGraph::build(&parsed);
+        (parsed, g)
+    }
+
+    #[test]
+    fn module_local_resolution_wins_over_cross_module() {
+        let (_, g) = graph(&[
+            ("a.rs", "fn helper() {}\nfn go() { helper(); }"),
+            ("b.rs", "fn helper() {}"),
+        ]);
+        // From a.rs, `helper` is the local one (global id 0), even though
+        // b.rs also defines one.
+        assert_eq!(g.resolve_free(0, "helper"), Some(0));
+        assert_eq!(g.resolve_free(1, "helper"), Some(2));
+    }
+
+    #[test]
+    fn unique_cross_module_free_fn_resolves() {
+        let (_, g) = graph(&[
+            ("a.rs", "fn go() { expand(); }"),
+            ("b.rs", "fn expand() {}"),
+        ]);
+        assert_eq!(g.resolve_free(0, "expand"), Some(1));
+    }
+
+    #[test]
+    fn ambiguous_cross_module_call_stays_opaque() {
+        let (_, g) = graph(&[
+            ("a.rs", "fn go() {}"),
+            ("b.rs", "fn expand() {}"),
+            ("c.rs", "fn expand() {}"),
+        ]);
+        assert_eq!(g.resolve_free(0, "expand"), None);
+    }
+
+    #[test]
+    fn cross_module_methods_need_a_receiver_type() {
+        let (_, g) = graph(&[
+            ("a.rs", "fn go() {}"),
+            ("b.rs", "struct C;\nimpl C { fn run(&self) {} }"),
+        ]);
+        assert_eq!(g.resolve_method(0, Some("C"), "run"), Some(1));
+        assert_eq!(g.resolve_method(0, None, "run"), None);
+    }
+
+    #[test]
+    fn assoc_fns_resolve_by_type() {
+        let (_, g) = graph(&[
+            ("a.rs", "fn go() {}"),
+            ("b.rs", "struct C;\nimpl C { fn new() -> C { C } }"),
+        ]);
+        assert_eq!(g.resolve_assoc(0, "C", "new"), Some(1));
+        assert_eq!(g.resolve_assoc(0, "D", "new"), None);
+    }
+}

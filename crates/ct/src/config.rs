@@ -1,0 +1,230 @@
+//! Per-target analysis configuration (`ct-config.toml`).
+//!
+//! The taint engine is target-agnostic: nothing about GIFT is baked into
+//! the analyzer. What counts as a secret comes from a `ct-config.toml` next
+//! to the target directory (or from `// ct-secret` annotations in the
+//! sources). The file is a small TOML subset parsed by hand — string
+//! arrays, integers, and `[section]` headers — so the crate stays
+//! dependency-free:
+//!
+//! ```toml
+//! [secrets]
+//! types = ["Key", "RoundKey64"]     # type names that are secret outright
+//! names = ["state", "round_keys"]   # binding/field names that are secret
+//!
+//! [analysis]
+//! line-bytes = 8                    # cache-line size for severity
+//!
+//! [determinism]
+//! allow = ["live.rs:wall-clock-artifact", "progress.rs"]
+//! ```
+//!
+//! A `[determinism] allow` entry is a file-label suffix, optionally
+//! `:kind`-qualified; matching findings are reported as suppressed with the
+//! config as the stated reason.
+
+use crate::taint::SecretConfig;
+use std::path::Path;
+
+/// Parsed `ct-config.toml` for one analysis target.
+#[derive(Clone, Debug, Default)]
+pub struct TargetConfig {
+    /// Secret roots for the taint engine.
+    pub secrets: SecretConfig,
+    /// Cache-line size override, if given.
+    pub line_bytes: Option<u64>,
+    /// Determinism allowlist entries (`file-suffix` or `file-suffix:kind`).
+    pub det_allow: Vec<String>,
+}
+
+impl TargetConfig {
+    /// Loads `<dir>/ct-config.toml` if present; `Ok(None)` when the target
+    /// has no config file.
+    pub fn load(dir: &Path) -> Result<Option<TargetConfig>, String> {
+        let path = dir.join("ct-config.toml");
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        TargetConfig::parse(&text)
+            .map(Some)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the TOML-subset text.
+    pub fn parse(text: &str) -> Result<TargetConfig, String> {
+        let mut out = TargetConfig::default();
+        let mut secrets_given = false;
+        let mut types = Vec::new();
+        let mut names = Vec::new();
+        let mut section = String::new();
+        let mut pending = String::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if pending.is_empty() && line.starts_with('[') && line.ends_with(']') {
+                section = line[1..line.len() - 1].trim().to_string();
+                continue;
+            }
+            // Accumulate multi-line arrays until brackets balance.
+            if !pending.is_empty() {
+                pending.push(' ');
+            }
+            pending.push_str(&line);
+            if pending.matches('[').count() > pending.matches(']').count() {
+                continue;
+            }
+            let stmt = std::mem::take(&mut pending);
+            let (key, value) = stmt
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let key = key.trim();
+            let value = value.trim();
+            match (section.as_str(), key) {
+                ("secrets", "types") => {
+                    types = parse_string_array(value)
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    secrets_given = true;
+                }
+                ("secrets", "names") => {
+                    names = parse_string_array(value)
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    secrets_given = true;
+                }
+                ("analysis", "line-bytes") => {
+                    out.line_bytes = Some(value.parse::<u64>().map_err(|_| {
+                        format!("line {}: `line-bytes` wants an integer", lineno + 1)
+                    })?);
+                }
+                ("determinism", "allow") => {
+                    out.det_allow = parse_string_array(value)
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                }
+                _ => {
+                    return Err(format!(
+                        "line {}: unknown key `{key}` in section `[{section}]`",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+        if !pending.is_empty() {
+            return Err("unterminated array".to_string());
+        }
+        if secrets_given {
+            out.secrets = SecretConfig {
+                secret_types: types.into_iter().collect(),
+                secret_names: names.into_iter().collect(),
+            };
+        }
+        Ok(out)
+    }
+}
+
+/// Drops a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `["a", "b"]` into its strings.
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| "expected a `[...]` array".to_string())?;
+    let mut out = Vec::new();
+    for part in split_top_level(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let s = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| format!("expected a quoted string, got `{part}`"))?;
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+/// Splits on commas outside quotes.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_parses() {
+        let cfg = TargetConfig::parse(
+            "# rectangle cipher\n\
+             [secrets]\n\
+             types = [\"RectKey\"]   # key schedule\n\
+             names = [\"subkeys\", \"key\"]\n\
+             \n\
+             [analysis]\n\
+             line-bytes = 16\n\
+             \n\
+             [determinism]\n\
+             allow = [\n\
+               \"live.rs:wall-clock-artifact\",\n\
+               \"progress.rs\",\n\
+             ]\n",
+        )
+        .expect("parses");
+        assert!(cfg.secrets.secret_types.contains("RectKey"));
+        assert!(cfg.secrets.secret_names.contains("subkeys"));
+        assert!(
+            !cfg.secrets.secret_names.contains("state"),
+            "defaults replaced"
+        );
+        assert_eq!(cfg.line_bytes, Some(16));
+        assert_eq!(cfg.det_allow.len(), 2);
+    }
+
+    #[test]
+    fn missing_secrets_section_keeps_defaults() {
+        let cfg = TargetConfig::parse("[analysis]\nline-bytes = 8\n").expect("parses");
+        assert!(cfg.secrets.secret_names.contains("key"));
+    }
+
+    #[test]
+    fn unknown_keys_are_errors() {
+        assert!(TargetConfig::parse("[secrets]\nfoo = [\"x\"]\n").is_err());
+        assert!(TargetConfig::parse("types = [\"x\"]\n").is_err());
+    }
+
+    #[test]
+    fn load_returns_none_without_a_file() {
+        let dir = std::env::temp_dir().join("grinch-ct-no-config-here");
+        let _ = std::fs::create_dir_all(&dir);
+        assert!(TargetConfig::load(&dir).expect("ok").is_none());
+    }
+}

@@ -1,0 +1,871 @@
+//! Byte-identity hazard lint (`grinch-ct determinism`).
+//!
+//! The repo's most load-bearing invariant is that exported artifacts —
+//! `grinch-arena/v1` matrices, JSONL traces, ledger records — are
+//! byte-identical under any worker count or machine. That property is
+//! enforced dynamically by tests; this pass enforces it statically by
+//! flagging the four hazard shapes that have actually broken it in the
+//! wild:
+//!
+//! * **hash-order-emission** — `HashMap`/`HashSet` iteration order reaching
+//!   serialization (`write!`-family sinks, `push_str`, order-dependent
+//!   terminals like `fold`/`sum` over float accumulation);
+//! * **unseeded-rng** — RNG constructed from OS entropy (`thread_rng`,
+//!   `from_entropy`, `from_os_rng`, `OsRng`) instead of the blessed seeded
+//!   paths (`new_seeded`, `seed_from_u64`, `from_seed`, splitmix64);
+//! * **wall-clock-artifact** — `Instant`/`SystemTime` values stored into
+//!   struct literals (exported artifact structs must derive time from the
+//!   simulated clock; the dedicated wall block is `// det-allow:`-excepted);
+//! * **thread-ordering** — `thread::current().id()` feeding computation
+//!   (aggregation must happen in the delta-folding seams, keyed by worker
+//!   index, never by thread identity).
+//!
+//! The lint is module-local and deliberately shallow: it trades recall at
+//! function boundaries for a near-zero false-positive rate, because its
+//! verdict gates CI. Suppress a reviewed site with `// det-allow: <reason>`
+//! on or above the line, or with a `[determinism] allow` entry in
+//! `ct-config.toml`.
+
+use crate::ast::{Block, Expr, Func, SourceFile, Stmt};
+use crate::report::{Finding, FindingKind, Severity};
+use std::collections::BTreeMap;
+
+/// Iteration methods that expose a collection's internal order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_keys",
+    "into_values",
+];
+
+/// Adapters that forward an iterator's (unordered) order.
+const ADAPTERS: &[&str] = &[
+    "map",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "flatten",
+    "enumerate",
+    "zip",
+    "chain",
+    "take",
+    "skip",
+    "step_by",
+    "peekable",
+    "inspect",
+    "copied",
+    "cloned",
+    "by_ref",
+];
+
+/// Terminals whose result does not depend on iteration order.
+const SAFE_TERMINALS: &[&str] = &[
+    "count",
+    "all",
+    "any",
+    "contains",
+    "max",
+    "min",
+    "max_by",
+    "min_by",
+    "max_by_key",
+    "min_by_key",
+    "len",
+    "is_empty",
+    "find",
+    "position",
+];
+
+/// Terminals whose result (or effect order) depends on iteration order.
+const HAZARD_TERMINALS: &[&str] = &["sum", "product", "fold", "reduce", "for_each"];
+
+/// Methods that append into an emission buffer.
+const SINK_METHODS: &[&str] = &["push_str", "write_all", "write_fmt"];
+
+/// Macros that emit formatted output.
+const SINK_MACROS: &[&str] = &["write", "writeln", "print", "println", "eprint", "eprintln"];
+
+/// In-place sorts that launder an unordered collection.
+const SORTS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// RNG constructors that pull OS entropy.
+const UNSEEDED_RNG: &[&str] = &["thread_rng", "from_entropy", "from_os_rng"];
+
+/// How a value relates to hash-iteration order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+enum Order {
+    /// No known order dependence.
+    #[default]
+    Plain,
+    /// An unordered collection: iterating it is nondeterministic.
+    Coll,
+    /// An iterator currently yielding in nondeterministic order.
+    Stream,
+    /// A value whose identity at this point came from unordered iteration.
+    Elem,
+}
+
+/// Lint state of one expression value.
+#[derive(Clone, Copy, Debug, Default)]
+struct St {
+    ord: Order,
+    /// Derived from `Instant::now`/`SystemTime::now`.
+    wall: bool,
+    /// Is (derived from) `thread::current()`.
+    thread: bool,
+}
+
+impl St {
+    fn join(self, other: St) -> St {
+        St {
+            ord: self.ord.max(other.ord),
+            wall: self.wall || other.wall,
+            thread: self.thread || other.thread,
+        }
+    }
+
+    /// Order taint that matters at a sink: the element or the stream itself.
+    fn emits_unordered(self) -> bool {
+        matches!(self.ord, Order::Stream | Order::Elem)
+    }
+}
+
+/// True if the type text names an unordered std collection.
+fn ty_is_unordered(ty: &str) -> bool {
+    ty_words(ty).any(|w| w == "HashMap" || w == "HashSet")
+}
+
+/// True if the type text names an ordered (sorted) collection.
+fn ty_is_ordered(ty: &str) -> bool {
+    ty_words(ty).any(|w| w == "BTreeMap" || w == "BTreeSet")
+}
+
+fn ty_words(ty: &str) -> impl Iterator<Item = &str> {
+    ty.split(|c: char| !c.is_alphanumeric() && c != '_')
+        .filter(|s| !s.is_empty())
+}
+
+/// Runs the lint over parsed files, applying the config allowlist, and
+/// returns findings sorted per file by (line, kind, detail).
+pub fn lint_files(files: &[(String, SourceFile)], allow: &[String]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (label, module) in files {
+        findings.extend(lint_module(label, module));
+    }
+    for f in &mut findings {
+        if f.suppressed.is_some() {
+            continue;
+        }
+        for entry in allow {
+            let (suffix, kind) = match entry.rsplit_once(':') {
+                Some((s, k)) => (s, Some(k)),
+                None => (entry.as_str(), None),
+            };
+            let file_match = f.file == suffix || f.file.ends_with(suffix);
+            let kind_match = match kind {
+                Some(k) => k == f.kind.as_str(),
+                None => true,
+            };
+            if file_match && kind_match {
+                f.suppressed = Some(format!("ct-config.toml allow: {entry}"));
+                break;
+            }
+        }
+    }
+    findings
+}
+
+/// Lints one parsed file.
+pub fn lint_module(label: &str, module: &SourceFile) -> Vec<Finding> {
+    let mut raw: Vec<(u32, FindingKind, String, String)> = Vec::new();
+    for func in &module.functions {
+        let mut w = DetWalker {
+            func,
+            scopes: vec![BTreeMap::new()],
+            hash_loop_depth: 0,
+            out: &mut raw,
+        };
+        for p in &func.params {
+            let st = St {
+                ord: if ty_is_unordered(&p.ty) {
+                    Order::Coll
+                } else {
+                    Order::Plain
+                },
+                ..St::default()
+            };
+            if let Some(name) = &p.name {
+                w.bind(name, st);
+            }
+        }
+        w.walk_block(&func.body);
+    }
+    raw.sort_by(|a, b| (a.0, a.1, &a.3).cmp(&(b.0, b.1, &b.3)));
+    raw.dedup_by(|a, b| (a.0, a.1, &a.3) == (b.0, b.1, &b.3));
+    raw.into_iter()
+        .map(|(line, kind, function, detail)| {
+            let suppressed = module
+                .det_allows
+                .get(&line)
+                .or_else(|| module.det_allows.get(&line.saturating_sub(1)))
+                .cloned();
+            Finding {
+                file: label.to_string(),
+                line,
+                kind,
+                function,
+                table: None,
+                table_bytes: None,
+                severity: Severity::Hazard,
+                provenance: Vec::new(),
+                suppressed,
+                detail,
+            }
+        })
+        .collect()
+}
+
+struct DetWalker<'a> {
+    func: &'a Func,
+    scopes: Vec<BTreeMap<String, St>>,
+    /// How many enclosing loops iterate an unordered collection. Any sink
+    /// inside such a loop emits in iteration order — flagged even when the
+    /// element identifiers hide inside `format!`-style inline captures
+    /// (string literals the AST cannot see into).
+    hash_loop_depth: usize,
+    out: &'a mut Vec<(u32, FindingKind, String, String)>,
+}
+
+impl DetWalker<'_> {
+    fn bind(&mut self, name: &str, st: St) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), st);
+    }
+
+    fn lookup(&self, name: &str) -> Option<St> {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+
+    fn weak_update(&mut self, name: &str, st: St) {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = slot.join(st);
+                return;
+            }
+        }
+    }
+
+    /// Replaces a binding's order state (used by sort laundering).
+    fn set_order(&mut self, name: &str, ord: Order) {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                slot.ord = ord;
+                return;
+            }
+        }
+    }
+
+    fn finding(&mut self, line: u32, kind: FindingKind, detail: String) {
+        self.out
+            .push((line, kind, self.func.qualified_name(), detail));
+    }
+
+    fn walk_block(&mut self, block: &Block) -> St {
+        self.scopes.push(BTreeMap::new());
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Let { pat, ty, init, .. } => {
+                    let mut st = match init {
+                        Some(e) => self.walk_expr(e),
+                        None => St::default(),
+                    };
+                    if let Some(t) = ty {
+                        if ty_is_unordered(t) {
+                            st.ord = st.ord.max(Order::Coll);
+                        } else if ty_is_ordered(t) {
+                            st.ord = Order::Plain;
+                        }
+                    }
+                    for (name, _) in pat.bindings() {
+                        self.bind(&name, st);
+                    }
+                }
+                Stmt::Expr(e) => {
+                    self.walk_expr(e);
+                }
+                Stmt::Item => {}
+            }
+        }
+        let st = match &block.tail {
+            Some(e) => self.walk_expr(e),
+            None => St::default(),
+        };
+        self.scopes.pop();
+        st
+    }
+
+    fn walk_expr(&mut self, expr: &Expr) -> St {
+        match expr {
+            Expr::Lit => St::default(),
+            Expr::Path(segs, line) => self.eval_path(segs, *line),
+            Expr::Unary(e) | Expr::Cast(e) | Expr::Try(e) => self.walk_expr(e),
+            Expr::Binary(_, l, r, _) => {
+                let ls = self.walk_expr(l);
+                let rs = self.walk_expr(r);
+                // Combining two values keeps element/wall taint but is no
+                // longer a collection or stream.
+                let mut st = ls.join(rs);
+                if matches!(st.ord, Order::Coll | Order::Stream) {
+                    st.ord = Order::Plain;
+                }
+                st
+            }
+            Expr::Assign(_, lhs, rhs, _) => {
+                let rs = self.walk_expr(rhs);
+                let _ = self.walk_expr(lhs);
+                if let Some(name) = assign_target(lhs) {
+                    self.weak_update(name, rs);
+                }
+                St::default()
+            }
+            Expr::Field(base, _, _) | Expr::TupleField(base, _) => {
+                let mut st = self.walk_expr(base);
+                // Projecting out of a collection value is not itself ordered
+                // data, but element/wall taint survives projection.
+                if st.ord == Order::Coll {
+                    st.ord = Order::Plain;
+                }
+                st
+            }
+            Expr::Index(base, idx, _) => {
+                let bs = self.walk_expr(base);
+                let _ = self.walk_expr(idx);
+                // Keyed lookup into a hash collection is deterministic; only
+                // element taint flows through.
+                St {
+                    ord: if bs.ord == Order::Elem {
+                        Order::Elem
+                    } else {
+                        Order::Plain
+                    },
+                    ..bs
+                }
+            }
+            Expr::Call(callee, args, line) => self.eval_call(callee, args, *line),
+            Expr::MethodCall(recv, name, turbofish, args, line) => {
+                self.eval_method(recv, name, turbofish, args, *line)
+            }
+            Expr::Macro(name, args, line) => self.eval_macro(name, args, *line),
+            Expr::Tuple(items) | Expr::Array(items) => {
+                let mut st = St::default();
+                for i in items {
+                    st = st.join(self.walk_expr(i));
+                }
+                st
+            }
+            Expr::StructLit(path, fields, line) => {
+                let ty = path.last().cloned().unwrap_or_default();
+                for (fname, v) in fields {
+                    let st = self.walk_expr(v);
+                    if st.wall {
+                        self.finding(
+                            v.line().unwrap_or(*line),
+                            FindingKind::WallClockArtifact,
+                            format!("wall-clock value stored into struct field `{ty}.{fname}`"),
+                        );
+                    }
+                }
+                St::default()
+            }
+            Expr::Range(a, b, _) => {
+                let mut st = St::default();
+                if let Some(a) = a {
+                    st = st.join(self.walk_expr(a));
+                }
+                if let Some(b) = b {
+                    st = st.join(self.walk_expr(b));
+                }
+                st
+            }
+            Expr::If {
+                cond,
+                then_block,
+                else_expr,
+                ..
+            } => {
+                let _ = self.walk_expr(cond);
+                let ts = self.walk_block(then_block);
+                let es = match else_expr {
+                    Some(e) => self.walk_expr(e),
+                    None => St::default(),
+                };
+                ts.join(es)
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                let ss = self.walk_expr(scrutinee);
+                let mut st = St::default();
+                for (pat, guard, body) in arms {
+                    self.scopes.push(BTreeMap::new());
+                    for (name, _) in pat.bindings() {
+                        self.bind(&name, ss);
+                    }
+                    if let Some(g) = guard {
+                        self.walk_expr(g);
+                    }
+                    st = st.join(self.walk_expr(body));
+                    self.scopes.pop();
+                }
+                st
+            }
+            Expr::Block(b) => self.walk_block(b),
+            Expr::For {
+                pat, iter, body, ..
+            } => {
+                let is = self.walk_expr(iter);
+                self.scopes.push(BTreeMap::new());
+                let unordered = matches!(is.ord, Order::Coll | Order::Stream);
+                let elem = if unordered {
+                    St {
+                        ord: Order::Elem,
+                        ..St::default()
+                    }
+                } else {
+                    St::default()
+                };
+                for (name, _) in pat.bindings() {
+                    self.bind(&name, elem);
+                }
+                if unordered {
+                    self.hash_loop_depth += 1;
+                }
+                // Two passes so loop-carried accumulation reaches sinks.
+                for _ in 0..2 {
+                    self.walk_block(body);
+                }
+                if unordered {
+                    self.hash_loop_depth -= 1;
+                }
+                self.scopes.pop();
+                St::default()
+            }
+            Expr::While { cond, body, .. } => {
+                let _ = self.walk_expr(cond);
+                for _ in 0..2 {
+                    self.walk_block(body);
+                }
+                St::default()
+            }
+            Expr::Loop(body) => {
+                for _ in 0..2 {
+                    self.walk_block(body);
+                }
+                St::default()
+            }
+            Expr::Closure { params, body } => {
+                self.scopes.push(BTreeMap::new());
+                for p in params {
+                    for (name, _) in p.bindings() {
+                        self.bind(&name, St::default());
+                    }
+                }
+                let st = self.walk_expr(body);
+                self.scopes.pop();
+                st
+            }
+            Expr::Return(e, _) | Expr::Jump(e, _) => {
+                if let Some(e) = e {
+                    self.walk_expr(e);
+                }
+                St::default()
+            }
+        }
+    }
+
+    fn eval_path(&mut self, segs: &[String], line: u32) -> St {
+        if segs.len() == 1 {
+            if let Some(st) = self.lookup(&segs[0]) {
+                return st;
+            }
+        }
+        if segs.iter().any(|s| s == "OsRng") {
+            self.finding(
+                line,
+                FindingKind::UnseededRng,
+                "`OsRng` pulls OS entropy; use a seeded generator".to_string(),
+            );
+        }
+        if segs.iter().any(|s| s == "UNIX_EPOCH") {
+            return St {
+                wall: true,
+                ..St::default()
+            };
+        }
+        St::default()
+    }
+
+    fn eval_call(&mut self, callee: &Expr, args: &[Expr], line: u32) -> St {
+        let mut st = St::default();
+        for a in args {
+            st = st.join(self.walk_expr(a));
+        }
+        let segs: Vec<String> = match callee {
+            Expr::Path(segs, _) => segs.clone(),
+            other => {
+                self.walk_expr(other);
+                Vec::new()
+            }
+        };
+        let last = segs.last().map(String::as_str).unwrap_or("");
+        if UNSEEDED_RNG.contains(&last) {
+            self.finding(
+                line,
+                FindingKind::UnseededRng,
+                format!("RNG constructed from OS entropy via `{last}`; use a seeded constructor"),
+            );
+            return St::default();
+        }
+        if segs.iter().any(|s| s == "OsRng") {
+            self.finding(
+                line,
+                FindingKind::UnseededRng,
+                "`OsRng` pulls OS entropy; use a seeded generator".to_string(),
+            );
+            return St::default();
+        }
+        if last == "now" && segs.iter().any(|s| s == "Instant" || s == "SystemTime") {
+            return St { wall: true, ..st };
+        }
+        if segs.iter().any(|s| s == "HashMap" || s == "HashSet") {
+            return St {
+                ord: Order::Coll,
+                ..st
+            };
+        }
+        if last == "current" && segs.iter().any(|s| s == "thread") {
+            return St { thread: true, ..st };
+        }
+        // Collections and streams do not survive arbitrary calls; element
+        // and wall taint do.
+        if matches!(st.ord, Order::Coll | Order::Stream) {
+            st.ord = Order::Plain;
+        }
+        st
+    }
+
+    fn eval_method(
+        &mut self,
+        recv: &Expr,
+        name: &str,
+        turbofish: &[String],
+        args: &[Expr],
+        line: u32,
+    ) -> St {
+        let rs = self.walk_expr(recv);
+        let mut args_st = St::default();
+        for a in args {
+            args_st = args_st.join(self.walk_expr(a));
+        }
+
+        if rs.thread && name == "id" {
+            self.finding(
+                line,
+                FindingKind::ThreadOrdering,
+                "`thread::current().id()` feeds computation; key by worker index instead"
+                    .to_string(),
+            );
+            return St::default();
+        }
+        if SORTS.contains(&name) {
+            if let Expr::Path(segs, _) = recv {
+                if segs.len() == 1 {
+                    self.set_order(&segs[0], Order::Plain);
+                }
+            }
+            return St::default();
+        }
+        if SINK_METHODS.contains(&name) && (args_st.emits_unordered() || self.hash_loop_depth > 0) {
+            self.finding(
+                line,
+                FindingKind::HashOrderEmission,
+                format!("unordered `HashMap`/`HashSet` iteration reaches emission via `{name}`"),
+            );
+            return St::default();
+        }
+        if ITER_METHODS.contains(&name) && matches!(rs.ord, Order::Coll | Order::Stream) {
+            return St {
+                ord: Order::Stream,
+                ..rs
+            };
+        }
+        if name == "collect" {
+            // `collect::<String>()` is NOT laundering: the characters land
+            // in iteration order. Only sorted containers reorder.
+            let ordered = turbofish.iter().any(|t| t == "BTreeMap" || t == "BTreeSet");
+            let unordered = turbofish.iter().any(|t| t == "HashMap" || t == "HashSet");
+            if unordered {
+                return St {
+                    ord: Order::Coll,
+                    ..St::default()
+                };
+            }
+            if ordered {
+                return St::default();
+            }
+            // `collect::<Vec<_>>()` (or un-annotated collect) freezes the
+            // nondeterministic order into the result.
+            return St {
+                ord: if rs.ord == Order::Stream {
+                    Order::Coll
+                } else {
+                    Order::Plain
+                },
+                ..St::default()
+            };
+        }
+        if rs.ord == Order::Stream {
+            if ADAPTERS.contains(&name) {
+                return rs;
+            }
+            if SAFE_TERMINALS.contains(&name) {
+                return St::default();
+            }
+            if HAZARD_TERMINALS.contains(&name) {
+                self.finding(
+                    line,
+                    FindingKind::HashOrderEmission,
+                    format!("order-dependent `{name}` over `HashMap`/`HashSet` iteration"),
+                );
+                return St::default();
+            }
+        }
+        // Appending an element of unordered iteration into an
+        // order-preserving container makes that container unordered.
+        if (name == "push" || name == "extend") && args_st.emits_unordered() {
+            if let Expr::Path(segs, _) = recv {
+                if segs.len() == 1 {
+                    self.weak_update(
+                        &segs[0],
+                        St {
+                            ord: Order::Coll,
+                            ..St::default()
+                        },
+                    );
+                }
+            }
+            return St::default();
+        }
+        // Wall-clock taint flows through time arithmetic (`elapsed`,
+        // `duration_since`, `as_secs_f64`, ...); element taint flows through
+        // accessors. Collection/stream states do not survive unknown calls.
+        let mut st = rs.join(args_st);
+        if matches!(st.ord, Order::Coll | Order::Stream) {
+            st.ord = Order::Plain;
+        }
+        st.thread = false;
+        st
+    }
+
+    fn eval_macro(&mut self, name: &str, args: &[Expr], line: u32) -> St {
+        let mut st = St::default();
+        for a in args {
+            st = st.join(self.walk_expr(a));
+        }
+        if SINK_MACROS.contains(&name) && (st.emits_unordered() || self.hash_loop_depth > 0) {
+            self.finding(
+                line,
+                FindingKind::HashOrderEmission,
+                format!("unordered `HashMap`/`HashSet` iteration reaches emission via `{name}!`"),
+            );
+            return St::default();
+        }
+        if matches!(st.ord, Order::Coll | Order::Stream) {
+            st.ord = Order::Plain;
+        }
+        st
+    }
+}
+
+/// The variable a (possibly nested) assignment target ultimately writes to.
+fn assign_target(lhs: &Expr) -> Option<&str> {
+    match lhs {
+        Expr::Path(segs, _) if segs.len() == 1 => Some(&segs[0]),
+        Expr::Unary(e) | Expr::Index(e, _, _) | Expr::Field(e, _, _) | Expr::TupleField(e, _) => {
+            assign_target(e)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_file;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        let module = parse_file(src).expect("parse");
+        lint_module("test.rs", &module)
+    }
+
+    #[test]
+    fn hashmap_iteration_feeding_json_emission_is_flagged() {
+        let findings = lint(
+            "use std::collections::HashMap;\n\
+             fn emit(m: &HashMap<String, u64>) -> String {\n\
+             let mut out = String::new();\n\
+             for (k, v) in m.iter() {\n\
+               out.push_str(&format!(\"\\\"{k}\\\": {v},\"));\n\
+             }\n\
+             out }",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].kind, FindingKind::HashOrderEmission);
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn btreemap_version_of_the_same_code_passes() {
+        let findings = lint(
+            "use std::collections::BTreeMap;\n\
+             fn emit(m: &BTreeMap<String, u64>) -> String {\n\
+             let mut out = String::new();\n\
+             for (k, v) in m.iter() {\n\
+               out.push_str(&format!(\"\\\"{k}\\\": {v},\"));\n\
+             }\n\
+             out }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn det_allow_suppresses_but_keeps_the_finding() {
+        let findings = lint(
+            "use std::collections::HashMap;\n\
+             fn emit(m: &HashMap<String, u64>) -> String {\n\
+             let mut out = String::new();\n\
+             for (k, v) in m.iter() {\n\
+               // det-allow: debug dump, never exported\n\
+               out.push_str(&format!(\"{k}={v}\"));\n\
+             }\n\
+             out }",
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].suppressed.as_deref(),
+            Some("debug dump, never exported")
+        );
+    }
+
+    #[test]
+    fn float_sum_over_hash_values_is_flagged_and_sort_launders() {
+        let flagged = lint(
+            "use std::collections::HashMap;\n\
+             fn h(m: &HashMap<u64, f64>) -> f64 { m.values().sum() }",
+        );
+        assert_eq!(flagged.len(), 1, "{flagged:?}");
+        assert_eq!(flagged[0].kind, FindingKind::HashOrderEmission);
+
+        let laundered = lint(
+            "use std::collections::HashMap;\n\
+             fn h(m: &HashMap<u64, u64>) -> String {\n\
+             let mut keys: Vec<u64> = m.keys().copied().collect();\n\
+             keys.sort();\n\
+             let mut out = String::new();\n\
+             for k in keys.iter() { out.push_str(&format!(\"{k}\")); }\n\
+             out }",
+        );
+        assert!(laundered.is_empty(), "{laundered:?}");
+    }
+
+    #[test]
+    fn collect_into_btreemap_launders() {
+        let findings = lint(
+            "use std::collections::HashMap;\n\
+             fn h(m: &HashMap<u64, u64>) -> String {\n\
+             let sorted = m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u64, u64>>();\n\
+             let mut out = String::new();\n\
+             for (k, v) in sorted.iter() { out.push_str(&format!(\"{k}={v}\")); }\n\
+             out }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn order_insensitive_terminals_are_fine() {
+        let findings = lint(
+            "use std::collections::HashSet;\n\
+             fn h(s: &HashSet<u64>) -> (usize, bool, Option<u64>) {\n\
+             (s.iter().count(), s.iter().any(|x| *x > 3), s.iter().copied().max())\n\
+             }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unseeded_rng_constructors_are_flagged() {
+        let findings = lint(
+            "fn f() -> u64 {\n\
+             let mut rng = rand::thread_rng();\n\
+             rng.gen() }",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].kind, FindingKind::UnseededRng);
+        let blessed = lint(
+            "fn f() -> u64 {\n\
+             let mut rng = SplitMix64::seed_from_u64(42);\n\
+             rng.next() }",
+        );
+        assert!(blessed.is_empty(), "{blessed:?}");
+    }
+
+    #[test]
+    fn wall_clock_reaching_struct_literal_is_flagged() {
+        let findings = lint(
+            "fn f() -> Record {\n\
+             let started = std::time::Instant::now();\n\
+             let secs = started.elapsed().as_secs_f64();\n\
+             Record { wall_seconds: secs, runs: 3 }\n\
+             }",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].kind, FindingKind::WallClockArtifact);
+        assert!(findings[0].detail.contains("Record.wall_seconds"));
+        let sim = lint("fn f(clock: u64) -> Record { Record { wall_seconds: clock, runs: 3 } }");
+        assert!(sim.is_empty(), "{sim:?}");
+    }
+
+    #[test]
+    fn thread_id_feeding_computation_is_flagged() {
+        let findings = lint("fn f() -> u64 { hash(std::thread::current().id()) }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].kind, FindingKind::ThreadOrdering);
+    }
+
+    #[test]
+    fn config_allowlist_suppresses_by_suffix_and_kind() {
+        let module =
+            parse_file("fn f() -> u64 { let mut r = rand::thread_rng(); r.gen() }").expect("parse");
+        let files = vec![("src/live.rs".to_string(), module)];
+        let by_file = lint_files(&files, &["live.rs".to_string()]);
+        assert!(by_file[0].suppressed.is_some());
+        let by_kind = lint_files(&files, &["live.rs:unseeded-rng".to_string()]);
+        assert!(by_kind[0].suppressed.is_some());
+        let wrong_kind = lint_files(&files, &["live.rs:wall-clock-artifact".to_string()]);
+        assert!(wrong_kind[0].suppressed.is_none());
+    }
+}

@@ -78,13 +78,18 @@ impl fmt::Display for TokenKind {
     }
 }
 
-/// Lexer output: the token stream plus the suppression-comment side table.
+/// Lexer output: the token stream plus the suppression-comment side tables.
 #[derive(Clone, Debug, Default)]
 pub struct Lexed {
     /// Tokens in source order.
     pub tokens: Vec<Token>,
     /// `line -> reason` for every `// ct-allow: <reason>` comment.
     pub allows: BTreeMap<u32, String>,
+    /// `line -> reason` for every `// det-allow: <reason>` comment.
+    pub det_allows: BTreeMap<u32, String>,
+    /// Lines carrying a `// ct-secret` annotation, marking the binding or
+    /// parameter declared there as a secret root regardless of config.
+    pub secret_marks: BTreeMap<u32, String>,
 }
 
 /// A lexical error (unterminated literal or comment).
@@ -104,8 +109,14 @@ impl fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
-/// The marker that starts a suppression comment.
+/// The marker that starts a taint-suppression comment.
 pub const ALLOW_MARKER: &str = "ct-allow:";
+
+/// The marker that starts a determinism-suppression comment.
+pub const DET_ALLOW_MARKER: &str = "det-allow:";
+
+/// The marker that promotes the binding on its line to a secret root.
+pub const SECRET_MARKER: &str = "ct-secret";
 
 // Multi-character punctuation, longest first so greedy matching is correct.
 const PUNCTS: &[&str] = &[
@@ -188,6 +199,15 @@ pub fn lex(src: &str) -> Result<Lexed, LexError> {
             if let Some(idx) = text.find(ALLOW_MARKER) {
                 let reason = text[idx + ALLOW_MARKER.len()..].trim().to_string();
                 out.allows.insert(line, reason);
+            } else if let Some(idx) = text.find(DET_ALLOW_MARKER) {
+                let reason = text[idx + DET_ALLOW_MARKER.len()..].trim().to_string();
+                out.det_allows.insert(line, reason);
+            } else if let Some(idx) = text.find(SECRET_MARKER) {
+                let reason = text[idx + SECRET_MARKER.len()..]
+                    .trim_start_matches(':')
+                    .trim()
+                    .to_string();
+                out.secret_marks.insert(line, reason);
             }
             continue;
         }
@@ -477,10 +497,6 @@ fn lex_char(cur: &mut Cursor<'_>) -> Result<(), LexError> {
     match cur.bump() {
         Some(b'\\') => {
             cur.bump();
-            // \x41 and \u{...} escapes.
-            while cur.peek().is_some() && cur.peek() != Some(b'\'') {
-                cur.bump();
-            }
         }
         Some(_) => {}
         None => {
@@ -489,6 +505,10 @@ fn lex_char(cur: &mut Cursor<'_>) -> Result<(), LexError> {
                 line: open_line,
             })
         }
+    }
+    // Multi-byte UTF-8 scalars and \x41 / \u{...} escapes span more bytes.
+    while cur.peek().is_some() && cur.peek() != Some(b'\'') {
+        cur.bump();
     }
     if cur.bump() != Some(b'\'') {
         return Err(LexError {
@@ -558,6 +578,14 @@ mod tests {
     }
 
     #[test]
+    fn multibyte_char_literals_lex() {
+        // Regression: sparkline tables use multi-byte scalars (`'▁'`),
+        // which span several bytes between the quotes.
+        let k = kinds("['▁', '▂', '█'] '\\u{2581}' '€'");
+        assert_eq!(k.iter().filter(|t| matches!(t, TokenKind::Char)).count(), 5);
+    }
+
+    #[test]
     fn ct_allow_comments_land_in_side_table() {
         let lexed = lex("let a = 1;\nlet b = 2; // ct-allow: because reasons\n").unwrap();
         assert_eq!(
@@ -565,6 +593,26 @@ mod tests {
             Some("because reasons")
         );
         assert!(!lexed.allows.contains_key(&1));
+    }
+
+    #[test]
+    fn det_allow_and_secret_markers_land_in_side_tables() {
+        let lexed = lex(concat!(
+            "let t = now(); // det-allow: wall block only\n",
+            "let k = load(); // ct-secret\n",
+            "let m = load(); // ct-secret: master key\n",
+        ))
+        .unwrap();
+        assert_eq!(
+            lexed.det_allows.get(&1).map(String::as_str),
+            Some("wall block only")
+        );
+        assert!(lexed.allows.is_empty());
+        assert_eq!(lexed.secret_marks.get(&2).map(String::as_str), Some(""));
+        assert_eq!(
+            lexed.secret_marks.get(&3).map(String::as_str),
+            Some("master key")
+        );
     }
 
     #[test]

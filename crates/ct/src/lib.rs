@@ -1,24 +1,36 @@
 //! # grinch-ct
 //!
-//! A source-level secret-taint constant-time analyzer for the GIFT
-//! implementations in this workspace. It statically decides the property
-//! GRINCH exploits dynamically: *does this implementation's memory or
-//! control-flow shape depend on the key?*
+//! A source-level static analysis suite for this workspace, with two
+//! engines behind one CLI:
+//!
+//! * the **taint engine** (`grinch-ct check`) statically decides the
+//!   property GRINCH exploits dynamically — *does this implementation's
+//!   memory or control-flow shape depend on the key?* — for any target
+//!   crate, with secret roots from `ct-config.toml` or `// ct-secret`
+//!   annotations;
+//! * the **determinism engine** (`grinch-ct determinism`) flags the hazards
+//!   that would silently break the repo's byte-identity invariants:
+//!   hash-order iteration reaching emission, unseeded RNG, wall-clock
+//!   values in exported artifacts, thread-identity aggregation.
 //!
 //! The pipeline is entirely self-contained (no proc macros, no network
 //! dependencies):
 //!
-//! 1. [`lexer`] — tokenizes Rust source and records `// ct-allow: <reason>`
-//!    suppression comments;
+//! 1. [`lexer`] — tokenizes Rust source and records `// ct-allow:`,
+//!    `// det-allow:` and `// ct-secret` annotation comments;
 //! 2. [`ast`] — a lightweight recursive-descent parser producing just enough
 //!    structure for dataflow: functions, consts, structs, expressions;
-//! 3. [`taint`] — module-scoped, field-sensitive taint propagation from
-//!    declared secret sources (`Key`, round keys, cipher state) to three
-//!    sink kinds: secret-dependent indexing, branches, and loop bounds;
-//! 4. [`report`] — severity under a configurable cache-line model (a table
-//!    that fits in one line is `line-safe` to a line-granularity observer),
-//!    deny policies, and stable JSON;
-//! 5. [`crossval`] — joins static verdicts with `grinch-obs` empirical
+//! 3. [`callgraph`] — crate-wide function table with module-local-first,
+//!    unambiguous-only cross-module resolution;
+//! 4. [`taint`] — crate-scoped, field-sensitive taint propagation from
+//!    declared secret sources to five sink kinds: secret-dependent
+//!    indexing, branches, loop bounds, early exits, and table strides;
+//! 5. [`determinism`] — the byte-identity hazard lint;
+//! 6. [`config`] — the per-target `ct-config.toml` loader;
+//! 7. [`report`] — severity under a configurable cache-line model, deny
+//!    policies, and stable JSON (`grinch-ct-report/v2`);
+//! 8. [`sarif`] — SARIF 2.1.0 rendering for CI annotations;
+//! 9. [`crossval`] — joins static verdicts with `grinch-obs` empirical
 //!    mutual-information estimates from a telemetry trace, so the analyzer
 //!    and the profiler check each other.
 //!
@@ -33,13 +45,18 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod callgraph;
+pub mod config;
 pub mod crossval;
+pub mod determinism;
 pub mod lexer;
 pub mod report;
+pub mod sarif;
 pub mod taint;
 
+pub use config::TargetConfig;
 pub use crossval::{cross_check, CrossCheck, DefendedCheck};
-pub use report::{DenyLevel, Finding, FindingKind, Report, Severity};
+pub use report::{DenyLevel, Engine, Finding, FindingKind, Report, Severity};
 pub use taint::{Registry, SecretConfig};
 
 use std::path::Path;
@@ -61,13 +78,10 @@ impl std::fmt::Display for AnalysisError {
 
 impl std::error::Error for AnalysisError {}
 
-/// Analyzes in-memory `(label, source)` pairs with the default secret
-/// configuration and the given cache-line size in bytes.
-pub fn analyze_sources(
+/// Parses in-memory `(label, source)` pairs into ASTs.
+pub fn parse_sources(
     sources: &[(String, String)],
-    line_bytes: u64,
-) -> Result<Report, AnalysisError> {
-    let config = SecretConfig::default();
+) -> Result<Vec<(String, ast::SourceFile)>, AnalysisError> {
     let mut parsed = Vec::new();
     for (label, src) in sources {
         let file = ast::parse_file(src).map_err(|e| AnalysisError {
@@ -76,23 +90,80 @@ pub fn analyze_sources(
         })?;
         parsed.push((label.clone(), file));
     }
-    let registry = Registry::build(&parsed, &config);
-    let mut findings = Vec::new();
-    let mut files = Vec::new();
-    for (label, module) in &parsed {
-        findings.extend(taint::analyze_module(label, module, &config, &registry));
-        files.push(label.clone());
-    }
+    Ok(parsed)
+}
+
+/// Analyzes in-memory `(label, source)` pairs with the default secret
+/// configuration and the given cache-line size in bytes.
+pub fn analyze_sources(
+    sources: &[(String, String)],
+    line_bytes: u64,
+) -> Result<Report, AnalysisError> {
+    analyze_sources_with(sources, &SecretConfig::default(), line_bytes)
+}
+
+/// Analyzes in-memory `(label, source)` pairs under an explicit secret
+/// configuration.
+pub fn analyze_sources_with(
+    sources: &[(String, String)],
+    config: &SecretConfig,
+    line_bytes: u64,
+) -> Result<Report, AnalysisError> {
+    let parsed = parse_sources(sources)?;
+    let registry = Registry::build(&parsed, config);
+    let findings = taint::analyze_crate(&parsed, config, &registry);
+    let files = parsed.into_iter().map(|(label, _)| label).collect();
     Ok(Report::new(findings, files, line_bytes))
 }
 
-/// Analyzes every `.rs` file under `path` (a file or a directory; one level
-/// of recursion into subdirectories). Labels are paths relative to `path`.
+/// Analyzes every `.rs` file under `path` with the default secret
+/// configuration. Labels are paths relative to `path`.
 pub fn analyze_dir(path: &Path, line_bytes: u64) -> Result<Report, AnalysisError> {
+    analyze_dir_with(path, &SecretConfig::default(), line_bytes)
+}
+
+/// Analyzes every `.rs` file under `path` (a file or a directory, recursing
+/// into subdirectories but skipping `target/`) under an explicit secret
+/// configuration.
+pub fn analyze_dir_with(
+    path: &Path,
+    config: &SecretConfig,
+    line_bytes: u64,
+) -> Result<Report, AnalysisError> {
+    analyze_sources_with(&load_rs_sources(path)?, config, line_bytes)
+}
+
+/// Runs the determinism lint over every `.rs` file under `path`. The
+/// `target` label lands in the report; `allow` holds config-level
+/// suppressions (`file-suffix` or `file-suffix:kind` entries).
+pub fn determinism_dir(
+    path: &Path,
+    target: &str,
+    allow: &[String],
+) -> Result<Report, AnalysisError> {
+    let parsed = parse_sources(&load_rs_sources(path)?)?;
+    let findings = determinism::lint_files(&parsed, allow);
+    let files = parsed.into_iter().map(|(label, _)| label).collect();
+    Ok(Report::determinism(findings, files, target.to_string()))
+}
+
+/// Reads every `.rs` file under `path` into `(label, source)` pairs, sorted
+/// by label. Errors with "no .rs sources under <path>" if none exist (a
+/// missing directory is the same condition: nothing to analyze is never a
+/// pass).
+pub fn load_rs_sources(path: &Path) -> Result<Vec<(String, String)>, AnalysisError> {
     let mut sources = Vec::new();
-    collect_rs_files(path, path, &mut sources)?;
+    if path.exists() {
+        collect_rs_files(path, path, &mut sources)?;
+    }
     sources.sort();
-    let loaded = sources
+    if sources.is_empty() {
+        return Err(AnalysisError {
+            file: path.display().to_string(),
+            message: format!("no .rs sources under {}", path.display()),
+        });
+    }
+    sources
         .into_iter()
         .map(|(label, p)| {
             std::fs::read_to_string(&p)
@@ -102,14 +173,7 @@ pub fn analyze_dir(path: &Path, line_bytes: u64) -> Result<Report, AnalysisError
                     message: e.to_string(),
                 })
         })
-        .collect::<Result<Vec<_>, _>>()?;
-    if loaded.is_empty() {
-        return Err(AnalysisError {
-            file: path.display().to_string(),
-            message: "no .rs files found".to_string(),
-        });
-    }
-    analyze_sources(&loaded, line_bytes)
+        .collect()
 }
 
 fn collect_rs_files(
@@ -148,17 +212,11 @@ fn collect_rs_files(
         })?;
         let p = entry.path();
         if p.is_dir() {
-            // One level of nesting covers `src/` and `src/bin/` layouts
-            // without wandering into `target/`.
+            // Never wander into build output.
             if p.file_name().is_some_and(|n| n == "target") {
                 continue;
             }
-            for sub in std::fs::read_dir(&p).into_iter().flatten().flatten() {
-                let sp = sub.path();
-                if sp.is_file() {
-                    collect_rs_files(root, &sp, out)?;
-                }
-            }
+            collect_rs_files(root, &p, out)?;
         } else {
             collect_rs_files(root, &p, out)?;
         }

@@ -1,17 +1,19 @@
 //! Findings, severity under a cache-line model, deny policies, and the
-//! stable JSON report (`grinch-ct-report/v1`).
+//! stable JSON report (`grinch-ct-report/v2`).
 //!
 //! Severity is assigned *after* taint analysis because it depends on the
 //! attacker's observation granularity: a secret-indexed table that fits in a
 //! single cache line is invisible to a line-granularity observer (the
 //! paper's wide-line countermeasure), but still leaks to a byte-granularity
 //! one. Branches and loop bounds perturb the instruction stream and timing,
-//! so they are leaks at every granularity.
+//! so they are leaks at every granularity. Determinism hazards (the second
+//! engine) are not cache leaks at all — they threaten the repo's
+//! byte-identity invariants — and carry their own `hazard` severity.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// The three leak classes the analyzer reports.
+/// The leak and hazard classes the two engines report.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum FindingKind {
     /// Secret-dependent array/table index (load or store address).
@@ -20,6 +22,22 @@ pub enum FindingKind {
     SecretBranch,
     /// Secret-dependent loop trip count (range bound, `while`, `take`/`skip`).
     SecretLoopBound,
+    /// Secret-dependent early exit (`return`, `break`, `continue` under a
+    /// tainted branch).
+    SecretEarlyReturn,
+    /// Secret-dependent table footprint: branch arms touch different tables
+    /// or access widths even though each index is public.
+    SecretStride,
+    /// Determinism: `HashMap`/`HashSet` iteration order reaching
+    /// serialization or emission.
+    HashOrderEmission,
+    /// Determinism: RNG constructed outside the blessed seeded paths.
+    UnseededRng,
+    /// Determinism: wall-clock value stored into an exported artifact
+    /// struct.
+    WallClockArtifact,
+    /// Determinism: thread-identity or scheduling order feeding aggregation.
+    ThreadOrdering,
 }
 
 impl FindingKind {
@@ -29,7 +47,24 @@ impl FindingKind {
             FindingKind::SecretIndex => "secret-index",
             FindingKind::SecretBranch => "secret-branch",
             FindingKind::SecretLoopBound => "secret-loop-bound",
+            FindingKind::SecretEarlyReturn => "secret-early-return",
+            FindingKind::SecretStride => "secret-stride",
+            FindingKind::HashOrderEmission => "hash-order-emission",
+            FindingKind::UnseededRng => "unseeded-rng",
+            FindingKind::WallClockArtifact => "wall-clock-artifact",
+            FindingKind::ThreadOrdering => "thread-ordering",
         }
+    }
+
+    /// Whether this kind comes from the determinism engine.
+    pub fn is_hazard(self) -> bool {
+        matches!(
+            self,
+            FindingKind::HashOrderEmission
+                | FindingKind::UnseededRng
+                | FindingKind::WallClockArtifact
+                | FindingKind::ThreadOrdering
+        )
     }
 }
 
@@ -41,6 +76,9 @@ pub enum Severity {
     LineSafe,
     /// Observable secret-dependent behavior at the configured granularity.
     Leak,
+    /// A determinism hazard: not a cache leak, but a threat to byte-identity
+    /// of exported artifacts.
+    Hazard,
 }
 
 impl Severity {
@@ -49,6 +87,26 @@ impl Severity {
         match self {
             Severity::LineSafe => "line-safe",
             Severity::Leak => "leak",
+            Severity::Hazard => "hazard",
+        }
+    }
+}
+
+/// Which engine produced a report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Secret-taint dataflow (`grinch-ct check`).
+    Taint,
+    /// Byte-identity hazard lint (`grinch-ct determinism`).
+    Determinism,
+}
+
+impl Engine {
+    /// Stable identifier used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Taint => "taint",
+            Engine::Determinism => "determinism",
         }
     }
 }
@@ -104,6 +162,10 @@ impl DenyLevel {
 /// A full analysis report over a set of files.
 #[derive(Clone, Debug)]
 pub struct Report {
+    /// Engine that produced the findings.
+    pub engine: Engine,
+    /// Target label (the directory the engine was pointed at).
+    pub target: String,
     /// Cache-line size (bytes) used for severity assignment.
     pub line_bytes: u64,
     /// All findings, including suppressed ones, in (file, line) order.
@@ -114,11 +176,33 @@ pub struct Report {
 }
 
 impl Report {
-    /// Builds a report, assigning each finding's severity under the given
-    /// cache-line size.
-    pub fn new(mut findings: Vec<Finding>, files: Vec<String>, line_bytes: u64) -> Self {
+    /// Builds a taint report, assigning each finding's severity under the
+    /// given cache-line size.
+    pub fn new(findings: Vec<Finding>, files: Vec<String>, line_bytes: u64) -> Self {
+        Report::build(Engine::Taint, String::new(), findings, files, line_bytes)
+    }
+
+    /// Builds a determinism report (all findings get `hazard` severity).
+    pub fn determinism(findings: Vec<Finding>, files: Vec<String>, target: String) -> Self {
+        Report::build(Engine::Determinism, target, findings, files, 0)
+    }
+
+    /// Sets the target label (builder-style, used by the CLI).
+    pub fn with_target(mut self, target: &str) -> Self {
+        self.target = target.to_string();
+        self
+    }
+
+    fn build(
+        engine: Engine,
+        target: String,
+        mut findings: Vec<Finding>,
+        files: Vec<String>,
+        line_bytes: u64,
+    ) -> Self {
         for f in &mut findings {
             f.severity = match (f.kind, f.table_bytes) {
+                _ if f.kind.is_hazard() => Severity::Hazard,
                 (FindingKind::SecretIndex, Some(bytes)) if bytes <= line_bytes => {
                     Severity::LineSafe
                 }
@@ -129,6 +213,8 @@ impl Report {
             (&a.file, a.line, a.kind, &a.detail).cmp(&(&b.file, b.line, b.kind, &b.detail))
         });
         Report {
+            engine,
+            target,
             line_bytes,
             findings,
             files,
@@ -146,7 +232,7 @@ impl Report {
             DenyLevel::None => 0,
             DenyLevel::Leak => self
                 .active()
-                .filter(|f| f.severity == Severity::Leak)
+                .filter(|f| matches!(f.severity, Severity::Leak | Severity::Hazard))
                 .count(),
             DenyLevel::LineSafe => self.active().count(),
         }
@@ -157,11 +243,18 @@ impl Report {
         self.active().filter(|f| f.file == file).collect()
     }
 
-    /// Stable JSON rendering (schema `grinch-ct-report/v1`). Keys and
-    /// ordering are deterministic so CI diffs are meaningful.
+    /// Stable JSON rendering (schema `grinch-ct-report/v2`). Keys and
+    /// ordering are deterministic so CI diffs are meaningful; the per-finding
+    /// objects are rendered exactly as in v1 so pinned verdicts carry over
+    /// byte-for-byte.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"grinch-ct-report/v1\",\n");
+        out.push_str("  \"schema\": \"grinch-ct-report/v2\",\n");
+        out.push_str(&format!(
+            "  \"engine\": {},\n",
+            json_string(self.engine.as_str())
+        ));
+        out.push_str(&format!("  \"target\": {},\n", json_string(&self.target)));
         out.push_str(&format!("  \"line_bytes\": {},\n", self.line_bytes));
         out.push_str(&format!(
             "  \"files\": [{}],\n",
@@ -179,9 +272,13 @@ impl Report {
             .active()
             .filter(|f| f.severity == Severity::LineSafe)
             .count();
+        let hazards = self
+            .active()
+            .filter(|f| f.severity == Severity::Hazard)
+            .count();
         let suppressed = self.findings.len() - self.active().count();
         out.push_str(&format!(
-            "  \"counts\": {{\"leak\": {leaks}, \"line_safe\": {line_safe}, \"suppressed\": {suppressed}}},\n"
+            "  \"counts\": {{\"leak\": {leaks}, \"line_safe\": {line_safe}, \"hazard\": {hazards}, \"suppressed\": {suppressed}}},\n"
         ));
         out.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
@@ -362,9 +459,23 @@ mod tests {
         f.detail = "quote \" and\nnewline".to_string();
         let r = Report::new(vec![f], vec!["x.rs".to_string()], 8);
         let json = r.to_json();
-        assert!(json.contains("\"schema\": \"grinch-ct-report/v1\""));
+        assert!(json.contains("\"schema\": \"grinch-ct-report/v2\""));
+        assert!(json.contains("\"engine\": \"taint\""));
         assert!(json.contains("\\\" and\\nnewline"));
         assert_eq!(json, r.to_json(), "rendering must be deterministic");
+    }
+
+    #[test]
+    fn determinism_reports_carry_hazard_severity_and_deny() {
+        let mut f = finding(FindingKind::HashOrderEmission, None, None);
+        f.detail = "HashMap iteration feeds JSON".to_string();
+        let r = Report::determinism(vec![f], vec!["x.rs".to_string()], "crates/x".to_string());
+        assert_eq!(r.findings[0].severity, Severity::Hazard);
+        assert_eq!(r.denied(DenyLevel::Leak), 1, "hazards deny at leak level");
+        let json = r.to_json();
+        assert!(json.contains("\"engine\": \"determinism\""));
+        assert!(json.contains("\"target\": \"crates/x\""));
+        assert!(json.contains("\"hazard\": 1"));
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! SARIF 2.1.0 rendering of a [`Report`], so CI can publish findings as
+//! inline annotations via `github/codeql-action/upload-sarif`.
+//!
+//! The mapping is deliberately small and stable:
+//!
+//! * one `run` per report, `tool.driver.name` = `grinch-ct`, one
+//!   `tool.driver.rules` entry per [`FindingKind`] that appears;
+//! * one `result` per finding with `ruleId` = the kind's stable string,
+//!   `level` from severity (`leak` → `error`, `hazard` → `warning`,
+//!   `line-safe` → `note`), and a `physicalLocation` carrying the file and
+//!   1-based line;
+//! * suppressed findings keep their result but gain a `suppressions` entry
+//!   (`kind: "inSource"`), which GitHub hides by default — exactly the
+//!   semantics of `// ct-allow:` / `// det-allow:`.
+//!
+//! Rendering is hand-rolled (same zero-dependency policy as the JSON
+//! report) and deterministic: rules sorted by id, results in report order.
+
+use crate::report::{json_string, Finding, FindingKind, Report, Severity};
+use std::collections::BTreeMap;
+
+/// Human-oriented one-line description per rule, shown by SARIF viewers.
+fn rule_description(kind: FindingKind) -> &'static str {
+    match kind {
+        FindingKind::SecretIndex => "Secret-dependent array or table index",
+        FindingKind::SecretBranch => "Secret-dependent branch condition",
+        FindingKind::SecretLoopBound => "Secret-dependent loop trip count",
+        FindingKind::SecretEarlyReturn => "Secret-dependent early return or loop exit",
+        FindingKind::SecretStride => "Secret-dependent table access footprint",
+        FindingKind::HashOrderEmission => "HashMap/HashSet iteration order reaches serialization",
+        FindingKind::UnseededRng => "RNG constructed from OS entropy",
+        FindingKind::WallClockArtifact => "Wall-clock value stored into an artifact struct",
+        FindingKind::ThreadOrdering => "Thread identity feeds aggregation",
+    }
+}
+
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Leak => "error",
+        Severity::Hazard => "warning",
+        Severity::LineSafe => "note",
+    }
+}
+
+/// Renders the report as a SARIF 2.1.0 document.
+pub fn to_sarif(report: &Report) -> String {
+    // Rules: one entry per kind that appears, sorted by stable id.
+    let mut kinds: BTreeMap<&'static str, FindingKind> = BTreeMap::new();
+    for f in &report.findings {
+        kinds.insert(f.kind.as_str(), f.kind);
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"grinch-ct\",\n");
+    out.push_str(&format!(
+        "          \"informationUri\": \"https://example.invalid/grinch-ct\",\n          \"rules\": [{}]\n",
+        kinds
+            .iter()
+            .map(|(id, kind)| format!(
+                "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+                json_string(id),
+                json_string(rule_description(*kind))
+            ))
+            .collect::<Vec<_>>()
+            .join(",")
+            + if kinds.is_empty() { "" } else { "\n          " }
+    ));
+    out.push_str("        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n        ");
+        out.push_str(&result_json(f));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+fn result_json(f: &Finding) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"ruleId\": {}, ", json_string(f.kind.as_str())));
+    out.push_str(&format!("\"level\": {}, ", json_string(level(f.severity))));
+    let message = match f.provenance.first() {
+        Some(root) => format!("{} ({}) [{}]", f.detail, f.function, root),
+        None => format!("{} ({})", f.detail, f.function),
+    };
+    out.push_str(&format!(
+        "\"message\": {{\"text\": {}}}, ",
+        json_string(&message)
+    ));
+    out.push_str(&format!(
+        "\"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]",
+        json_string(&f.file),
+        f.line
+    ));
+    if let Some(reason) = &f.suppressed {
+        out.push_str(&format!(
+            ", \"suppressions\": [{{\"kind\": \"inSource\", \"justification\": {}}}]",
+            json_string(reason)
+        ));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Report;
+
+    fn sample() -> Report {
+        let f = |kind: FindingKind, suppressed: Option<&str>| Finding {
+            file: "src/table.rs".to_string(),
+            line: 28,
+            kind,
+            function: "f".to_string(),
+            table: None,
+            table_bytes: None,
+            severity: Severity::Leak,
+            provenance: vec!["secret `key`".to_string()],
+            suppressed: suppressed.map(str::to_string),
+            detail: "secret-dependent index".to_string(),
+        };
+        Report::new(
+            vec![
+                f(FindingKind::SecretIndex, None),
+                f(FindingKind::SecretBranch, Some("reviewed")),
+            ],
+            vec!["src/table.rs".to_string()],
+            8,
+        )
+    }
+
+    #[test]
+    fn sarif_has_required_shape() {
+        let sarif = to_sarif(&sample());
+        // Required 2.1.0 fields, the shape CI's upload step depends on.
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"runs\": ["));
+        assert!(sarif.contains("\"driver\": {"));
+        assert!(sarif.contains("\"name\": \"grinch-ct\""));
+        assert!(sarif.contains("\"rules\": ["));
+        assert!(sarif.contains("\"id\": \"secret-index\""));
+        assert!(sarif.contains("\"results\": ["));
+        assert!(sarif.contains("\"locations\": [{\"physicalLocation\""));
+        assert!(sarif.contains("\"startLine\": 28"));
+    }
+
+    #[test]
+    fn severity_maps_to_sarif_levels() {
+        let mut r = sample();
+        r.findings[0].severity = Severity::LineSafe;
+        let sarif = to_sarif(&r);
+        assert!(sarif.contains("\"level\": \"note\""));
+        assert!(sarif.contains("\"level\": \"error\""));
+    }
+
+    #[test]
+    fn suppressed_findings_carry_suppressions() {
+        let sarif = to_sarif(&sample());
+        assert!(sarif.contains("\"suppressions\": [{\"kind\": \"inSource\""));
+        assert!(sarif.contains("\"justification\": \"reviewed\""));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let r = Report::new(Vec::new(), vec!["x.rs".to_string()], 8);
+        let sarif = to_sarif(&r);
+        assert!(sarif.contains("\"rules\": []"));
+        assert!(sarif.contains("\"results\": []"));
+        assert_eq!(sarif, to_sarif(&r), "deterministic");
+    }
+}

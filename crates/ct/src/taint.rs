@@ -1,28 +1,32 @@
 //! Secret-taint dataflow over the lightweight AST.
 //!
-//! The analysis is **module-scoped and field-sensitive**: each source file is
-//! analyzed as one module with per-function summaries, while struct layouts
-//! and constant-table sizes are resolved **crate-wide** (so `aead.rs` knows
-//! that `Gift128` carries round keys even though the type lives in
-//! `bitwise.rs`). Calls that cannot be resolved inside the module — paths
-//! into other modules, trait objects, the standard library — are *opaque*:
-//! taint propagates through their arguments into their result, but no
-//! findings are attributed through them. A table lookup is therefore always
-//! reported in the file where the indexing expression is written, which is
-//! where the fix belongs.
+//! The analysis is **crate-scoped, interprocedural and field-sensitive**:
+//! all source files are analyzed together with per-function summaries, and
+//! calls resolve through a crate-level [`CallGraph`] — the current module
+//! first (with exactly the module-local rules the analyzer has always
+//! used), then a unique crate-wide match. Struct layouts and constant-table
+//! sizes are resolved crate-wide too (so `aead.rs` knows that `Gift128`
+//! carries round keys even though the type lives in `bitwise.rs`). Calls
+//! that still cannot be resolved — ambiguous names, trait objects, the
+//! standard library — are *opaque*: taint propagates through their
+//! arguments into their result, but no findings are attributed through
+//! them. A table lookup is therefore always reported in the file where the
+//! indexing expression is written, which is where the fix belongs.
 //!
 //! Taint is a set of [`Root`]s. `Root::Secret` roots (declared secret
 //! sources: secret-typed values, secret-named bindings, secret-bearing
-//! struct fields) are unconditionally hot. `Root::Param` roots are *guards*:
-//! a finding whose only taint is "this function's parameter `i`" fires only
-//! if some call site passes secret data in that position — resolved by a
-//! module-wide fixpoint over recorded call sites. This is what keeps
-//! `bitwise.rs` clean: `ROUND_CONSTANTS[round]` is guarded on `round`, and
-//! every caller passes a public loop counter.
+//! struct fields, `// ct-secret`-marked bindings) are unconditionally hot.
+//! `Root::Param` roots are *guards*: a finding whose only taint is "this
+//! function's parameter `i`" fires only if some call site passes secret
+//! data in that position — resolved by a crate-wide fixpoint over recorded
+//! call sites. This is what keeps `bitwise.rs` clean:
+//! `ROUND_CONSTANTS[round]` is guarded on `round`, and every caller passes
+//! a public loop counter.
 
 use crate::ast::{
     first_type_ident, last_type_ident, Block, ConstLen, Expr, Func, Pat, SourceFile, Stmt,
 };
+use crate::callgraph::CallGraph;
 use crate::report::{Finding, FindingKind};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -57,6 +61,8 @@ impl Default for SecretConfig {
 pub struct TableDef {
     /// Total size in bytes, when the element type and length are known.
     pub bytes: Option<u64>,
+    /// Per-element width in bytes (the access *stride*), when known.
+    pub elem_bytes: Option<u64>,
     /// File the table is defined in.
     pub file: String,
 }
@@ -122,6 +128,7 @@ impl Registry {
                     c.name.clone(),
                     TableDef {
                         bytes,
+                        elem_bytes: elem_size(elem),
                         file: label.clone(),
                     },
                 );
@@ -163,8 +170,8 @@ pub enum Root {
     /// A declared secret source (always hot). Carries a description used in
     /// provenance chains.
     Secret(String),
-    /// Parameter `1` of function `0` (module-local function index): hot only
-    /// if some call site passes tainted data there.
+    /// Parameter `1` of function `0` (crate-wide global function id): hot
+    /// only if some call site passes tainted data there.
     Param(usize, usize),
 }
 
@@ -175,7 +182,7 @@ type Taint = BTreeSet<Root>;
 type WitnessMap = BTreeMap<(usize, usize), Vec<(usize, u32, Root)>>;
 
 /// A finding before hotness resolution and severity assignment.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 struct RawFinding {
     kind: FindingKind,
     line: u32,
@@ -184,7 +191,7 @@ struct RawFinding {
     detail: String,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 struct CallSite {
     callee: usize,
     /// Taint of each argument in callee-parameter order (receiver first for
@@ -193,7 +200,7 @@ struct CallSite {
     line: u32,
 }
 
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 struct FnSummary {
     ret: Taint,
     ret_ty: Option<String>,
@@ -201,33 +208,38 @@ struct FnSummary {
     calls: Vec<CallSite>,
 }
 
-/// Analyzes one parsed file (module) and returns its findings, sorted by
-/// line. Severity is assigned later (it depends on the cache-line size).
-pub fn analyze_module(
-    label: &str,
-    module: &SourceFile,
+/// Analyzes all parsed files of a crate together and returns the findings,
+/// grouped by file (input order) and sorted by line within each file.
+/// Severity is assigned later (it depends on the cache-line size).
+pub fn analyze_crate(
+    files: &[(String, SourceFile)],
     config: &SecretConfig,
     registry: &Registry,
 ) -> Vec<Finding> {
-    let ctx = ModuleCtx {
-        label,
-        module,
+    let graph = CallGraph::build(files);
+    let ctx = CrateCtx {
+        files,
         config,
         registry,
+        graph: &graph,
     };
-    // Iterate summaries to a (practical) fixpoint: return-taint chains in
-    // this codebase are at most a few calls deep, and taint only grows.
-    let mut summaries: Vec<FnSummary> = vec![FnSummary::default(); module.functions.len()];
-    for _ in 0..4 {
-        summaries = module
-            .functions
-            .iter()
-            .enumerate()
-            .map(|(idx, f)| ctx.walk_fn(idx, f, &summaries))
+    // Iterate summaries to a fixpoint: each pass recomputes every function
+    // against the previous pass's summaries, so return taint propagates one
+    // call deeper per pass. Taint only grows over a finite root universe, so
+    // equality is reached; the cap guards degenerate recursion.
+    let mut summaries: Vec<FnSummary> = vec![FnSummary::default(); graph.len()];
+    for _ in 0..32 {
+        let next: Vec<FnSummary> = (0..graph.len())
+            .map(|g| ctx.walk_fn(g, &summaries))
             .collect();
+        let done = next == summaries;
+        summaries = next;
+        if done {
+            break;
+        }
     }
 
-    // Module-wide parameter-hotness fixpoint over recorded call sites.
+    // Crate-wide parameter-hotness fixpoint over recorded call sites.
     let mut hot: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut witnesses: WitnessMap = BTreeMap::new();
     loop {
@@ -257,64 +269,75 @@ pub fn analyze_module(
         }
     }
 
-    // Emit findings whose taint resolves hot.
+    // Emit findings whose taint resolves hot, file by file.
     let mut findings = Vec::new();
-    for (idx, s) in summaries.iter().enumerate() {
-        let func = &module.functions[idx];
-        for raw in &s.findings {
-            let hot_roots: Vec<&Root> = raw
-                .taint
-                .iter()
-                .filter(|r| match r {
-                    Root::Secret(_) => true,
-                    Root::Param(f, p) => hot.contains(&(*f, *p)),
-                })
-                .collect();
-            if hot_roots.is_empty() {
-                continue;
+    for (file_idx, (label, module)) in files.iter().enumerate() {
+        let mut file_findings = Vec::new();
+        for &g in &graph.by_file[file_idx] {
+            let s = &summaries[g];
+            let func = &module.functions[graph.fns[g].1];
+            for raw in &s.findings {
+                let hot_roots: Vec<&Root> = raw
+                    .taint
+                    .iter()
+                    .filter(|r| match r {
+                        Root::Secret(_) => true,
+                        Root::Param(f, p) => hot.contains(&(*f, *p)),
+                    })
+                    .collect();
+                if hot_roots.is_empty() {
+                    continue;
+                }
+                let mut provenance = Vec::new();
+                let mut visited = BTreeSet::new();
+                for root in hot_roots {
+                    ctx.explain(root, &witnesses, &mut provenance, &mut visited, 0);
+                }
+                let suppressed = module
+                    .allows
+                    .get(&raw.line)
+                    .or_else(|| module.allows.get(&raw.line.saturating_sub(1)))
+                    .cloned();
+                let table_bytes = raw
+                    .table
+                    .as_ref()
+                    .and_then(|t| registry.tables.get(t))
+                    .and_then(|t| t.bytes);
+                file_findings.push(Finding {
+                    file: label.to_string(),
+                    line: raw.line,
+                    kind: raw.kind,
+                    function: func.qualified_name(),
+                    table: raw.table.clone(),
+                    table_bytes,
+                    severity: crate::report::Severity::Leak, // refined by Report
+                    provenance,
+                    suppressed,
+                    detail: raw.detail.clone(),
+                });
             }
-            let mut provenance = Vec::new();
-            let mut visited = BTreeSet::new();
-            for root in hot_roots {
-                ctx.explain(root, &witnesses, &mut provenance, &mut visited, 0);
-            }
-            let suppressed = module
-                .allows
-                .get(&raw.line)
-                .or_else(|| module.allows.get(&raw.line.saturating_sub(1)))
-                .cloned();
-            let table_bytes = raw
-                .table
-                .as_ref()
-                .and_then(|t| registry.tables.get(t))
-                .and_then(|t| t.bytes);
-            findings.push(Finding {
-                file: label.to_string(),
-                line: raw.line,
-                kind: raw.kind,
-                function: func.qualified_name(),
-                table: raw.table.clone(),
-                table_bytes,
-                severity: crate::report::Severity::Leak, // refined by Report
-                provenance,
-                suppressed,
-                detail: raw.detail.clone(),
-            });
         }
+        file_findings.sort_by(|a, b| (a.line, a.kind, &a.detail).cmp(&(b.line, b.kind, &b.detail)));
+        file_findings.dedup_by(|a, b| (a.line, a.kind, &a.table) == (b.line, b.kind, &b.table));
+        findings.extend(file_findings);
     }
-    findings.sort_by(|a, b| (a.line, a.kind, &a.detail).cmp(&(b.line, b.kind, &b.detail)));
-    findings.dedup_by(|a, b| (a.line, a.kind, &a.table) == (b.line, b.kind, &b.table));
     findings
 }
 
-struct ModuleCtx<'a> {
-    label: &'a str,
-    module: &'a SourceFile,
+struct CrateCtx<'a> {
+    files: &'a [(String, SourceFile)],
     config: &'a SecretConfig,
     registry: &'a Registry,
+    graph: &'a CallGraph,
 }
 
-impl ModuleCtx<'_> {
+impl CrateCtx<'_> {
+    /// The function behind a global id.
+    fn func(&self, gid: usize) -> &Func {
+        let (file, local) = self.graph.fns[gid];
+        &self.files[file].1.functions[local]
+    }
+
     fn explain(
         &self,
         root: &Root,
@@ -329,7 +352,7 @@ impl ModuleCtx<'_> {
         match root {
             Root::Secret(desc) => out.push(desc.clone()),
             Root::Param(f, p) => {
-                let func = &self.module.functions[*f];
+                let func = self.func(*f);
                 let pname = func
                     .params
                     .get(*p)
@@ -337,13 +360,14 @@ impl ModuleCtx<'_> {
                     .unwrap_or_else(|| format!("#{p}"));
                 if let Some(ws) = witnesses.get(&(*f, *p)) {
                     for (caller, line, via) in ws.iter().take(3) {
-                        let caller_name = self.module.functions[*caller].qualified_name();
+                        let caller_name = self.func(*caller).qualified_name();
+                        let caller_label = &self.files[self.graph.fns[*caller].0].0;
                         out.push(format!(
                             "`{}` parameter `{}` receives tainted data from `{}` ({}:{})",
                             func.qualified_name(),
                             pname,
                             caller_name,
-                            self.label,
+                            caller_label,
                             line
                         ));
                         self.explain(via, witnesses, out, visited, depth + 1);
@@ -377,57 +401,37 @@ impl ModuleCtx<'_> {
         }
     }
 
-    fn resolve_method(&self, recv_ty: Option<&str>, name: &str) -> Option<usize> {
-        let candidates: Vec<usize> = self
-            .module
-            .functions
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.name == name && f.params.first().is_some_and(|p| p.is_self))
-            .map(|(i, _)| i)
-            .collect();
-        match recv_ty {
-            Some(t) => candidates
-                .into_iter()
-                .find(|&i| self.module.functions[i].qual.as_deref() == Some(t)),
-            None => {
-                if candidates.len() == 1 {
-                    Some(candidates[0])
-                } else {
-                    None
-                }
-            }
-        }
+    fn resolve_method(&self, cur_file: usize, recv_ty: Option<&str>, name: &str) -> Option<usize> {
+        self.graph.resolve_method(cur_file, recv_ty, name)
     }
 
-    fn resolve_call(&self, path: &[String], qual: Option<&str>) -> Option<usize> {
+    fn resolve_call(&self, cur_file: usize, path: &[String], qual: Option<&str>) -> Option<usize> {
         match path {
-            [name] => self
-                .module
-                .functions
-                .iter()
-                .position(|f| f.qual.is_none() && f.name == *name),
+            [name] => self.graph.resolve_free(cur_file, name),
             [ty, name] => {
                 let ty = if ty == "Self" {
                     qual?.to_string()
                 } else {
                     ty.clone()
                 };
-                self.module
-                    .functions
-                    .iter()
-                    .position(|f| f.qual.as_deref() == Some(ty.as_str()) && f.name == *name)
+                self.graph.resolve_assoc(cur_file, &ty, name)
             }
             _ => None,
         }
     }
 
-    fn walk_fn(&self, idx: usize, func: &Func, summaries: &[FnSummary]) -> FnSummary {
+    fn walk_fn(&self, gid: usize, summaries: &[FnSummary]) -> FnSummary {
+        let (cur_file, local) = self.graph.fns[gid];
+        let module = &self.files[cur_file].1;
+        let func = &module.functions[local];
         let mut w = Walker {
             ctx: self,
+            cur_file,
             func,
             summaries,
             scopes: vec![BTreeMap::new()],
+            branch_stack: Vec::new(),
+            accesses: Vec::new(),
             out: FnSummary {
                 ret_ty: func
                     .ret_ty
@@ -436,6 +440,12 @@ impl ModuleCtx<'_> {
                 ..FnSummary::default()
             },
         };
+        // A `// ct-secret` mark on (or just above) the `fn` line declares
+        // every named non-self parameter a secret source.
+        let fn_marked = module.secret_marks.contains_key(&func.line)
+            || module
+                .secret_marks
+                .contains_key(&func.line.saturating_sub(1));
         for (i, p) in func.params.iter().enumerate() {
             let ty = if p.is_self {
                 Some(p.ty.clone())
@@ -461,8 +471,13 @@ impl ModuleCtx<'_> {
                     func.qualified_name(),
                     first_type_ident(&p.ty)
                 )));
+            } else if fn_marked && !p.is_self {
+                roots.insert(Root::Secret(format!(
+                    "parameter `{name}` of `{}` marked `// ct-secret`",
+                    func.qualified_name()
+                )));
             } else {
-                roots.insert(Root::Param(idx, i));
+                roots.insert(Root::Param(gid, i));
             }
             if !name.is_empty() {
                 w.bind(&name, roots, ty);
@@ -522,15 +537,58 @@ const CHECK_MACROS: &[&str] = &[
     "matches",
 ];
 
+/// One branch arm's table-access footprint: the set of `(table, element
+/// bytes)` pairs it touches. Arms of a secret-dependent branch with
+/// *different* non-empty footprints leak through access width/stride even
+/// when every individual index is public.
+type Footprint = BTreeSet<(String, u64)>;
+
+fn fmt_footprint(fp: &Footprint) -> String {
+    fp.iter()
+        .map(|(t, b)| {
+            if *b > 0 {
+                format!("`{t}`({b}B)")
+            } else {
+                format!("`{t}`")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
 struct Walker<'a> {
-    ctx: &'a ModuleCtx<'a>,
+    ctx: &'a CrateCtx<'a>,
+    cur_file: usize,
     func: &'a Func,
     summaries: &'a [FnSummary],
     scopes: Vec<BTreeMap<String, Value>>,
+    /// Condition taint of each enclosing secret-testable branch (if/match
+    /// arms, while bodies); drives the early-return finding.
+    branch_stack: Vec<Taint>,
+    /// Log of registry-table accesses, appended in walk order; branch arms
+    /// diff slices of it to compare footprints.
+    accesses: Vec<(String, u64)>,
     out: FnSummary,
 }
 
 impl Walker<'_> {
+    fn module(&self) -> &SourceFile {
+        &self.ctx.files[self.cur_file].1
+    }
+
+    /// Union of all enclosing branch-condition taints.
+    fn branch_taint(&self) -> Taint {
+        self.branch_stack
+            .iter()
+            .flat_map(|t| t.iter().cloned())
+            .collect()
+    }
+
+    /// The footprint accumulated since `start`.
+    fn footprint(&self, start: usize) -> Footprint {
+        self.accesses[start..].iter().cloned().collect()
+    }
+
     fn bind(&mut self, name: &str, taint: Taint, ty: Option<String>) {
         self.scopes
             .last_mut()
@@ -585,7 +643,7 @@ impl Walker<'_> {
                     pat,
                     ty,
                     init,
-                    line: _,
+                    line,
                 } => {
                     let (taint, ity) = match init {
                         Some(e) => self.walk_expr(e),
@@ -595,14 +653,21 @@ impl Walker<'_> {
                         .as_deref()
                         .and_then(|t| self.ctx.resolve_ty(t, self.qual()));
                     let bty = ascribed.or(ity);
+                    // A `// ct-secret` mark on (or just above) the `let`
+                    // declares the bound names secret sources.
+                    let marked = self.module().secret_marks.contains_key(line)
+                        || self
+                            .module()
+                            .secret_marks
+                            .contains_key(&line.saturating_sub(1));
                     let bindings = pat.bindings();
                     let single = bindings.len() == 1;
                     for (name, _) in bindings {
-                        self.bind(
-                            &name,
-                            taint.clone(),
-                            if single { bty.clone() } else { None },
-                        );
+                        let mut t = taint.clone();
+                        if marked {
+                            t.insert(Root::Secret(format!("`{name}` marked `// ct-secret`")));
+                        }
+                        self.bind(&name, t, if single { bty.clone() } else { None });
                     }
                 }
                 Stmt::Expr(e) => {
@@ -666,6 +731,11 @@ impl Walker<'_> {
                 let (bt, bty) = self.walk_expr(base);
                 let (it, _) = self.walk_expr(idx);
                 let table = table_of(base);
+                if let Some(t) = &table {
+                    if let Some(def) = self.ctx.registry.tables.get(t) {
+                        self.accesses.push((t.clone(), def.elem_bytes.unwrap_or(0)));
+                    }
+                }
                 let detail = match &table {
                     Some(t) => format!("secret-dependent index into table `{t}`"),
                     None => "secret-dependent array index".to_string(),
@@ -675,7 +745,9 @@ impl Walker<'_> {
                 (union(bt, it), None)
             }
             Expr::Call(callee, args, line) => self.eval_call(callee, args, *line),
-            Expr::MethodCall(recv, name, args, line) => self.eval_method(recv, name, args, *line),
+            Expr::MethodCall(recv, name, _, args, line) => {
+                self.eval_method(recv, name, args, *line)
+            }
             Expr::Macro(name, args, line) => self.eval_macro(name, args, *line),
             Expr::Tuple(items) | Expr::Array(items) => {
                 let mut t = Taint::new();
@@ -728,12 +800,37 @@ impl Walker<'_> {
                         self.bind(&name, ct.clone(), None);
                     }
                 }
+                self.branch_stack.push(ct.clone());
+                let then_mark = self.accesses.len();
                 let (tt, tty) = self.walk_block(then_block);
+                let then_fp = self.footprint(then_mark);
+                self.branch_stack.pop();
                 self.scopes.pop();
+                let else_mark = self.accesses.len();
+                self.branch_stack.push(ct.clone());
                 let et = match else_expr {
                     Some(e) => self.walk_expr(e).0,
                     None => Taint::new(),
                 };
+                self.branch_stack.pop();
+                let else_fp = self.footprint(else_mark);
+                if else_expr.is_some()
+                    && !then_fp.is_empty()
+                    && !else_fp.is_empty()
+                    && then_fp != else_fp
+                {
+                    self.finding(
+                        FindingKind::SecretStride,
+                        *line,
+                        None,
+                        &ct,
+                        format!(
+                            "secret-dependent table footprint: branch arms touch {} vs {}",
+                            fmt_footprint(&then_fp),
+                            fmt_footprint(&else_fp)
+                        ),
+                    );
+                }
                 (union(union(ct, tt), et), tty)
             }
             Expr::Match {
@@ -750,6 +847,7 @@ impl Walker<'_> {
                     "`match` on secret value".to_string(),
                 );
                 let mut t = st.clone();
+                let mut footprints: Vec<Footprint> = Vec::new();
                 for (pat, guard, body) in arms {
                     self.scopes.push(BTreeMap::new());
                     for (name, _) in pat.bindings() {
@@ -765,8 +863,29 @@ impl Walker<'_> {
                             "secret-dependent match guard".to_string(),
                         );
                     }
+                    self.branch_stack.push(st.clone());
+                    let mark = self.accesses.len();
                     t = union(t, self.walk_expr(body).0);
+                    footprints.push(self.footprint(mark));
+                    self.branch_stack.pop();
                     self.scopes.pop();
+                }
+                let nonempty: Vec<&Footprint> =
+                    footprints.iter().filter(|f| !f.is_empty()).collect();
+                if let Some(&first) = nonempty.first() {
+                    if let Some(&diff) = nonempty.iter().find(|f| ***f != *first) {
+                        self.finding(
+                            FindingKind::SecretStride,
+                            *line,
+                            None,
+                            &st,
+                            format!(
+                                "secret-dependent table footprint: `match` arms touch {} vs {}",
+                                fmt_footprint(first),
+                                fmt_footprint(diff)
+                            ),
+                        );
+                    }
                 }
                 (t, None)
             }
@@ -800,6 +919,7 @@ impl Walker<'_> {
                         self.bind(&name, ct.clone(), None);
                     }
                 }
+                self.branch_stack.push(ct.clone());
                 for _ in 0..2 {
                     self.walk_block(body);
                     let (ct2, _) = self.walk_expr(cond);
@@ -811,6 +931,7 @@ impl Walker<'_> {
                         "secret-dependent `while` condition".to_string(),
                     );
                 }
+                self.branch_stack.pop();
                 self.scopes.pop();
                 (Taint::new(), None)
             }
@@ -833,17 +954,33 @@ impl Walker<'_> {
                 self.scopes.pop();
                 (t, None)
             }
-            Expr::Return(e, _) => {
+            Expr::Return(e, line) => {
                 if let Some(e) = e {
                     let (t, _) = self.walk_expr(e);
                     self.out.ret = union(self.out.ret.clone(), t);
                 }
+                let bt = self.branch_taint();
+                self.finding(
+                    FindingKind::SecretEarlyReturn,
+                    *line,
+                    None,
+                    &bt,
+                    "secret-dependent early `return`".to_string(),
+                );
                 (Taint::new(), None)
             }
-            Expr::Jump(e) => {
+            Expr::Jump(e, line) => {
                 if let Some(e) = e {
                     self.walk_expr(e);
                 }
+                let bt = self.branch_taint();
+                self.finding(
+                    FindingKind::SecretEarlyReturn,
+                    *line,
+                    None,
+                    &bt,
+                    "secret-dependent loop exit (`break`/`continue`)".to_string(),
+                );
                 (Taint::new(), None)
             }
         }
@@ -953,7 +1090,7 @@ impl Walker<'_> {
         };
         let resolved = path
             .as_deref()
-            .and_then(|p| self.ctx.resolve_call(p, self.qual()));
+            .and_then(|p| self.ctx.resolve_call(self.cur_file, p, self.qual()));
         match resolved {
             Some(idx) => {
                 let (ordered, _) = self.eval_args(args, &Taint::new());
@@ -990,7 +1127,7 @@ impl Walker<'_> {
             }
             return (Taint::new(), None);
         }
-        let resolved = self.ctx.resolve_method(rty.as_deref(), name);
+        let resolved = self.ctx.resolve_method(self.cur_file, rty.as_deref(), name);
         match resolved {
             Some(idx) => {
                 let (mut ordered, _) = self.eval_args(args, &rt);
@@ -1045,12 +1182,12 @@ impl Walker<'_> {
         let mut saw_enumerate = false;
         loop {
             match cur {
-                Expr::MethodCall(recv, name, margs, _) if name == "enumerate" => {
+                Expr::MethodCall(recv, name, _, margs, _) if name == "enumerate" => {
                     saw_enumerate = true;
                     let _ = margs;
                     cur = recv;
                 }
-                Expr::MethodCall(recv, name, margs, mline)
+                Expr::MethodCall(recv, name, _, margs, mline)
                     if PEEL_ADAPTERS.contains(&name.as_str())
                         || name == "take"
                         || name == "skip" =>
@@ -1156,12 +1293,18 @@ mod tests {
     use crate::ast::parse_file;
     use crate::report::{FindingKind, Severity};
 
-    fn analyze(src: &str) -> Vec<Finding> {
-        let file = parse_file(src).expect("parse");
+    fn analyze_files(sources: &[(&str, &str)]) -> Vec<Finding> {
         let config = SecretConfig::default();
-        let files = vec![("test.rs".to_string(), file)];
+        let files: Vec<(String, SourceFile)> = sources
+            .iter()
+            .map(|(l, s)| (l.to_string(), parse_file(s).expect("parse")))
+            .collect();
         let registry = Registry::build(&files, &config);
-        analyze_module("test.rs", &files[0].1, &config, &registry)
+        analyze_crate(&files, &config, &registry)
+    }
+
+    fn analyze(src: &str) -> Vec<Finding> {
+        analyze_files(&[("test.rs", src)])
     }
 
     #[test]
@@ -1343,5 +1486,209 @@ mod tests {
         );
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].kind, FindingKind::SecretIndex);
+    }
+
+    #[test]
+    fn cross_module_free_call_carries_taint_interprocedurally() {
+        // `lookup` lives in another module; the call still resolves and the
+        // guarded table index fires with cross-file provenance.
+        let findings = analyze_files(&[
+            (
+                "tables.rs",
+                "const T: [u8; 16] = [0; 16];\n\
+                 pub fn lookup(i: u8) -> u8 { T[i as usize] }",
+            ),
+            (
+                "cipher.rs",
+                "fn round(key: u64) -> u8 { crate::tables::lookup((key & 0xf) as u8) }",
+            ),
+        ]);
+        // Paths like `crate::tables::lookup` have >2 segments and stay
+        // opaque by design; a bare cross-module name resolves.
+        let resolved = analyze_files(&[
+            (
+                "tables.rs",
+                "const T: [u8; 16] = [0; 16];\n\
+                 pub fn lookup(i: u8) -> u8 { T[i as usize] }",
+            ),
+            (
+                "cipher.rs",
+                "fn round(key: u64) -> u8 { lookup((key & 0xf) as u8) }",
+            ),
+        ]);
+        assert!(
+            findings.is_empty(),
+            "3-segment paths stay opaque: {findings:?}"
+        );
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(resolved[0].file, "tables.rs");
+        assert_eq!(resolved[0].kind, FindingKind::SecretIndex);
+        assert!(
+            resolved[0]
+                .provenance
+                .iter()
+                .any(|p| p.contains("cipher.rs")),
+            "provenance crosses modules: {:?}",
+            resolved[0].provenance
+        );
+    }
+
+    #[test]
+    fn cross_module_method_resolves_through_receiver_type() {
+        let findings = analyze_files(&[
+            (
+                "core.rs",
+                "const T: [u8; 16] = [0; 16];\n\
+                 pub struct Sbox { n: u64 }\n\
+                 impl Sbox { pub fn apply(&self, i: u8) -> u8 { T[i as usize] } }",
+            ),
+            (
+                "front.rs",
+                "fn go(s: Sbox, key: u64) -> u8 { s.apply((key & 0xf) as u8) }",
+            ),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].file, "core.rs");
+        assert_eq!(findings[0].function, "Sbox::apply");
+    }
+
+    #[test]
+    fn secret_early_return_fires_under_tainted_branch() {
+        let findings = analyze(
+            "fn f(key: u64) -> u64 {\n\
+             if key & 1 == 1 { return 0; }\n\
+             1 }",
+        );
+        let kinds: Vec<FindingKind> = findings.iter().map(|f| f.kind).collect();
+        assert!(
+            kinds.contains(&FindingKind::SecretEarlyReturn),
+            "{findings:?}"
+        );
+        // The same shape under a public guard is clean.
+        let public = analyze(
+            "fn f(n: usize) -> u64 {\n\
+             if n > 3 { return 0; }\n\
+             1 }",
+        );
+        assert!(public.is_empty(), "{public:?}");
+    }
+
+    #[test]
+    fn secret_loop_exit_fires_on_break() {
+        let findings = analyze(
+            "fn f(key: u64) -> u64 {\n\
+             let mut acc = 0u64;\n\
+             for i in 0..64 {\n\
+               acc += 1;\n\
+               if (key >> i) & 1 == 1 { break; }\n\
+             }\n\
+             acc }",
+        );
+        let kinds: Vec<FindingKind> = findings.iter().map(|f| f.kind).collect();
+        assert!(
+            kinds.contains(&FindingKind::SecretEarlyReturn),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn secret_stride_fires_when_branch_arms_touch_different_tables() {
+        // Both indexes are public; the *footprint* differs by branch: one
+        // arm reads a 1-byte-stride table, the other an 8-byte-stride one.
+        let findings = analyze(
+            "const NARROW: [u8; 16] = [0; 16];\n\
+             const WIDE: [u64; 16] = [0; 16];\n\
+             fn f(key: u64, i: usize) -> u64 {\n\
+             if key & 1 == 1 { u64::from(NARROW[i & 15]) } else { WIDE[i & 15] }\n\
+             }",
+        );
+        let stride: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::SecretStride)
+            .collect();
+        assert_eq!(stride.len(), 1, "{findings:?}");
+        assert!(stride[0].detail.contains("NARROW"), "{}", stride[0].detail);
+        assert!(stride[0].detail.contains("8B"), "{}", stride[0].detail);
+    }
+
+    #[test]
+    fn same_footprint_branch_arms_do_not_fire_stride() {
+        let findings = analyze(
+            "const T: [u8; 16] = [0; 16];\n\
+             fn f(key: u64, i: usize) -> u8 {\n\
+             if key & 1 == 1 { T[i & 7] } else { T[(i >> 1) & 7] }\n\
+             }",
+        );
+        assert!(
+            findings.iter().all(|f| f.kind != FindingKind::SecretStride),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn match_arms_with_divergent_footprints_fire_stride() {
+        let findings = analyze(
+            "const A: [u8; 16] = [0; 16];\n\
+             const B: [u32; 16] = [0; 16];\n\
+             fn f(key: u64, i: usize) -> u32 {\n\
+             match key & 1 { 0 => u32::from(A[i & 15]), _ => B[i & 15] }\n\
+             }",
+        );
+        assert!(
+            findings.iter().any(|f| f.kind == FindingKind::SecretStride),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn ct_secret_mark_taints_let_binding() {
+        let findings = analyze(
+            "const T: [u8; 16] = [0; 16];\n\
+             fn f(raw: u64) -> u8 {\n\
+             // ct-secret: session nonce half\n\
+             let nonce = raw;\n\
+             T[(nonce & 0xf) as usize] }",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].kind, FindingKind::SecretIndex);
+        assert!(findings[0]
+            .provenance
+            .iter()
+            .any(|p| p.contains("ct-secret")));
+    }
+
+    #[test]
+    fn ct_secret_mark_on_fn_taints_params() {
+        let findings = analyze(
+            "const T: [u8; 16] = [0; 16];\n\
+             // ct-secret\n\
+             fn f(material: u64) -> u8 { T[(material & 0xf) as usize] }",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0]
+            .provenance
+            .iter()
+            .any(|p| p.contains("marked `// ct-secret`")));
+    }
+
+    #[test]
+    fn custom_config_drives_secret_roots() {
+        // No GIFT names anywhere: the config alone decides what is secret.
+        let config = SecretConfig {
+            secret_types: ["RectKey".to_string()].into_iter().collect(),
+            secret_names: ["seed_material".to_string()].into_iter().collect(),
+        };
+        let src = "pub struct RectKey { w: u64 }\n\
+                   const S: [u8; 16] = [0; 16];\n\
+                   fn f(k: RectKey) -> u8 { S[(k.w & 0xf) as usize] }\n\
+                   fn g(seed_material: u64) -> u8 { S[(seed_material & 0xf) as usize] }\n\
+                   fn h(key: u64) -> u8 { S[(key & 0xf) as usize] }";
+        let files = vec![("r.rs".to_string(), parse_file(src).expect("parse"))];
+        let registry = Registry::build(&files, &config);
+        let findings = analyze_crate(&files, &config, &registry);
+        // `key` is NOT secret under this config; `RectKey` and
+        // `seed_material` are.
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.function != "h"));
     }
 }

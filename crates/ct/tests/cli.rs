@@ -65,7 +65,7 @@ fn check_json_is_stable_and_writes_the_out_file() {
     let first = run();
     let second = run();
     assert_eq!(first, second, "JSON output must be deterministic");
-    assert!(first.contains("\"schema\": \"grinch-ct-report/v1\""));
+    assert!(first.contains("\"schema\": \"grinch-ct-report/v2\""));
     let written = std::fs::read_to_string(&out_file).expect("out file written");
     assert_eq!(written, first);
     let _ = std::fs::remove_dir_all(&dir);
@@ -129,6 +129,177 @@ fn line_bytes_controls_the_wide_sbox_verdict() {
     assert!(
         byte_json.contains("\"table\": \"WIDE_SBOX\", \"table_bytes\": 8, \"severity\": \"leak\"")
     );
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn missing_or_empty_targets_exit_two_with_a_no_sources_message() {
+    let out = bin()
+        .args(["check", "/nonexistent/definitely-not-here"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no .rs sources under /nonexistent/definitely-not-here"),
+        "{stderr}"
+    );
+
+    let dir = tmp_dir("empty");
+    let out = bin().args(["check"]).arg(&dir).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2), "empty dir is never a pass");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no .rs sources under"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn target_flag_reads_the_config_and_matches_the_rectangle_golden() {
+    let out = bin()
+        .current_dir(repo_root())
+        .args([
+            "check",
+            "--target",
+            "crates/ct/fixtures/rectangle",
+            "--json",
+            "--deny-level",
+            "none",
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    assert!(json.contains("\"target\": \"crates/ct/fixtures/rectangle\""));
+    assert!(
+        json.contains("RECT_SBOX"),
+        "config-declared secrets drive the analysis"
+    );
+    let golden = repo_root().join("bench/baselines/CT_RECTANGLE.json");
+    let pinned = std::fs::read_to_string(golden).expect("rectangle golden committed");
+    assert_eq!(json, pinned, "rectangle verdicts are golden-pinned");
+}
+
+#[test]
+fn gift_target_matches_the_pinned_golden_byte_for_byte() {
+    let out = bin()
+        .current_dir(repo_root())
+        .args([
+            "check",
+            "--target",
+            "crates/gift",
+            "--json",
+            "--deny-level",
+            "none",
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    let golden = repo_root().join("bench/baselines/CT_REPORT.json");
+    let pinned = std::fs::read_to_string(golden).expect("gift golden committed");
+    assert_eq!(json, pinned, "gift verdicts are golden-pinned");
+}
+
+#[test]
+fn workspace_determinism_scan_matches_the_pinned_golden() {
+    // Doubles as the "every workspace source parses" pin: the scan fails
+    // with exit 2 if any crate stops parsing.
+    let out = bin()
+        .current_dir(repo_root())
+        .args([
+            "determinism",
+            "--target",
+            ".",
+            "--json",
+            "--deny-level",
+            "none",
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    let golden = repo_root().join("bench/baselines/DETERMINISM.json");
+    let pinned = std::fs::read_to_string(golden).expect("determinism golden committed");
+    assert_eq!(
+        json, pinned,
+        "workspace determinism verdicts are golden-pinned"
+    );
+}
+
+#[test]
+fn determinism_subcommand_gates_on_hazards_and_honors_allows() {
+    let dir = tmp_dir("det");
+    std::fs::write(
+        dir.join("emit.rs"),
+        "use std::collections::HashMap;\n\
+         use std::fmt::Write;\n\
+         pub fn dump(m: &HashMap<String, u64>) -> String {\n\
+             let mut out = String::new();\n\
+             for (k, v) in m.iter() {\n\
+                 writeln!(out, \"{k}={v}\").unwrap();\n\
+             }\n\
+             out\n\
+         }\n",
+    )
+    .expect("write");
+    let out = bin()
+        .args(["determinism"])
+        .arg(&dir)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "unsuppressed hazards gate");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("hash-order-emission"));
+
+    let allowed = bin()
+        .args(["determinism", "--allow", "emit.rs:hash-order-emission"])
+        .arg(&dir)
+        .output()
+        .expect("runs");
+    assert_eq!(
+        allowed.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&allowed.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sarif_flag_writes_a_sarif_2_1_0_document() {
+    let dir = tmp_dir("sarif");
+    let sarif_file = dir.join("gift.sarif");
+    let out = bin()
+        .current_dir(repo_root())
+        .args([
+            "check",
+            "--target",
+            "crates/gift",
+            "--deny-level",
+            "none",
+            "--sarif",
+        ])
+        .arg(&sarif_file)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(0));
+    let sarif = std::fs::read_to_string(&sarif_file).expect("sarif written");
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("\"name\": \"grinch-ct\""));
+    assert!(sarif.contains("\"ruleId\": \"secret-index\""));
+    assert!(sarif.contains("\"suppressions\": [{\"kind\": \"inSource\""));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

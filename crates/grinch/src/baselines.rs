@@ -148,8 +148,11 @@ pub mod trace_driven {
     /// partitions over `samples` random plaintexts — an upper bound on the
     /// per-encryption information the trace-driven channel carries.
     pub fn partition_entropy_bits(key: Key, round: usize, samples: u64) -> f64 {
-        use std::collections::HashMap;
-        let mut counts: HashMap<Vec<usize>, u64> = HashMap::new();
+        // BTreeMap, not HashMap: the float sum below is evaluated in
+        // iteration order, and hash order would make the low bits of the
+        // entropy differ across processes.
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<Vec<usize>, u64> = BTreeMap::new();
         for i in 0..samples {
             let pt = i.wrapping_mul(0x517c_c1b7_2722_0a95) ^ 0x1234;
             let trace = round_trace(key, pt, round);

@@ -416,6 +416,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "installs a process-global panic hook and writes files")]
     fn panic_hook_writes_the_dump() {
         let dir = std::env::temp_dir().join(format!("grinch-flight-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
