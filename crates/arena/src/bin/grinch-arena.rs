@@ -3,6 +3,7 @@
 //! ```text
 //! grinch-arena run [--preset smoke|full] [--trials N] [--seed N] [--jobs N]
 //!                  [--max-encryptions N] [--out FILE] [--svg FILE]
+//!                  [--journal FILE] [--no-journal]
 //!                  [--check] [--baseline FILE] [--live ADDR]
 //!                  [--live-interval-ms N] [--watchdog-ms N] [--linger-secs N]
 //! grinch-arena render <matrix.json> [--metric success-rate|encryptions|entropy-bits]
@@ -20,6 +21,7 @@ use std::process::ExitCode;
 use gift_cipher::Key;
 use grinch::oracle::{ObservationConfig, VictimOracle};
 use grinch::stage::{run_stage, StageConfig};
+use grinch_arena::journal::run_journaled;
 use grinch_arena::{
     run_campaign_observed, ArenaMatrix, CampaignConfig, DefenseSpec, LiveOptions, LivePlane, Metric,
 };
@@ -32,6 +34,7 @@ grinch-arena: randomized-cache defenses vs the GRINCH attack variants
 usage:
   grinch-arena run [--preset smoke|full] [--trials N] [--seed N] [--jobs N]
                    [--max-encryptions N] [--out FILE] [--svg FILE]
+                   [--journal FILE] [--no-journal]
                    [--check] [--baseline FILE] [--live ADDR]
                    [--live-interval-ms N] [--watchdog-ms N] [--linger-secs N]
       sweep the (defense x attack x noise) grid and print the success-rate
@@ -42,6 +45,12 @@ usage:
       first run; exit 1 on drift. Presets: smoke (CI: 2 defenses x
       2 attacks, 2 trials) and full (4 defenses x 2 attacks x 2 noise
       levels, 8 trials). Default preset: smoke.
+      Every finished cell is streamed to an append-only grinch-campaign/v1
+      journal (--journal, default: the --out path with a .journal.jsonl
+      extension), so a run cut down by Ctrl-C or kill resumes from the
+      cells it already finished — re-run the same command and only the
+      missing cells execute; the final matrix is byte-identical to an
+      uninterrupted run. --no-journal disables journaling.
       --live ADDR serves the live observability plane while the sweep runs
       (ADDR like 127.0.0.1:9090; port 0 picks one — the bound address is
       printed to stderr): GET /metrics (Prometheus text), /progress (JSON),
@@ -133,6 +142,10 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
         .map(PathBuf::from)
         .unwrap_or_else(|| grinch_obs::paths::results_dir().join("ARENA_MATRIX.json"));
     let svg = take_value(&mut args, "--svg")?;
+    let no_journal = take_switch(&mut args, "--no-journal");
+    let journal_path = take_value(&mut args, "--journal")?
+        .map(PathBuf::from)
+        .unwrap_or_else(|| out.with_extension("journal.jsonl"));
     let check = take_switch(&mut args, "--check");
     let baseline_path = take_value(&mut args, "--baseline")?
         .map(PathBuf::from)
@@ -177,7 +190,25 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
     );
     let started = std::time::Instant::now();
     let sender = live.as_ref().map(|plane| plane.sender());
-    let matrix = run_campaign_observed(&campaign, sender.as_ref());
+    let matrix = if no_journal {
+        run_campaign_observed(&campaign, sender.as_ref())
+    } else {
+        // Stream every finished cell to the journal: a run killed at any
+        // point resumes from what it already finished, and the resumed
+        // matrix is byte-identical to an uninterrupted one.
+        let outcome = run_journaled(&campaign, &journal_path, None, sender.as_ref(), 0)?;
+        if outcome.resumed {
+            eprintln!(
+                "grinch-arena: resumed journal {} ({} cells reused, {} run)",
+                journal_path.display(),
+                outcome.reused_cells,
+                outcome.ran_cells
+            );
+        } else {
+            eprintln!("grinch-arena: journal -> {}", journal_path.display());
+        }
+        outcome.matrix.expect("full-grid run assembles a matrix")
+    };
     drop(sender);
     let wall_ns = started.elapsed().as_nanos() as u64;
     print!("{}", matrix.heat(Metric::SuccessRate).ascii());

@@ -36,14 +36,56 @@ pub fn run_campaign_observed(
     config: &CampaignConfig,
     observer: Option<&Sender<WorkerEvent>>,
 ) -> ArenaMatrix {
-    config.validate().expect("invalid campaign");
-    let cells = config.num_cells();
-    let jobs = config.jobs.clamp(1, cells);
+    let all: Vec<usize> = (0..config.num_cells()).collect();
+    let results = run_cells(config, &all, observer, None);
+    assemble_matrix(config, results).expect("full grid assembles")
+}
 
-    let mut results: Vec<Option<CellResult>> = vec![None; cells];
+/// The per-cell completion hook [`run_cells`] takes: called with
+/// `(cell_index, result)` once per finished cell, possibly concurrently
+/// from worker threads.
+pub type CellHook<'a> = &'a (dyn Fn(usize, &CellResult) + Sync);
+
+/// Runs an arbitrary subset of the campaign's cells — the primitive both
+/// [`run_campaign_observed`] (all cells) and the campaign orchestrator's
+/// shard workers (one shard's cells) are built on.
+///
+/// `cells` holds cell indices in any order, distributed over `config.jobs`
+/// workers through the same atomic work queue as a full run. Each result
+/// stays a pure function of `(config, cell_index)`, so the subset's
+/// results are byte-identical to the same cells cut out of a one-shot full
+/// run. `on_cell` fires once per finished cell **in completion order**
+/// (concurrently from worker threads — the campaign journal serializes
+/// appends behind its own lock); the returned pairs are in the order of
+/// `cells`, not completion order.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`CampaignConfig::validate`] or an index in
+/// `cells` is out of range — callers validate up front.
+pub fn run_cells(
+    config: &CampaignConfig,
+    cells: &[usize],
+    observer: Option<&Sender<WorkerEvent>>,
+    on_cell: Option<CellHook<'_>>,
+) -> Vec<(usize, CellResult)> {
+    config.validate().expect("invalid campaign");
+    let num_cells = config.num_cells();
+    assert!(
+        cells.iter().all(|&idx| idx < num_cells),
+        "cell index out of range"
+    );
+    let jobs = config.jobs.clamp(1, cells.len().max(1));
+
+    let mut results: Vec<Option<CellResult>> = vec![None; cells.len()];
     if jobs == 1 && observer.is_none() {
-        for (idx, slot) in results.iter_mut().enumerate() {
-            *slot = Some(run_cell(config, idx));
+        for (pos, slot) in results.iter_mut().enumerate() {
+            let idx = cells[pos];
+            let result = run_cell(config, idx);
+            if let Some(on_cell) = on_cell {
+                on_cell(idx, &result);
+            }
+            *slot = Some(result);
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -54,13 +96,14 @@ pub fn run_campaign_observed(
                 let tx = observer.cloned();
                 let (next, slots) = (&next, &slots);
                 scope.spawn(move || loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= cells {
+                    let pos = next.fetch_add(1, Ordering::Relaxed);
+                    if pos >= cells.len() {
                         if let Some(tx) = &tx {
                             let _ = tx.send(WorkerEvent::WorkerDone { worker });
                         }
                         break;
                     }
+                    let idx = cells[pos];
                     if let Some(tx) = &tx {
                         let (d, a, n) = config.cell_coords(idx);
                         let _ = tx.send(WorkerEvent::CellStarted {
@@ -76,7 +119,7 @@ pub fn run_campaign_observed(
                         });
                     }
                     // The heavy work happens outside the lock; the lock
-                    // only guards the per-index store.
+                    // only guards the per-position store.
                     let result = run_cell_hooked(config, idx, &mut |p| {
                         let Some(tx) = &tx else { return };
                         let _ = tx.send(match p {
@@ -97,13 +140,52 @@ pub fn run_campaign_observed(
                     if let Some(tx) = &tx {
                         let _ = tx.send(WorkerEvent::CellDone { worker, cell: idx });
                     }
-                    slots.lock().expect("poisoned")[idx] = Some(result);
+                    if let Some(on_cell) = on_cell {
+                        on_cell(idx, &result);
+                    }
+                    slots.lock().expect("poisoned")[pos] = Some(result);
                 });
             }
         });
     }
 
-    ArenaMatrix {
+    cells
+        .iter()
+        .copied()
+        .zip(results.into_iter().map(|r| r.expect("every cell ran")))
+        .collect()
+}
+
+/// Assembles indexed cell results — gathered in any order, e.g. merged
+/// from several shard journals — into the campaign's [`ArenaMatrix`].
+///
+/// Fails if the results don't cover the grid exactly: a missing cell, an
+/// out-of-range index or a duplicate each name the offending cell, so a
+/// partial shard aggregation reports *what* is missing instead of
+/// producing a silently wrong matrix.
+pub fn assemble_matrix(
+    config: &CampaignConfig,
+    results: Vec<(usize, CellResult)>,
+) -> Result<ArenaMatrix, String> {
+    let num_cells = config.num_cells();
+    let mut slots: Vec<Option<CellResult>> = vec![None; num_cells];
+    for (idx, cell) in results {
+        if idx >= num_cells {
+            return Err(format!(
+                "matrix assembly: cell index {idx} out of range (grid has {num_cells} cells)"
+            ));
+        }
+        if slots[idx].is_some() {
+            return Err(format!("matrix assembly: duplicate result for cell {idx}"));
+        }
+        slots[idx] = Some(cell);
+    }
+    let cells = slots
+        .into_iter()
+        .enumerate()
+        .map(|(idx, slot)| slot.ok_or_else(|| format!("matrix assembly: cell {idx} missing")))
+        .collect::<Result<Vec<CellResult>, String>>()?;
+    Ok(ArenaMatrix {
         seed: config.seed,
         trials: config.trials as u64,
         max_stage_encryptions: config.max_stage_encryptions,
@@ -114,11 +196,8 @@ pub fn run_campaign_observed(
             .map(|a| a.name().to_string())
             .collect(),
         noise_levels: config.noise_levels.clone(),
-        cells: results
-            .into_iter()
-            .map(|r| r.expect("every cell ran"))
-            .collect(),
-    }
+        cells,
+    })
 }
 
 #[cfg(test)]
@@ -191,6 +270,67 @@ mod tests {
                 assert_eq!(*seed, cfg.cell_seed(*cell));
             }
         }
+    }
+
+    /// The shard primitive's contract: running any subset in any order
+    /// reproduces exactly the cells a one-shot full run produced, and the
+    /// pieces reassemble to the identical matrix.
+    #[test]
+    fn subsets_reproduce_the_full_run_and_reassemble() {
+        let cfg = CampaignConfig {
+            jobs: 2,
+            ..CampaignConfig::smoke()
+        };
+        let full = run_campaign(&cfg);
+        // Reversed order, split into uneven halves.
+        let front = run_cells(&cfg, &[3, 1], None, None);
+        let back = run_cells(&cfg, &[0, 2], None, None);
+        for (idx, cell) in front.iter().chain(back.iter()) {
+            assert_eq!(cell, &full.cells[*idx], "cell {idx} must match full run");
+        }
+        let merged: Vec<(usize, CellResult)> = front.into_iter().chain(back).collect();
+        let matrix = assemble_matrix(&cfg, merged).expect("complete cover");
+        assert_eq!(matrix.to_json(), full.to_json());
+    }
+
+    /// `on_cell` fires exactly once per cell with that cell's final result.
+    #[test]
+    fn on_cell_hook_sees_every_result_once() {
+        let cfg = CampaignConfig {
+            jobs: 3,
+            ..CampaignConfig::smoke()
+        };
+        let seen = Mutex::new(Vec::new());
+        let results = run_cells(
+            &cfg,
+            &[0, 1, 2, 3],
+            None,
+            Some(&|idx, cell: &CellResult| {
+                seen.lock().expect("poisoned").push((idx, cell.clone()));
+            }),
+        );
+        let mut seen = seen.into_inner().expect("poisoned");
+        seen.sort_by_key(|(idx, _)| *idx);
+        assert_eq!(seen, results);
+    }
+
+    /// Incomplete, duplicate and out-of-range covers are rejected with a
+    /// cell-specific error instead of assembling a wrong matrix.
+    #[test]
+    fn assemble_matrix_rejects_bad_covers() {
+        let cfg = CampaignConfig::smoke();
+        let results = run_cells(&cfg, &[0, 1, 2, 3], None, None);
+        let missing: Vec<_> = results[..3].to_vec();
+        let err = assemble_matrix(&cfg, missing).expect_err("incomplete");
+        assert!(err.contains("cell 3 missing"), "{err}");
+        let mut duplicated = results.clone();
+        duplicated[1] = duplicated[0].clone();
+        let err = assemble_matrix(&cfg, duplicated).expect_err("duplicate");
+        assert!(err.contains("duplicate"), "{err}");
+        let mut wild = results;
+        wild[0].0 = 99;
+        let err = assemble_matrix(&cfg, wild).expect_err("out of range");
+        assert!(err.contains("out of range"), "{err}");
     }
 
     /// The ISSUE's efficacy acceptance criterion: the undefended baseline

@@ -19,6 +19,10 @@
 //!   workers with per-cell splitmix64 seeds, byte-identical results for
 //!   any worker count; [`run_campaign_observed`] streams per-worker
 //!   progress events on top without touching determinism;
+//! * [`journal`] — the append-only `grinch-campaign/v1` JSONL journal:
+//!   per-cell results streamed to disk with atomic line appends, so an
+//!   interrupted sweep resumes from what it already finished instead of
+//!   restarting — the substrate of the `grinch-campaign` orchestrator;
 //! * [`progress`] — the live plane: worker events collected into streamed
 //!   telemetry deltas and a shared progress view, a stalled-worker
 //!   watchdog, and the [`LivePlane`] assembly behind
@@ -40,12 +44,14 @@
 
 pub mod cell;
 pub mod engine;
+pub mod journal;
 pub mod progress;
 pub mod report;
 pub mod spec;
 
 pub use cell::{CellResult, TrialProgress};
-pub use engine::{run_campaign, run_campaign_observed};
+pub use engine::{assemble_matrix, run_campaign, run_campaign_observed, run_cells};
+pub use journal::{Journal, JournalState, CAMPAIGN_SCHEMA};
 pub use progress::{LiveOptions, LivePlane, WorkerEvent};
 pub use report::{ArenaMatrix, Metric};
 pub use spec::{AttackSpec, CampaignConfig, DefenseSpec};

@@ -111,23 +111,8 @@ impl ArenaMatrix {
         out.push_str(&format!("  \"noise_levels\": {noise},\n"));
         out.push_str("  \"cells\": [\n");
         for (i, cell) in self.cells.iter().enumerate() {
-            let mut w = ObjWriter::new();
-            w.str("defense", &cell.defense)
-                .str("attack", &cell.attack)
-                .f64("noise", cell.noise)
-                .u64("trials", cell.trials)
-                .u64("successes", cell.successes)
-                .f64("success_rate", cell.success_rate);
-            match cell.mean_encryptions_to_success {
-                Some(m) => w.f64("mean_encryptions_to_success", m),
-                None => w.null("mean_encryptions_to_success"),
-            };
-            w.f64(
-                "mean_residual_entropy_bits",
-                cell.mean_residual_entropy_bits,
-            );
             out.push_str("    ");
-            out.push_str(&w.finish());
+            out.push_str(&cell_json(cell));
             out.push_str(if i + 1 < self.cells.len() {
                 ",\n"
             } else {
@@ -251,6 +236,29 @@ impl ArenaMatrix {
     }
 }
 
+/// Serializes one cell as the canonical single-line JSON object used both
+/// inside the `grinch-arena/v1` matrix document and as the payload of
+/// `grinch-campaign/v1` journal records — one serializer, so a journaled
+/// cell re-emits byte-identically into the final matrix.
+pub fn cell_json(cell: &CellResult) -> String {
+    let mut w = ObjWriter::new();
+    w.str("defense", &cell.defense)
+        .str("attack", &cell.attack)
+        .f64("noise", cell.noise)
+        .u64("trials", cell.trials)
+        .u64("successes", cell.successes)
+        .f64("success_rate", cell.success_rate);
+    match cell.mean_encryptions_to_success {
+        Some(m) => w.f64("mean_encryptions_to_success", m),
+        None => w.null("mean_encryptions_to_success"),
+    };
+    w.f64(
+        "mean_residual_entropy_bits",
+        cell.mean_residual_entropy_bits,
+    );
+    w.finish()
+}
+
 fn str_array(items: &[String]) -> String {
     let mut out = String::from("[");
     for (i, s) in items.iter().enumerate() {
@@ -265,7 +273,9 @@ fn str_array(items: &[String]) -> String {
     out
 }
 
-fn parse_cell(v: &JsonValue) -> Result<CellResult, String> {
+/// Parses one cell object — the inverse of [`cell_json`], shared by the
+/// matrix parser and the campaign journal loader.
+pub fn parse_cell(v: &JsonValue) -> Result<CellResult, String> {
     let str_field = |k: &str| {
         v.get(k)
             .and_then(JsonValue::as_str)

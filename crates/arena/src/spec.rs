@@ -10,6 +10,11 @@
 
 use cache_sim::{splitmix64, CacheConfig, IndexMapping, WayPartition};
 use grinch::oracle::ProbeStrategy;
+use grinch_telemetry::json::{self, parse, JsonValue, ObjWriter};
+
+/// Schema tag of the canonical config-identity document
+/// ([`CampaignConfig::config_json`]).
+pub const CONFIG_SCHEMA: &str = "grinch-campaign-config/v1";
 
 /// A cache defense the arena equips the victim platform with.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -218,6 +223,134 @@ impl CampaignConfig {
     pub fn cell_seed(&self, index: usize) -> u64 {
         splitmix64(self.seed ^ splitmix64(index as u64 + 1))
     }
+
+    /// Which of `num_shards` shards owns cell `index`.
+    ///
+    /// Keyed off [`CampaignConfig::cell_seed`] — the same derivation chain
+    /// that already pins per-cell determinism — so the assignment is a pure
+    /// function of `(config identity, index, num_shards)`: stable across
+    /// machines, workers and restarts, and decorrelated from the row-major
+    /// grid layout (neighbouring cells, which tend to cost similar time,
+    /// spread across shards instead of clumping into one).
+    pub fn shard_of(&self, index: usize, num_shards: usize) -> usize {
+        (self.cell_seed(index) % num_shards.max(1) as u64) as usize
+    }
+
+    /// Serializes the sweep *identity* — every field that determines
+    /// results — as one canonical single-line JSON object.
+    ///
+    /// The execution knob `jobs` is deliberately excluded: the matrix is
+    /// byte-identical for any worker count, so two configs differing only
+    /// in `jobs` share an identity (and hence a campaign fingerprint and
+    /// journal).
+    pub fn config_json(&self) -> String {
+        let defenses: Vec<String> = self.defenses.iter().map(|d| d.name()).collect();
+        let attacks: Vec<String> = self.attacks.iter().map(|a| a.name().to_string()).collect();
+        let mut noise = String::from("[");
+        for (i, p) in self.noise_levels.iter().enumerate() {
+            if i > 0 {
+                noise.push(',');
+            }
+            json::write_f64(&mut noise, *p);
+        }
+        noise.push(']');
+        let mut w = ObjWriter::new();
+        w.str("schema", CONFIG_SCHEMA)
+            .raw("defenses", &str_array(&defenses))
+            .raw("attacks", &str_array(&attacks))
+            .raw("noise_levels", &noise)
+            .u64("trials", self.trials as u64)
+            .u64("seed", self.seed)
+            .u64("max_stage_encryptions", self.max_stage_encryptions);
+        w.finish()
+    }
+
+    /// Inverse of [`CampaignConfig::config_json`]. The returned config has
+    /// `jobs = 1` (an execution knob, not part of the identity); callers
+    /// pick their own worker count.
+    pub fn from_config_json(text: &str) -> Result<Self, String> {
+        let doc = parse(text).ok_or("campaign config: invalid JSON")?;
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or("campaign config: missing schema")?;
+        if schema != CONFIG_SCHEMA {
+            return Err(format!(
+                "campaign config: schema {schema:?}, expected {CONFIG_SCHEMA:?}"
+            ));
+        }
+        let str_list = |k: &str| -> Result<Vec<String>, String> {
+            match doc.get(k) {
+                Some(JsonValue::Arr(items)) => items
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("campaign config: non-string entry in {k:?}"))
+                    })
+                    .collect(),
+                _ => Err(format!("campaign config: missing array field {k:?}")),
+            }
+        };
+        let defenses = str_list("defenses")?
+            .iter()
+            .map(|s| {
+                DefenseSpec::parse(s)
+                    .ok_or_else(|| format!("campaign config: unknown defense {s:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let attacks = str_list("attacks")?
+            .iter()
+            .map(|s| {
+                AttackSpec::parse(s).ok_or_else(|| format!("campaign config: unknown attack {s:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let noise_levels = match doc.get("noise_levels") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|v| v.as_f64().ok_or("campaign config: non-numeric noise level"))
+                .collect::<Result<Vec<f64>, _>>()?,
+            _ => return Err("campaign config: missing array field \"noise_levels\"".to_string()),
+        };
+        let u64_field = |k: &str| {
+            doc.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("campaign config: missing integer field {k:?}"))
+        };
+        let config = Self {
+            defenses,
+            attacks,
+            noise_levels,
+            trials: u64_field("trials")? as usize,
+            seed: u64_field("seed")?,
+            max_stage_encryptions: u64_field("max_stage_encryptions")?,
+            jobs: 1,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Stable 16-hex-digit fingerprint of the sweep identity
+    /// ([`CampaignConfig::config_json`]): the campaign id that names
+    /// journals and keys the serve-mode registry. Two configs fingerprint
+    /// equal iff they produce byte-identical matrices.
+    pub fn fingerprint(&self) -> String {
+        grinch_obs::history::fingerprint(&[&self.config_json()])
+    }
+}
+
+fn str_array(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json::escape_into(&mut out, s);
+        out.push('"');
+    }
+    out.push(']');
+    out
 }
 
 #[cfg(test)]
@@ -275,6 +408,70 @@ mod tests {
         let seeds: std::collections::HashSet<u64> =
             (0..cfg.num_cells()).map(|i| cfg.cell_seed(i)).collect();
         assert_eq!(seeds.len(), cfg.num_cells());
+    }
+
+    #[test]
+    fn config_json_round_trips_and_excludes_jobs() {
+        for cfg in [CampaignConfig::smoke(), CampaignConfig::full()] {
+            let json = cfg.config_json();
+            let back = CampaignConfig::from_config_json(&json).expect("parses");
+            assert_eq!(back.defenses, cfg.defenses);
+            assert_eq!(back.attacks, cfg.attacks);
+            assert_eq!(back.noise_levels, cfg.noise_levels);
+            assert_eq!(back.trials, cfg.trials);
+            assert_eq!(back.seed, cfg.seed);
+            assert_eq!(back.max_stage_encryptions, cfg.max_stage_encryptions);
+            assert_eq!(back.config_json(), json, "re-serialization is byte-stable");
+        }
+        // jobs is an execution knob: it must not perturb the identity.
+        let mut a = CampaignConfig::smoke();
+        let mut b = CampaignConfig::smoke();
+        (a.jobs, b.jobs) = (1, 16);
+        assert_eq!(a.config_json(), b.config_json());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn from_config_json_rejects_foreign_documents() {
+        assert!(CampaignConfig::from_config_json("{}").is_err());
+        assert!(CampaignConfig::from_config_json("not json").is_err());
+        let alien = CampaignConfig::smoke()
+            .config_json()
+            .replace("grinch-campaign-config/v1", "grinch-campaign-config/v9");
+        assert!(CampaignConfig::from_config_json(&alien).is_err());
+    }
+
+    #[test]
+    fn fingerprint_separates_distinct_identities() {
+        let smoke = CampaignConfig::smoke();
+        let mut reseeded = smoke.clone();
+        reseeded.seed ^= 1;
+        assert_ne!(smoke.fingerprint(), reseeded.fingerprint());
+        assert_ne!(smoke.fingerprint(), CampaignConfig::full().fingerprint());
+        assert_eq!(smoke.fingerprint().len(), 16);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_partitions_the_grid() {
+        let cfg = CampaignConfig::full();
+        for num_shards in [1usize, 2, 3, 4, 7] {
+            let mut per_shard = vec![0usize; num_shards];
+            for idx in 0..cfg.num_cells() {
+                let s = cfg.shard_of(idx, num_shards);
+                assert!(s < num_shards);
+                assert_eq!(s, cfg.shard_of(idx, num_shards), "assignment is pure");
+                per_shard[s] += 1;
+            }
+            assert_eq!(per_shard.iter().sum::<usize>(), cfg.num_cells());
+        }
+        // Keyed off the cell seed, not the index: a different campaign
+        // seed shuffles the assignment.
+        let mut reseeded = cfg.clone();
+        reseeded.seed ^= 0xffff;
+        let moved = (0..cfg.num_cells()).any(|i| cfg.shard_of(i, 4) != reseeded.shard_of(i, 4));
+        assert!(moved, "shard keying must depend on the campaign seed");
+        // Degenerate shard counts collapse to one shard.
+        assert_eq!(cfg.shard_of(3, 0), 0);
     }
 
     #[test]

@@ -22,17 +22,12 @@
 //! Both defenses are deterministic from their configured key/seed, so
 //! arena campaigns replay byte-identically.
 
-/// SplitMix64 — the workspace's standard seed-derivation step. Used to
-/// derive per-set replacement seeds, keyed-remap permutation constants and
-/// the arena's per-cell seeds, so independent consumers of one campaign
-/// seed never share a stream.
-#[inline]
-pub fn splitmix64(state: u64) -> u64 {
-    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+/// SplitMix64 — the workspace's standard seed-derivation step, re-exported
+/// from its one shared home in [`grinch_telemetry::seed`]. Used to derive
+/// per-set replacement seeds, keyed-remap permutation constants, the
+/// arena's per-cell seeds and the campaign orchestrator's shard keys, so
+/// independent consumers of one campaign seed never share a stream.
+pub use grinch_telemetry::seed::splitmix64;
 
 /// Which security domain issued a cache operation.
 ///

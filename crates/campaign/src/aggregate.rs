@@ -1,0 +1,239 @@
+//! Merging shard journals back into the full campaign matrix.
+//!
+//! Aggregation is pure bookkeeping — no cell is ever re-run. Any set of
+//! `grinch-campaign/v1` journals can be merged in any order; the checks
+//! here make the failure modes loud:
+//!
+//! * journals from **different campaign identities** never merge (the
+//!   embedded config fingerprints must agree);
+//! * the **same cell from two journals** must carry byte-identical
+//!   results (determinism guarantees it; a conflict means a journal was
+//!   tampered with or produced by a drifted build);
+//! * an **incomplete cover** reports exactly which cells are missing, so
+//!   an operator knows which shard still has to run.
+
+use crate::shard::ShardPlan;
+use grinch_arena::journal::JournalState;
+use grinch_arena::{assemble_matrix, ArenaMatrix, CampaignConfig, CellResult};
+use std::path::{Path, PathBuf};
+
+/// The merged view of a set of campaign journals.
+#[derive(Clone, Debug)]
+pub struct Aggregation {
+    /// The campaign identity every merged journal shares.
+    pub campaign_id: String,
+    /// The campaign, reconstructed from the journals' embedded config.
+    pub config: CampaignConfig,
+    /// Merged cell results, in cell-index order, deduplicated.
+    pub results: Vec<(usize, CellResult)>,
+    /// Cells of the grid no journal covered yet, in index order.
+    pub missing: Vec<usize>,
+    /// Journals that contributed (paths that existed and parsed).
+    pub journals: Vec<PathBuf>,
+}
+
+impl Aggregation {
+    /// Whether the journals cover the whole grid.
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    /// Assembles the full matrix. Fails (naming the missing cells) when
+    /// the cover is incomplete.
+    pub fn matrix(&self) -> Result<ArenaMatrix, String> {
+        if !self.is_complete() {
+            return Err(format!(
+                "aggregation incomplete: {} of {} cells missing (indices {:?})",
+                self.missing.len(),
+                self.config.num_cells(),
+                self.missing
+            ));
+        }
+        assemble_matrix(&self.config, self.results.clone())
+    }
+}
+
+/// Merges the journals at `paths`. Paths that don't exist are skipped
+/// (their shard simply hasn't started); at least one journal must exist.
+/// All existing journals must belong to the same campaign identity, and
+/// overlapping cells must agree byte-for-byte.
+pub fn aggregate_journals(paths: &[PathBuf]) -> Result<Aggregation, String> {
+    let mut merged: Option<Aggregation> = None;
+    for path in paths {
+        let Some(state) = JournalState::load(path)? else {
+            continue;
+        };
+        let agg = merged.get_or_insert_with(|| Aggregation {
+            campaign_id: state.campaign_id.clone(),
+            config: state.config.clone(),
+            results: Vec::new(),
+            missing: Vec::new(),
+            journals: Vec::new(),
+        });
+        if state.campaign_id != agg.campaign_id {
+            return Err(format!(
+                "journal {}: campaign {} does not match {} — refusing to merge \
+                 different campaign identities",
+                path.display(),
+                state.campaign_id,
+                agg.campaign_id
+            ));
+        }
+        for (idx, cell) in state.cells {
+            match agg.results.iter().find(|(i, _)| *i == idx) {
+                Some((_, existing)) if *existing == cell => {} // determinism: same cell, same bytes
+                Some(_) => {
+                    return Err(format!(
+                        "journal {}: cell {idx} conflicts with an earlier journal — \
+                         journals of one campaign must agree byte-for-byte",
+                        path.display()
+                    ));
+                }
+                None => agg.results.push((idx, cell)),
+            }
+        }
+        agg.journals.push(path.clone());
+    }
+    let mut agg = merged.ok_or("no journals found to aggregate")?;
+    agg.results.sort_by_key(|(idx, _)| *idx);
+    let done: std::collections::HashSet<usize> = agg.results.iter().map(|(i, _)| *i).collect();
+    agg.missing = (0..agg.config.num_cells())
+        .filter(|idx| !done.contains(idx))
+        .collect();
+    Ok(agg)
+}
+
+/// Convenience: aggregates every shard journal of `plan` under `dir`.
+pub fn aggregate_plan(plan: &ShardPlan, dir: &Path) -> Result<Aggregation, String> {
+    aggregate_journals(&plan.journal_paths(dir))
+}
+
+/// Discovers campaign journals in a directory: every
+/// `CAMPAIGN_*.journal.jsonl` plus any bare `*.journal.jsonl`, sorted by
+/// filename for deterministic merge order.
+pub fn discover_journals(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".journal.jsonl"))
+        })
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grinch_arena::journal::run_journaled;
+    use grinch_arena::run_campaign;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("grinch-agg-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        dir
+    }
+
+    fn smoke() -> CampaignConfig {
+        CampaignConfig {
+            jobs: 2,
+            ..CampaignConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn shard_journals_aggregate_to_the_one_shot_matrix() {
+        let cfg = smoke();
+        let dir = tmpdir("shards");
+        let plan = ShardPlan::new(&cfg, 2);
+        for index in 0..plan.num_shards {
+            run_journaled(
+                &cfg,
+                plan.journal_path(&dir, index),
+                Some((index, plan.num_shards)),
+                None,
+                0,
+            )
+            .expect("shard runs");
+        }
+        let agg = aggregate_plan(&plan, &dir).expect("merges");
+        assert!(agg.is_complete());
+        assert_eq!(agg.journals.len(), 2);
+        let matrix = agg.matrix().expect("assembles");
+        assert_eq!(matrix.to_json(), run_campaign(&cfg).to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_covers_name_their_missing_cells() {
+        let cfg = smoke();
+        let dir = tmpdir("partial");
+        let plan = ShardPlan::new(&cfg, 2);
+        run_journaled(&cfg, plan.journal_path(&dir, 0), Some((0, 2)), None, 0).expect("shard 0");
+        let agg = aggregate_plan(&plan, &dir).expect("merges what exists");
+        assert!(!agg.is_complete());
+        assert_eq!(agg.missing, plan.shards[1], "missing = the unrun shard");
+        let err = agg.matrix().expect_err("incomplete");
+        assert!(err.contains("missing"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_identities_and_conflicts_refuse_to_merge() {
+        let cfg = smoke();
+        let mut other = cfg.clone();
+        other.seed ^= 1;
+        let dir = tmpdir("foreign");
+        let a = dir.join("a.journal.jsonl");
+        let b = dir.join("b.journal.jsonl");
+        run_journaled(&cfg, &a, Some((0, 2)), None, 0).expect("a");
+        run_journaled(&other, &b, Some((1, 2)), None, 0).expect("b");
+        let err = aggregate_journals(&[a.clone(), b]).expect_err("identities differ");
+        assert!(err.contains("refusing to merge"), "{err}");
+
+        // A tampered duplicate cell conflicts.
+        let text = std::fs::read_to_string(&a).expect("text");
+        let cell_line = text
+            .lines()
+            .find(|l| l.contains("\"record\":\"cell\""))
+            .expect("has a cell");
+        let tampered = dir.join("tampered.journal.jsonl");
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let forged = cell_line.replace("\"trials\":2", "\"trials\":3");
+        let pos = lines.iter().position(|l| l == cell_line).expect("pos");
+        lines[pos] = forged;
+        std::fs::write(&tampered, lines.join("\n")).expect("writes");
+        let err = aggregate_journals(&[a, tampered]).expect_err("conflict");
+        assert!(err.contains("conflicts"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn discovery_finds_journals_sorted() {
+        let cfg = smoke();
+        let dir = tmpdir("discover");
+        let plan = ShardPlan::new(&cfg, 2);
+        for index in [1usize, 0] {
+            run_journaled(
+                &cfg,
+                plan.journal_path(&dir, index),
+                Some((index, 2)),
+                None,
+                0,
+            )
+            .expect("shard");
+        }
+        std::fs::write(dir.join("unrelated.txt"), "x").expect("writes");
+        let found = discover_journals(&dir).expect("discovers");
+        assert_eq!(found, plan.journal_paths(&dir), "sorted, journals only");
+        assert!(aggregate_journals(&found).expect("merges").is_complete());
+        assert!(aggregate_journals(&[]).is_err(), "nothing to aggregate");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,426 @@
+//! `grinch-campaign` — the sharded, resumable campaign orchestrator CLI.
+//!
+//! ```text
+//! grinch-campaign run [--preset smoke|full] [--trials N] [--seed N] [--jobs N]
+//!                     [--max-encryptions N] [--shards N] [--shard I]
+//!                     [--journal-dir DIR] [--out FILE] [--throttle-ms N]
+//!                     [--check] [--baseline FILE]
+//! grinch-campaign status [--journal-dir DIR]
+//! grinch-campaign aggregate [--journal-dir DIR] [--campaign ID] [--out FILE]
+//!                     [--check] [--baseline FILE]
+//! grinch-campaign serve [--addr HOST:PORT] [--journal-dir DIR]
+//!                     [--queue-capacity N] [--shards N] [--jobs N]
+//!                     [--throttle-ms N] [--retry-after-secs N]
+//!                     [--duration-secs N]
+//! ```
+//!
+//! Exit codes: `0` success / baseline agreement, `1` baseline mismatch,
+//! `2` usage or I/O error. Argument parsing is hand-rolled, matching the
+//! other workspace binaries — the build environment is offline.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use grinch_arena::journal::run_journaled;
+use grinch_arena::{ArenaMatrix, CampaignConfig, Metric};
+use grinch_campaign::aggregate::{aggregate_journals, discover_journals};
+use grinch_campaign::{serve, ServeOptions, ShardPlan};
+
+const USAGE: &str = "\
+grinch-campaign: sharded, resumable campaign orchestrator for the arena sweep
+
+usage:
+  grinch-campaign run [--preset smoke|full] [--trials N] [--seed N] [--jobs N]
+                      [--max-encryptions N] [--shards N] [--shard I]
+                      [--journal-dir DIR] [--out FILE] [--throttle-ms N]
+                      [--check] [--baseline FILE]
+      run a campaign split into --shards deterministic shards (default 1),
+      each streaming to its own append-only grinch-campaign/v1 journal in
+      --journal-dir (default: results/campaign). A killed run resumes:
+      re-run the same command and only unjournaled cells execute. With
+      --shard I only that one shard runs (spread shards over invocations
+      or machines; aggregate later). When every shard is complete the
+      aggregated grinch-arena/v1 matrix lands in --out (default:
+      CAMPAIGN_<id>.json inside --journal-dir) — byte-identical to a
+      one-shot grinch-arena run for any shard count, ordering, worker
+      count or kill/resume history. --throttle-ms sleeps after each cell
+      (a CI hook for widening kill windows; never affects results).
+      --check compares the aggregated matrix byte-for-byte against
+      --baseline (default: bench/baselines/ARENA_MATRIX.json); exit 1 on
+      drift.
+  grinch-campaign status [--journal-dir DIR]
+      summarize every campaign journaled under --journal-dir: per-shard
+      cells done/target, resumability, completeness.
+  grinch-campaign aggregate [--journal-dir DIR] [--campaign ID] [--out FILE]
+                      [--check] [--baseline FILE]
+      merge the journals under --journal-dir (optionally only those of
+      campaign ID) into the full matrix without re-running anything.
+      Errors if the cover is incomplete, naming the missing cells.
+  grinch-campaign serve [--addr HOST:PORT] [--journal-dir DIR]
+                      [--queue-capacity N] [--shards N] [--jobs N]
+                      [--throttle-ms N] [--retry-after-secs N]
+                      [--duration-secs N]
+      accept campaign submissions over HTTP (default addr 127.0.0.1:9091):
+      POST /campaigns (a grinch-campaign-config/v1 document; 202 queued,
+      200 if the identity is already known, 429 + Retry-After when the
+      bounded queue is full), GET /campaigns, GET /campaigns/<id>,
+      GET /campaigns/<id>/matrix, GET /campaigns/<id>/heatmap,
+      GET /metrics, GET /healthz. Runs until interrupted, or for
+      --duration-secs when given (CI hook).
+";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("grinch-campaign: {message}");
+    ExitCode::from(2)
+}
+
+/// Pulls the value following a `--flag` out of `args`, if present.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn reject_leftover(args: &[String]) -> Result<(), String> {
+    match args.first() {
+        Some(unknown) => Err(format!("unexpected argument {unknown:?}")),
+        None => Ok(()),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("{flag}: invalid value {v:?}"))
+}
+
+fn write_file(path: &Path, contents: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn default_journal_dir() -> PathBuf {
+    grinch_obs::paths::results_dir().join("campaign")
+}
+
+/// Shared `--preset`/`--trials`/... campaign construction.
+fn campaign_from_args(args: &mut Vec<String>) -> Result<CampaignConfig, String> {
+    let preset = take_value(args, "--preset")?.unwrap_or_else(|| "smoke".to_string());
+    let mut campaign = match preset.as_str() {
+        "smoke" => CampaignConfig::smoke(),
+        "full" => CampaignConfig::full(),
+        other => return Err(format!("--preset: unknown preset {other:?}")),
+    };
+    if let Some(v) = take_value(args, "--trials")? {
+        campaign.trials = parse_num("--trials", &v)?;
+    }
+    if let Some(v) = take_value(args, "--seed")? {
+        campaign.seed = parse_num("--seed", &v)?;
+    }
+    if let Some(v) = take_value(args, "--jobs")? {
+        campaign.jobs = parse_num("--jobs", &v)?;
+    }
+    if let Some(v) = take_value(args, "--max-encryptions")? {
+        campaign.max_stage_encryptions = parse_num("--max-encryptions", &v)?;
+    }
+    campaign.validate()?;
+    Ok(campaign)
+}
+
+/// Byte-exact baseline gate shared by `run --check` and
+/// `aggregate --check`.
+fn check_against_baseline(matrix: &ArenaMatrix, baseline_path: &Path) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+    let baseline =
+        ArenaMatrix::from_json(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+    match matrix.compare(&baseline) {
+        Ok(()) => {
+            eprintln!(
+                "grinch-campaign: matrix matches baseline {}",
+                baseline_path.display()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(diff) => {
+            eprintln!("grinch-campaign: {diff}");
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let campaign = campaign_from_args(&mut args)?;
+    let shards = match take_value(&mut args, "--shards")? {
+        None => 1usize,
+        Some(v) => parse_num("--shards", &v)?,
+    }
+    .max(1);
+    let only_shard = match take_value(&mut args, "--shard")? {
+        None => None,
+        Some(v) => Some(parse_num::<usize>("--shard", &v)?),
+    };
+    let journal_dir = take_value(&mut args, "--journal-dir")?
+        .map(PathBuf::from)
+        .unwrap_or_else(default_journal_dir);
+    let throttle_ms = match take_value(&mut args, "--throttle-ms")? {
+        None => 0,
+        Some(v) => parse_num::<u64>("--throttle-ms", &v)?,
+    };
+    let plan = ShardPlan::new(&campaign, shards);
+    let out = take_value(&mut args, "--out")?
+        .map(PathBuf::from)
+        .unwrap_or_else(|| journal_dir.join(plan.matrix_name()));
+    let check = take_switch(&mut args, "--check");
+    let baseline_path = take_value(&mut args, "--baseline")?
+        .map(PathBuf::from)
+        .unwrap_or_else(|| grinch_obs::paths::baselines_dir().join("ARENA_MATRIX.json"));
+    reject_leftover(&args)?;
+
+    if let Some(index) = only_shard {
+        if index >= shards {
+            return Err(format!("--shard {index} out of range (--shards {shards})"));
+        }
+    }
+    let run_list: Vec<usize> = match only_shard {
+        Some(index) => vec![index],
+        None => (0..shards).collect(),
+    };
+
+    eprintln!(
+        "grinch-campaign: campaign {} — {} cells x {} trials over {} shard(s)",
+        plan.campaign_id,
+        campaign.num_cells(),
+        campaign.trials,
+        shards
+    );
+    for index in run_list {
+        let path = plan.journal_path(&journal_dir, index);
+        let outcome = run_journaled(&campaign, &path, Some((index, shards)), None, throttle_ms)?;
+        eprintln!(
+            "grinch-campaign: shard {index}/{shards}: {} cells reused, {} run -> {}",
+            outcome.reused_cells,
+            outcome.ran_cells,
+            path.display()
+        );
+    }
+
+    // Aggregate whatever the directory now covers. A partial run (--shard)
+    // reports what is still missing instead of failing.
+    let agg = aggregate_journals(&plan.journal_paths(&journal_dir))?;
+    if !agg.is_complete() {
+        eprintln!(
+            "grinch-campaign: {} of {} cells journaled; {} still missing — run the remaining \
+             shards, then `grinch-campaign aggregate`",
+            agg.results.len(),
+            campaign.num_cells(),
+            agg.missing.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let matrix = agg.matrix()?;
+    print!("{}", matrix.heat(Metric::SuccessRate).ascii());
+    write_file(&out, &matrix.to_json())?;
+    eprintln!("grinch-campaign: matrix written to {}", out.display());
+
+    if check {
+        return check_against_baseline(&matrix, &baseline_path);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_status(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let journal_dir = take_value(&mut args, "--journal-dir")?
+        .map(PathBuf::from)
+        .unwrap_or_else(default_journal_dir);
+    reject_leftover(&args)?;
+
+    let paths = discover_journals(&journal_dir)?;
+    if paths.is_empty() {
+        println!("no journals under {}", journal_dir.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+    // Group journals by campaign identity, tolerating unloadable files.
+    let mut campaigns: Vec<(String, usize, usize, usize)> = Vec::new(); // id, journals, done, total
+    for path in &paths {
+        let state = match grinch_arena::JournalState::load(path) {
+            Ok(Some(state)) => state,
+            Ok(None) => continue,
+            Err(e) => {
+                eprintln!("grinch-campaign: skipping {e}");
+                continue;
+            }
+        };
+        let done = state.cells.len();
+        let target = state.target_cells().len();
+        let tag = match state.shard {
+            Some((index, of)) => format!("shard {index}/{of}"),
+            None => "full grid".to_string(),
+        };
+        println!(
+            "{}  {}  {}/{} cells  {}{}",
+            state.campaign_id,
+            tag,
+            done,
+            target,
+            if state.finalized {
+                "finalized"
+            } else {
+                "resumable"
+            },
+            if state.truncated_tail {
+                "  (torn tail discarded)"
+            } else {
+                ""
+            }
+        );
+        match campaigns
+            .iter_mut()
+            .find(|(id, ..)| *id == state.campaign_id)
+        {
+            Some(entry) => {
+                entry.1 += 1;
+                entry.2 += done;
+            }
+            None => campaigns.push((state.campaign_id.clone(), 1, done, state.config.num_cells())),
+        }
+    }
+    for (id, journals, done, total) in campaigns {
+        println!(
+            "campaign {id}: {journals} journal(s), {done}/{total} cells{}",
+            if done >= total { " — complete" } else { "" }
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_aggregate(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let journal_dir = take_value(&mut args, "--journal-dir")?
+        .map(PathBuf::from)
+        .unwrap_or_else(default_journal_dir);
+    let campaign_filter = take_value(&mut args, "--campaign")?;
+    let out = take_value(&mut args, "--out")?.map(PathBuf::from);
+    let check = take_switch(&mut args, "--check");
+    let baseline_path = take_value(&mut args, "--baseline")?
+        .map(PathBuf::from)
+        .unwrap_or_else(|| grinch_obs::paths::baselines_dir().join("ARENA_MATRIX.json"));
+    reject_leftover(&args)?;
+
+    let mut paths = discover_journals(&journal_dir)?;
+    if let Some(id) = &campaign_filter {
+        paths.retain(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(id.as_str()))
+        });
+    }
+    let agg = aggregate_journals(&paths)?;
+    let matrix = agg.matrix()?; // names the missing cells if incomplete
+    eprintln!(
+        "grinch-campaign: {} journal(s) -> campaign {} complete ({} cells)",
+        agg.journals.len(),
+        agg.campaign_id,
+        agg.results.len()
+    );
+    let out = out.unwrap_or_else(|| journal_dir.join(format!("CAMPAIGN_{}.json", agg.campaign_id)));
+    write_file(&out, &matrix.to_json())?;
+    eprintln!("grinch-campaign: matrix written to {}", out.display());
+
+    if check {
+        return check_against_baseline(&matrix, &baseline_path);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_serve(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let mut opts = ServeOptions {
+        addr: "127.0.0.1:9091".to_string(),
+        journal_dir: default_journal_dir(),
+        ..ServeOptions::default()
+    };
+    if let Some(v) = take_value(&mut args, "--addr")? {
+        opts.addr = v;
+    }
+    if let Some(v) = take_value(&mut args, "--journal-dir")? {
+        opts.journal_dir = PathBuf::from(v);
+    }
+    if let Some(v) = take_value(&mut args, "--queue-capacity")? {
+        opts.queue_capacity = parse_num("--queue-capacity", &v)?;
+    }
+    if let Some(v) = take_value(&mut args, "--shards")? {
+        opts.shards = parse_num::<usize>("--shards", &v)?.max(1);
+    }
+    if let Some(v) = take_value(&mut args, "--jobs")? {
+        opts.jobs = parse_num("--jobs", &v)?;
+    }
+    if let Some(v) = take_value(&mut args, "--throttle-ms")? {
+        opts.throttle_ms = parse_num("--throttle-ms", &v)?;
+    }
+    if let Some(v) = take_value(&mut args, "--retry-after-secs")? {
+        opts.retry_after_secs = parse_num("--retry-after-secs", &v)?;
+    }
+    let duration_secs = match take_value(&mut args, "--duration-secs")? {
+        None => 0u64,
+        Some(v) => parse_num("--duration-secs", &v)?,
+    };
+    reject_leftover(&args)?;
+
+    let handle = serve(opts).map_err(|e| format!("cannot start serve mode: {e}"))?;
+    eprintln!(
+        "grinch-campaign: serving on http://{} (POST /campaigns to submit)",
+        handle.addr()
+    );
+    if duration_secs > 0 {
+        std::thread::sleep(std::time::Duration::from_secs(duration_secs));
+        eprintln!("grinch-campaign: --duration-secs elapsed, shutting down");
+        handle.shutdown();
+    } else {
+        // Serve until the process is killed; journals make that safe.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "run" => cmd_run(args),
+        "status" => cmd_status(args),
+        "aggregate" => cmd_aggregate(args),
+        "serve" => cmd_serve(args),
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => fail(&message),
+    }
+}

@@ -1,0 +1,130 @@
+//! The orchestrator's core guarantee, checked against the committed
+//! baseline: **any** partition of a campaign's cells into shard journals,
+//! aggregated in **any** order, re-assembles a matrix byte-identical to a
+//! one-shot `grinch-arena/v1` run — and the canonical 2- and 4-shard
+//! plans reproduce `bench/baselines/ARENA_MATRIX.json` exactly.
+
+use grinch_arena::journal::{run_journaled, Journal};
+use grinch_arena::{run_campaign, CampaignConfig, CellResult};
+use grinch_campaign::aggregate::aggregate_journals;
+use grinch_campaign::ShardPlan;
+use grinch_telemetry::seed::splitmix64;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Config, one-shot matrix bytes, and the indexed cell results they came from.
+type OneShot = (CampaignConfig, String, Vec<(usize, CellResult)>);
+
+/// One smoke sweep, run once and shared by every property case — the
+/// partitions below only shuffle *bookkeeping*, never re-execute cells.
+fn one_shot() -> &'static OneShot {
+    static CACHE: OnceLock<OneShot> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let cfg = CampaignConfig::smoke();
+        let matrix = run_campaign(&cfg);
+        let cells = matrix.cells.iter().cloned().enumerate().collect();
+        (cfg, matrix.to_json(), cells)
+    })
+}
+
+fn fresh_dir() -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("grinch-shard-prop-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir
+}
+
+/// Deterministic Fisher-Yates off a sampled seed, so journal *aggregation
+/// order* varies per case without `std` RNG.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = splitmix64(seed);
+        items.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any assignment of cells to up to 4 journals, written in any order
+    /// and merged in any order, aggregates to the one-shot matrix bytes.
+    #[test]
+    fn any_partition_in_any_order_reassembles_byte_identically(
+        num_shards in 1usize..=4,
+        assign in prop::collection::vec(0usize..4, 4),
+        write_seed in any::<u64>(),
+        merge_seed in any::<u64>(),
+    ) {
+        let (cfg, one_shot_json, cells) = one_shot();
+        assert_eq!(assign.len(), cfg.num_cells(), "strategy matches the smoke grid");
+        let dir = fresh_dir();
+
+        // Write each part as its own journal, cells in a shuffled order —
+        // journals record completion order, which carries no meaning.
+        let mut write_order: Vec<usize> = (0..cells.len()).collect();
+        shuffle(&mut write_order, write_seed);
+        let mut paths = Vec::new();
+        for shard in 0..num_shards {
+            let path = dir.join(format!("part-{shard}.journal.jsonl"));
+            let journal = Journal::create(&path, cfg, None).expect("creates");
+            for &i in &write_order {
+                let (idx, cell) = &cells[i];
+                if assign[*idx] % num_shards == shard {
+                    journal
+                        .append_cell(*idx, cfg.cell_seed(*idx), cell)
+                        .expect("appends");
+                }
+            }
+            paths.push(path);
+        }
+
+        shuffle(&mut paths, merge_seed);
+        let agg = aggregate_journals(&paths).expect("merges");
+        prop_assert!(agg.is_complete());
+        let matrix = agg.matrix().expect("assembles");
+        prop_assert_eq!(&matrix.to_json(), one_shot_json);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The canonical shard plans, end to end through the real journaled
+/// engine: 2-way and 4-way splits — shards executed in *reverse* order —
+/// aggregate to the exact bytes committed as the tier-1 arena baseline.
+#[test]
+fn canonical_shard_plans_reproduce_the_committed_baseline() {
+    let baseline_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench/baselines/ARENA_MATRIX.json");
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", baseline_path.display()));
+
+    let cfg = CampaignConfig::smoke();
+    for shards in [2usize, 4] {
+        let dir = fresh_dir();
+        let plan = ShardPlan::new(&cfg, shards);
+        for index in (0..shards).rev() {
+            let outcome = run_journaled(
+                &cfg,
+                plan.journal_path(&dir, index),
+                Some((index, shards)),
+                None,
+                0,
+            )
+            .expect("shard runs");
+            assert!(outcome.matrix.is_none(), "shard runs assemble no matrix");
+        }
+        let agg = aggregate_journals(&plan.journal_paths(&dir)).expect("merges");
+        assert!(agg.is_complete(), "{shards}-way split covers the grid");
+        let matrix = agg.matrix().expect("assembles");
+        assert_eq!(
+            matrix.to_json(),
+            baseline,
+            "{shards}-shard aggregation must be byte-identical to the committed baseline"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -66,6 +66,9 @@ pub use dashboard::dashboard;
 pub use heatmap::Heatmap;
 pub use history::{FlightDump, Ledger, RunRecord, SentinelConfig};
 pub use leakage::{JointCounts, StageLeakage};
-pub use live::{LiveServer, LiveState, MetricsState, ProgressView, WorkerView};
+pub use live::{
+    HttpRequest, HttpResponse, LiveServer, LiveState, MetricsState, ProgressView, Router,
+    WorkerView,
+};
 pub use matrix::MatrixHeat;
 pub use profile::SpanProfile;

@@ -14,9 +14,14 @@
 //!   heartbeat ages (`/progress`, `/healthz`);
 //! * [`LiveServer`] serves both (plus worker liveness) from a plain
 //!   `std::net::TcpListener` — no async runtime, no HTTP crate; one short
-//!   request per connection is all a scrape needs;
-//! * [`http_get`] is the matching one-shot client used by
-//!   `grinch-report tail` and the tests;
+//!   request per connection is all a scrape needs. Dispatch goes through a
+//!   pluggable [`Router`] ([`HttpRequest`] → [`HttpResponse`], with POST
+//!   bodies and extra response headers), so consumers like the
+//!   `grinch-campaign` orchestrator mount their own endpoints on the same
+//!   server ([`LiveServer::bind_with_router`]); [`default_router`] is the
+//!   stock endpoint set;
+//! * [`http_get`] / [`http_post`] are the matching one-shot clients used
+//!   by `grinch-report tail`, the campaign CLI and the tests;
 //! * [`validate_exposition`] checks Prometheus text format rules (every
 //!   sample under a `# TYPE`, no duplicate families, parseable values) —
 //!   the CI smoke job runs it against a mid-run scrape via
@@ -514,12 +519,212 @@ pub fn spawn_delta_applier(
 // HTTP server + client
 // ---------------------------------------------------------------------------
 
-/// The std-only HTTP server behind `grinch-arena run --live`.
-///
-/// Serves `GET /metrics` (Prometheus text), `GET /progress` (JSON),
+/// One parsed HTTP request, handed to a [`Router`] handler.
+#[derive(Clone, Debug)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, ...), uppercase as received.
+    pub method: String,
+    /// Request path with any query string stripped.
+    pub path: String,
+    /// Request body (empty unless the client sent `Content-Length`).
+    pub body: String,
+}
+
+/// The response a handler produces; the server adds `Content-Length` and
+/// `Connection: close` itself.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// Numeric status code (`200`, `404`, `429`, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+    /// Extra response headers (e.g. `Retry-After` on a 429).
+    pub headers: Vec<(String, String)>,
+}
+
+impl HttpResponse {
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// A JSON response (the body is already-serialized JSON).
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json".to_string(),
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// Adds one extra response header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// The standard reason phrase for the statuses this crate emits.
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            503 => "Service Unavailable",
+            _ => "",
+        }
+    }
+}
+
+type Handler = Box<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
+
+struct Route {
+    method: &'static str,
+    pattern: String,
+    prefix: bool,
+    handler: Handler,
+}
+
+/// Method + path dispatch for [`LiveServer`]: exact routes
+/// ([`Router::get`], [`Router::post`]) and prefix routes
+/// ([`Router::get_prefix`]) for path-parameterized endpoints like
+/// `/campaigns/<id>/...`. Unmatched paths get 404; a matched path with the
+/// wrong method gets 405.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// An empty router (dispatches everything to 404).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an exact-path GET route.
+    pub fn get(
+        mut self,
+        path: impl Into<String>,
+        handler: impl Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
+    ) -> Self {
+        self.routes.push(Route {
+            method: "GET",
+            pattern: path.into(),
+            prefix: false,
+            handler: Box::new(handler),
+        });
+        self
+    }
+
+    /// Registers a GET route matching every path under `prefix` (the
+    /// handler parses the remainder itself).
+    pub fn get_prefix(
+        mut self,
+        prefix: impl Into<String>,
+        handler: impl Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
+    ) -> Self {
+        self.routes.push(Route {
+            method: "GET",
+            pattern: prefix.into(),
+            prefix: true,
+            handler: Box::new(handler),
+        });
+        self
+    }
+
+    /// Registers an exact-path POST route.
+    pub fn post(
+        mut self,
+        path: impl Into<String>,
+        handler: impl Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
+    ) -> Self {
+        self.routes.push(Route {
+            method: "POST",
+            pattern: path.into(),
+            prefix: false,
+            handler: Box::new(handler),
+        });
+        self
+    }
+
+    /// Routes one request: first handler whose method and pattern match.
+    pub fn dispatch(&self, request: &HttpRequest) -> HttpResponse {
+        let path_matches = |route: &Route| {
+            if route.prefix {
+                request.path.starts_with(&route.pattern)
+            } else {
+                request.path == route.pattern
+            }
+        };
+        if let Some(route) = self
+            .routes
+            .iter()
+            .find(|r| r.method == request.method && path_matches(r))
+        {
+            return (route.handler)(request);
+        }
+        // A known path with the wrong method is 405, anything else 404.
+        if self.routes.iter().any(path_matches) {
+            HttpResponse::text(405, format!("method {} not allowed here\n", request.method))
+        } else {
+            HttpResponse::text(404, format!("no such endpoint: {}\n", request.path))
+        }
+    }
+}
+
+/// The default live-plane routes over a shared [`LiveState`]:
+/// `GET /metrics` (Prometheus text), `GET /progress` (JSON),
 /// `GET /healthz` (JSON; 503 while any worker is flagged stalled) and a
-/// tiny index at `/`. One request per connection, `Connection: close` —
-/// exactly what a scraper or `curl` needs, with nothing to configure.
+/// tiny index at `/`. [`LiveServer::bind`] serves exactly this; consumers
+/// with more endpoints (the campaign orchestrator's serve mode) extend the
+/// returned router before binding.
+pub fn default_router(state: Arc<Mutex<LiveState>>) -> Router {
+    let metrics = Arc::clone(&state);
+    let progress = Arc::clone(&state);
+    let health = Arc::clone(&state);
+    Router::new()
+        .get("/metrics", move |_| {
+            let state = metrics.lock().expect("live state poisoned");
+            let mut r = HttpResponse::text(200, state.metrics.exposition());
+            r.content_type = "text/plain; version=0.0.4; charset=utf-8".to_string();
+            r
+        })
+        .get("/progress", move |_| {
+            let state = progress.lock().expect("live state poisoned");
+            HttpResponse::json(200, format!("{}\n", state.progress.to_json()))
+        })
+        .get("/healthz", move |_| {
+            let state = health.lock().expect("live state poisoned");
+            let status = if state.healthy() { 200 } else { 503 };
+            HttpResponse::json(status, format!("{}\n", state.health_json()))
+        })
+        .get("/", |_| {
+            HttpResponse::text(
+                200,
+                "grinch live plane\n\n/metrics   Prometheus text exposition\n/progress  campaign progress (JSON)\n/healthz   worker liveness (JSON)\n",
+            )
+        })
+}
+
+/// The std-only HTTP server behind `grinch-arena run --live` and
+/// `grinch-campaign serve`.
+///
+/// Dispatches through a [`Router`] — no async runtime, no HTTP crate; one
+/// short request per connection with `Connection: close` is all a scraper,
+/// `curl`, or the campaign submission client needs.
 pub struct LiveServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
@@ -527,9 +732,15 @@ pub struct LiveServer {
 }
 
 impl LiveServer {
-    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// serving `state` on a background thread.
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves
+    /// the [`default_router`] over `state` on a background thread.
     pub fn bind(addr: &str, state: Arc<Mutex<LiveState>>) -> std::io::Result<Self> {
+        Self::bind_with_router(addr, default_router(state))
+    }
+
+    /// Binds `addr` and serves an arbitrary [`Router`] on a background
+    /// thread.
+    pub fn bind_with_router(addr: &str, router: Router) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
@@ -537,7 +748,7 @@ impl LiveServer {
         let flag = Arc::clone(&shutdown);
         let handle = std::thread::Builder::new()
             .name("grinch-live".to_string())
-            .spawn(move || serve_loop(listener, state, flag))
+            .spawn(move || serve_loop(listener, router, flag))
             .expect("spawn live server thread");
         Ok(Self {
             addr: local,
@@ -569,13 +780,13 @@ impl Drop for LiveServer {
     }
 }
 
-fn serve_loop(listener: TcpListener, state: Arc<Mutex<LiveState>>, shutdown: Arc<AtomicBool>) {
+fn serve_loop(listener: TcpListener, router: Router, shutdown: Arc<AtomicBool>) {
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 // Requests are one line plus headers; handle inline. A
                 // stuck client cannot wedge the loop past the timeout.
-                let _ = handle_connection(stream, &state);
+                let _ = handle_connection(stream, &router);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -585,7 +796,11 @@ fn serve_loop(listener: TcpListener, state: Arc<Mutex<LiveState>>, shutdown: Arc
     }
 }
 
-fn handle_connection(mut stream: TcpStream, state: &Arc<Mutex<LiveState>>) -> std::io::Result<()> {
+/// Cap on accepted request bodies — campaign submissions are a few hundred
+/// bytes of config JSON; anything bigger gets 413.
+const MAX_BODY_BYTES: usize = 64 * 1024;
+
+fn handle_connection(mut stream: TcpStream, router: &Router) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
     stream.set_nonblocking(false)?;
@@ -593,76 +808,76 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<Mutex<LiveState>>) -> st
     // Read until the end of the request headers (or a sane cap).
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 512];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
-                    break;
-                }
-            }
-            Err(_) => break,
+    let header_end = loop {
+        if let Some(at) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break Some(at + 4);
         }
-    }
-    let request = String::from_utf8_lossy(&buf);
-    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or(path);
-
-    let (status, content_type, body) = if method != "GET" {
-        (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "only GET is served here\n".to_string(),
-        )
-    } else {
-        match path {
-            "/metrics" => {
-                let state = state.lock().expect("live state poisoned");
-                (
-                    "200 OK",
-                    "text/plain; version=0.0.4; charset=utf-8",
-                    state.metrics.exposition(),
-                )
-            }
-            "/progress" => {
-                let state = state.lock().expect("live state poisoned");
-                (
-                    "200 OK",
-                    "application/json",
-                    format!("{}\n", state.progress.to_json()),
-                )
-            }
-            "/healthz" => {
-                let state = state.lock().expect("live state poisoned");
-                let status = if state.healthy() {
-                    "200 OK"
-                } else {
-                    "503 Service Unavailable"
-                };
-                (status, "application/json", format!("{}\n", state.health_json()))
-            }
-            "/" => (
-                "200 OK",
-                "text/plain; charset=utf-8",
-                "grinch live plane\n\n/metrics   Prometheus text exposition\n/progress  campaign progress (JSON)\n/healthz   worker liveness (JSON)\n"
-                    .to_string(),
-            ),
-            _ => (
-                "404 Not Found",
-                "text/plain; charset=utf-8",
-                format!("no such endpoint: {path}\n"),
-            ),
+        if buf.len() > 8192 {
+            break None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break None,
         }
     };
 
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+    let head = String::from_utf8_lossy(&buf[..header_end.unwrap_or(buf.len())]).to_string();
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path).to_string();
+
+    // A declared body (Content-Length) is read in full before dispatch;
+    // oversized bodies are refused without reading them.
+    let content_length = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse::<usize>().ok())?
+        })
+        .unwrap_or(0);
+    let response = if content_length > MAX_BODY_BYTES {
+        HttpResponse::text(
+            413,
+            format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte cap\n"),
+        )
+    } else {
+        let mut body = match header_end {
+            Some(at) => buf[at..].to_vec(),
+            None => Vec::new(),
+        };
+        while body.len() < content_length {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => body.extend_from_slice(&chunk[..n]),
+                Err(_) => break,
+            }
+        }
+        body.truncate(content_length);
+        let request = HttpRequest {
+            method,
+            path,
+            body: String::from_utf8_lossy(&body).to_string(),
+        };
+        router.dispatch(&request)
+    };
+
+    let mut extra = String::new();
+    for (name, value) in &response.headers {
+        extra.push_str(&format!("{name}: {value}\r\n"));
+    }
+    let reason = response.reason();
+    let text = format!(
+        "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n{}",
+        response.status,
+        response.content_type,
+        response.body.len(),
+        response.body
     );
-    stream.write_all(response.as_bytes())?;
+    stream.write_all(text.as_bytes())?;
     stream.flush()
 }
 
@@ -670,6 +885,30 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<Mutex<LiveState>>) -> st
 /// The client half of [`LiveServer`], used by `grinch-report tail` and the
 /// CI smoke checks; `addr` is `host:port`, `path` starts with `/`.
 pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let (status, _headers, body) = http_request(addr, "GET", path, "")?;
+    Ok((status, body))
+}
+
+/// What the one-shot clients return: status code, response headers,
+/// response body.
+pub type HttpReply = (u16, Vec<(String, String)>, String);
+
+/// One-shot HTTP POST with a request body: returns
+/// `(status_code, response_headers, body)`. The headers let the caller
+/// honour backpressure (`Retry-After` on a 429 from the campaign
+/// submission queue).
+pub fn http_post(addr: &str, path: &str, body: &str) -> std::io::Result<HttpReply> {
+    http_request(addr, "POST", path, body)
+}
+
+/// The shared one-shot client: one request, `Connection: close`, parsed
+/// status line and headers back.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<HttpReply> {
     let target = addr.to_socket_addrs()?.next().ok_or_else(|| {
         std::io::Error::new(std::io::ErrorKind::NotFound, "address resolves to nothing")
     })?;
@@ -677,7 +916,11 @@ pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     stream.write_all(
-        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
     )?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
@@ -692,7 +935,15 @@ pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
         .ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response")
         })?;
-    Ok((status, body))
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_string(), value.trim().to_string()))
+        })
+        .collect();
+    Ok((status, headers, body))
 }
 
 #[cfg(test)]
@@ -854,6 +1105,35 @@ mod tests {
 
         let (code, _) = http_get(&addr, "/nope").expect("GET /nope");
         assert_eq!(code, 404);
+        let (code, _, _) = http_post(&addr, "/metrics", "").expect("POST /metrics");
+        assert_eq!(code, 405, "known path, wrong method");
+
+        // Custom routers: POST bodies arrive intact, prefix routes match
+        // parameterized paths, and extra headers (Retry-After) go out.
+        let router = Router::new()
+            .post("/submit", |req: &HttpRequest| {
+                if req.body.is_empty() {
+                    HttpResponse::text(429, "queue full\n").with_header("Retry-After", "2")
+                } else {
+                    HttpResponse::json(202, format!("{{\"got\":{}}}\n", req.body.len()))
+                }
+            })
+            .get_prefix("/campaigns/", |req: &HttpRequest| {
+                let id = req.path.trim_start_matches("/campaigns/");
+                HttpResponse::text(200, format!("campaign {id}\n"))
+            });
+        let custom = LiveServer::bind_with_router("127.0.0.1:0", router).expect("bind");
+        let custom_addr = custom.addr().to_string();
+        let (code, _, body) = http_post(&custom_addr, "/submit", "{\"x\":1}").expect("POST");
+        assert_eq!((code, body.as_str()), (202, "{\"got\":7}\n"));
+        let (code, headers, _) = http_post(&custom_addr, "/submit", "").expect("POST empty");
+        assert_eq!(code, 429);
+        let retry = headers.iter().find(|(name, _)| name == "Retry-After");
+        assert_eq!(retry.map(|(_, v)| v.as_str()), Some("2"));
+        let (code, body) = http_get(&custom_addr, "/campaigns/abc123/status").expect("GET");
+        assert_eq!(code, 200);
+        assert_eq!(body, "campaign abc123/status\n");
+        custom.shutdown();
 
         // Applier thread folds streamed deltas into the served state.
         let (tx, rx) = std::sync::mpsc::channel();

@@ -13,13 +13,15 @@ pub struct StdRng {
     s: [u64; 4],
 }
 
+/// One output of the reference stateful SplitMix64 generator, built on the
+/// workspace's shared mixer: emit for the current state, then advance the
+/// state by the golden-gamma increment. Bit-identical to the private copy
+/// this crate used to carry.
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    let out = grinch_telemetry::seed::splitmix64(*state);
+    *state = state.wrapping_add(grinch_telemetry::seed::SPLITMIX64_GAMMA);
+    out
 }
 
 impl RngCore for StdRng {

@@ -49,12 +49,14 @@ pub mod flight;
 pub mod histogram;
 pub mod json;
 pub mod read;
+pub mod seed;
 pub mod sink;
 pub mod stream;
 
 pub use flight::{dump_event_count, DEFAULT_FLIGHT_CAPACITY, FLIGHT_SCHEMA};
 pub use histogram::LogHistogram;
 pub use read::{snapshot_from_jsonl, ReadError};
+pub use seed::{splitmix64, SPLITMIX64_GAMMA};
 pub use sink::{snapshot_to_jsonl, summary_string, JsonlSink, NullSink, Sink, SummarySink};
 pub use stream::{DeltaSnapshot, HistogramDelta, StreamingSink};
 
