@@ -230,7 +230,9 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
         ],
         wall: Vec::new(),
     };
-    bench.record_wall("cells", wall_ns, cell_trials);
+    bench.push_wall(
+        grinch_obs::WallSection::new("cells", wall_ns, cell_trials).with_rate("cells/sec"),
+    );
     let bench_path = out
         .parent()
         .map(|d| d.join("BENCH_arena.json"))

@@ -1,0 +1,79 @@
+//! Criterion bench for the oracle's batched observation path:
+//! `encrypt_and_probe_batch` over a plaintext batch versus the equivalent
+//! `observe_stage` loop, for both probe mechanics. The batched path reuses
+//! scratch observations and publishes telemetry per batch, and Prime+Probe
+//! additionally rides the cache's same-set sweep fast path — this bench is
+//! the wall-clock evidence for that seam (DESIGN.md §15).
+//!
+//! Set `GRINCH_BENCH_SMOKE=1` to shrink sampling for CI smoke runs.
+
+use std::time::Duration;
+
+use cache_sim::{CacheConfig, WayPartition};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gift_cipher::Key;
+use grinch::oracle::{ObservationConfig, ProbeStrategy, VictimOracle};
+
+const BATCH: usize = 64;
+
+fn smoke(group: &mut criterion::BenchmarkGroup<'_>) {
+    if std::env::var("GRINCH_BENCH_SMOKE").is_ok() {
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(60));
+    }
+}
+
+fn plaintexts() -> Vec<u64> {
+    (0..BATCH as u64)
+        .map(|i| 0x0123_4567_89ab_cdef ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect()
+}
+
+fn oracle(strategy: ProbeStrategy, partitioned: bool) -> VictimOracle {
+    let key = Key::from_u128(0x0f1e_2d3c_4b5a_6978_8796_a5b4_c3d2_e1f0);
+    let mut cfg = ObservationConfig::ideal();
+    cfg.strategy = strategy;
+    if partitioned {
+        cfg.cache = CacheConfig::grinch_default().with_partition(WayPartition::even_split(16));
+    }
+    VictimOracle::new(key, cfg)
+}
+
+fn bench_oracle_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_batch");
+    smoke(&mut group);
+    let pts = plaintexts();
+
+    for (label, strategy, partitioned) in [
+        ("flush_reload", ProbeStrategy::FlushReload, false),
+        ("prime_probe", ProbeStrategy::PrimeProbe, false),
+        ("prime_probe_partition", ProbeStrategy::PrimeProbe, true),
+    ] {
+        let mut looped = oracle(strategy, partitioned);
+        group.bench_function(format!("observe64_loop/{label}"), |b| {
+            b.iter(|| {
+                let mut lit = 0usize;
+                for &pt in &pts {
+                    lit += looped.observe_stage(black_box(pt), 1).len();
+                }
+                lit
+            })
+        });
+
+        let mut batched = oracle(strategy, partitioned);
+        group.bench_function(format!("observe64_batch/{label}"), |b| {
+            b.iter(|| {
+                batched
+                    .encrypt_and_probe_batch(black_box(&pts), 1)
+                    .iter()
+                    .map(|o| o.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_batch);
+criterion_main!(benches);

@@ -40,6 +40,10 @@ impl AccessOutcome {
 /// by a debug assertion on the access path.
 const INVALID_LINE: u64 = u64::MAX;
 
+/// Minimum same-set run length before [`Cache::access_batch_from`] switches
+/// to the queued sweep; shorter runs do not amortize the queue setup.
+const SWEEP_MIN_RUN: usize = 4;
+
 /// Metric slots pre-registered at [`Cache::set_telemetry`] time so the
 /// access path never formats or hashes a name — each publish is a typed
 /// handle bump into the telemetry slot table.
@@ -105,6 +109,15 @@ pub struct Cache {
     /// `Some` iff `telemetry` is enabled, so the hot path pays one
     /// `Option` check when telemetry is off.
     metrics: Option<MetricHandles>,
+    /// Reusable next-victim scratch for the batched same-set sweep fast
+    /// path (see [`Cache::sweep_set_run`]); never observable state.
+    sweep_queue: Vec<usize>,
+    /// One bit per set, set whenever a line is filled there — a
+    /// conservative "may hold valid lines" mask so whole-cache
+    /// invalidation (frequent under epoch re-keying) only walks occupied
+    /// sets instead of the full slab. Never observable state: bits are
+    /// only cleared when the sets they cover are actually emptied.
+    occupied: Vec<u64>,
 }
 
 impl Cache {
@@ -152,6 +165,8 @@ impl Cache {
             stats: CacheStats::default(),
             telemetry: Telemetry::disabled(),
             metrics: None,
+            sweep_queue: Vec::new(),
+            occupied: vec![0; config.num_sets.div_ceil(64)],
         }
     }
 
@@ -193,7 +208,27 @@ impl Cache {
     /// fallout path (the lines are not "flushed", they are orphaned by the
     /// new mapping).
     fn invalidate_all(&mut self) {
-        self.lines.fill(INVALID_LINE);
+        let ways = self.config.ways;
+        let Self {
+            lines, occupied, ..
+        } = self;
+        for (word_idx, word) in occupied.iter_mut().enumerate() {
+            let mut w = *word;
+            while w != 0 {
+                let set = (word_idx << 6) | w.trailing_zeros() as usize;
+                let base = set * ways;
+                lines[base..base + ways].fill(INVALID_LINE);
+                w &= w - 1;
+            }
+            *word = 0;
+        }
+    }
+
+    /// Marks `set_idx` as possibly holding valid lines (see
+    /// [`Cache::occupied`]); must accompany every line fill.
+    #[inline]
+    fn mark_occupied(&mut self, set_idx: usize) {
+        self.occupied[set_idx >> 6] |= 1 << (set_idx & 63);
     }
 
     /// Performs a read access at `addr` from the victim domain, filling the
@@ -202,18 +237,20 @@ impl Cache {
         self.access_from(addr, Domain::Victim)
     }
 
-    /// Performs a read access at `addr` on behalf of `domain`, filling the
-    /// line on a miss. On a partitioned cache, lookup, fill and eviction
-    /// are confined to the domain's ways.
-    pub fn access_from(&mut self, addr: u64, domain: Domain) -> AccessOutcome {
-        if self.mapper.note_access() {
+    /// The telemetry-free access core: simulator state and [`CacheStats`]
+    /// are updated, metric publication is left to the caller. Returns the
+    /// outcome and whether a mapper rekey fired. Kept separate so the
+    /// batched entry points can run many accesses and publish **once** —
+    /// a held [`grinch_telemetry::Batch`] guard must never re-enter the
+    /// registry, so the core cannot publish itself.
+    #[inline]
+    fn access_core(&mut self, addr: u64, domain: Domain) -> (AccessOutcome, bool) {
+        let remapped = self.mapper.note_access();
+        if remapped {
             // Epoch boundary: the mapping re-keyed, so every resident line
             // now lives at an address the new permutation cannot find.
             self.invalidate_all();
             self.stats.remaps += 1;
-            if let Some(m) = &self.metrics {
-                self.telemetry.inc(m.remaps);
-            }
         }
         let line = self.config.line_of(addr);
         debug_assert_ne!(
@@ -225,35 +262,36 @@ impl Cache {
         let base = set_idx * self.config.ways;
         let (start, end) = (base + lo, base + hi);
 
-        if let Some(pos) = self.lines[start..end].iter().position(|&l| l == line) {
-            let slot = start + pos;
-            self.meta[slot] = self.replacement[set_idx].on_hit(self.meta[slot]);
+        // The hit path stays a tight tag-only scan: victim encryptions are
+        // hit-dominated (S-box lines stay resident), so touching `meta`
+        // here would slow the common case for nothing.
+        if let Some(slot) = self.lines[start..end].iter().position(|&l| l == line) {
+            let hit_slot = start + slot;
+            self.meta[hit_slot] = self.replacement[set_idx].on_hit(self.meta[hit_slot]);
             self.stats.hits += 1;
-            if let Some(m) = &self.metrics {
-                // One registry borrow for both updates (Batch), not one per
-                // call — this is the hottest line in the workspace.
-                if let Some(mut b) = self.telemetry.batch() {
-                    b.inc(m.hits);
-                    b.record(m.access_cycles, self.config.hit_latency);
-                }
-            }
-            return AccessOutcome {
-                hit: true,
-                latency: self.config.hit_latency,
-                evicted_line: None,
-            };
+            return (
+                AccessOutcome {
+                    hit: true,
+                    latency: self.config.hit_latency,
+                    evicted_line: None,
+                },
+                remapped,
+            );
         }
 
-        // Miss: fill an invalid way if one exists, otherwise evict — both
-        // within the domain's ways.
+        // Miss: fill the first invalid way if any (the early-exit scan wins
+        // on the mostly-empty sets epoch re-keying leaves behind), else
+        // evict the policy's victim. Batched sweeps bypass this entirely
+        // (see `sweep_set_run`), so the full-set miss storm never pays the
+        // two scans per access.
         self.stats.misses += 1;
         let replacement = &mut self.replacement[set_idx];
         let fill_meta = replacement.on_fill();
-        let (slot, evicted_line) = if let Some(pos) = self.lines[start..end]
+        let (slot, evicted_line) = if let Some(inv) = self.lines[start..end]
             .iter()
             .position(|&l| l == INVALID_LINE)
         {
-            (start + pos, None)
+            (start + inv, None)
         } else {
             let victim = start + replacement.choose_victim(&self.meta[start..end]);
             let old_line = self.lines[victim];
@@ -262,19 +300,273 @@ impl Cache {
         };
         self.lines[slot] = line;
         self.meta[slot] = fill_meta;
+        self.mark_occupied(set_idx);
+        (
+            AccessOutcome {
+                hit: false,
+                latency: self.config.miss_latency,
+                evicted_line,
+            },
+            remapped,
+        )
+    }
+
+    /// Performs a read access at `addr` on behalf of `domain`, filling the
+    /// line on a miss. On a partitioned cache, lookup, fill and eviction
+    /// are confined to the domain's ways.
+    pub fn access_from(&mut self, addr: u64, domain: Domain) -> AccessOutcome {
+        let (outcome, remapped) = self.access_core(addr, domain);
         if let Some(m) = &self.metrics {
+            // One registry borrow for every update (Batch), not one per
+            // call — this is the hottest line in the workspace.
             if let Some(mut b) = self.telemetry.batch() {
-                b.inc(m.misses);
-                if evicted_line.is_some() {
-                    b.inc(m.evictions);
+                if remapped {
+                    b.inc(m.remaps);
                 }
-                b.record(m.access_cycles, self.config.miss_latency);
+                if outcome.hit {
+                    b.inc(m.hits);
+                } else {
+                    b.inc(m.misses);
+                    if outcome.evicted_line.is_some() {
+                        b.inc(m.evictions);
+                    }
+                }
+                b.record(m.access_cycles, outcome.latency);
             }
         }
-        AccessOutcome {
-            hit: false,
-            latency: self.config.miss_latency,
-            evicted_line,
+        outcome
+    }
+
+    /// Performs one read access per address on behalf of `domain`, in
+    /// order, handing each outcome to `sink` and publishing the whole
+    /// batch's telemetry under a single registry borrow. Simulator state,
+    /// statistics and outcomes are identical to calling
+    /// [`Cache::access_from`] in a loop; only the metric bookkeeping is
+    /// amortized (counter totals and histogram aggregates match exactly).
+    pub fn access_batch_from(
+        &mut self,
+        addrs: &[u64],
+        domain: Domain,
+        mut sink: impl FnMut(u64, AccessOutcome),
+    ) {
+        let mut tally = BatchTally::default();
+        // Prime/probe sweeps hand us long runs of same-set addresses (both
+        // mappers derive the set from the same `line mod num_sets` class, so
+        // a monitored group stays one run even across re-keys); each run can
+        // keep its next-victim order in a queue instead of rescanning the
+        // set per access (see `sweep_set_run`).
+        let mut i = 0;
+        while i < addrs.len() {
+            let set_idx = self
+                .mapper
+                .set_of(self.config.line_of(addrs[i]), self.config.num_sets);
+            let mut j = i + 1;
+            while j < addrs.len()
+                && self
+                    .mapper
+                    .set_of(self.config.line_of(addrs[j]), self.config.num_sets)
+                    == set_idx
+            {
+                j += 1;
+            }
+            let run = &addrs[i..j];
+            let swept = run.len() >= SWEEP_MIN_RUN
+                && matches!(
+                    self.replacement[set_idx].policy(),
+                    crate::ReplacementPolicy::Lru | crate::ReplacementPolicy::Fifo
+                );
+            if swept {
+                // The sweep stops early if the mapper re-keys mid-run (the
+                // set indices change under it); re-group from wherever it
+                // got to.
+                i += self.sweep_set_run(set_idx, domain, run, &mut tally, &mut sink);
+            } else {
+                for &addr in run {
+                    let (outcome, remapped) = self.access_core(addr, domain);
+                    tally.note(&outcome, remapped);
+                    sink(addr, outcome);
+                }
+                i = j;
+            }
+        }
+        self.publish_tally(&tally);
+    }
+
+    /// Runs a same-set run of accesses with the set's next-victim order
+    /// held in a queue, so each miss fills in O(1) instead of rescanning
+    /// the ways. Outcomes, statistics, replacement clocks and final cache
+    /// state are identical to calling [`Cache::access_core`] per address:
+    /// the queue starts as [invalid ways in ascending position, then valid
+    /// ways in ascending `(meta, position)`] — exactly the order the
+    /// per-access first-invalid / first-minimum scans produce — and every
+    /// fill takes the freshest clock value, which is precisely a ring
+    /// rotation. Only an LRU hit reorders (the touched way becomes
+    /// newest), handled explicitly. The mapper is still noted per access;
+    /// if it re-keys, the access that triggered it lands in the freshly
+    /// invalidated cache (a miss filling the first way of its new set) and
+    /// the sweep returns early so the caller re-groups under the new
+    /// mapping. Returns how many of `addrs` were consumed. Caller
+    /// guarantees the set's policy is LRU or FIFO.
+    fn sweep_set_run(
+        &mut self,
+        set_idx: usize,
+        domain: Domain,
+        addrs: &[u64],
+        tally: &mut BatchTally,
+        sink: &mut impl FnMut(u64, AccessOutcome),
+    ) -> usize {
+        let (lo, hi) = self.way_bounds(domain);
+        let base = set_idx * self.config.ways;
+        let (start, end) = (base + lo, base + hi);
+        let n = end - start;
+
+        let mut queue = std::mem::take(&mut self.sweep_queue);
+        queue.clear();
+        queue.extend((start..end).filter(|&w| self.lines[w] == INVALID_LINE));
+        let invalids = queue.len();
+        queue.extend((start..end).filter(|&w| self.lines[w] != INVALID_LINE));
+        // `(meta, way)` keying reproduces `min_by_key`'s first-minimum
+        // tie-break; live metas are distinct clock draws anyway.
+        queue[invalids..].sort_unstable_by_key(|&w| (self.meta[w], w));
+        let mut head = 0usize;
+        // One conservative mark covers every fill this run can make.
+        self.mark_occupied(set_idx);
+
+        for (consumed, &addr) in addrs.iter().enumerate() {
+            if self.mapper.note_access() {
+                // Epoch boundary mid-run: everything resident is orphaned
+                // by the new permutation, and this access proceeds against
+                // the empty cache — a miss that fills the first way of its
+                // (re-mapped) set. Identical to `access_core`'s remap path.
+                self.invalidate_all();
+                self.stats.remaps += 1;
+                let line = self.config.line_of(addr);
+                let new_set = self.mapper.set_of(line, self.config.num_sets);
+                let slot = new_set * self.config.ways + lo;
+                self.stats.misses += 1;
+                self.lines[slot] = line;
+                self.meta[slot] = self.replacement[new_set].on_fill();
+                self.mark_occupied(new_set);
+                let outcome = AccessOutcome {
+                    hit: false,
+                    latency: self.config.miss_latency,
+                    evicted_line: None,
+                };
+                tally.note(&outcome, true);
+                sink(addr, outcome);
+                self.sweep_queue = queue;
+                return consumed + 1;
+            }
+            let line = self.config.line_of(addr);
+            debug_assert_ne!(line, INVALID_LINE);
+            if let Some(slot) = self.lines[start..end].iter().position(|&l| l == line) {
+                let hit_slot = start + slot;
+                let old = self.meta[hit_slot];
+                let new = self.replacement[set_idx].on_hit(old);
+                self.stats.hits += 1;
+                if new != old {
+                    // LRU touch: the way becomes the newest — move it to
+                    // the back of the victim queue.
+                    self.meta[hit_slot] = new;
+                    let pos = (head..head + n)
+                        .map(|p| p % n)
+                        .find(|&p| queue[p] == hit_slot)
+                        .expect("hit way must be queued");
+                    let mut p = pos;
+                    loop {
+                        let next = (p + 1) % n;
+                        if next == head {
+                            break;
+                        }
+                        queue[p] = queue[next];
+                        p = next;
+                    }
+                    queue[p] = hit_slot;
+                }
+                let outcome = AccessOutcome {
+                    hit: true,
+                    latency: self.config.hit_latency,
+                    evicted_line: None,
+                };
+                tally.note(&outcome, false);
+                sink(addr, outcome);
+                continue;
+            }
+            self.stats.misses += 1;
+            let fill_meta = self.replacement[set_idx].on_fill();
+            let w = queue[head];
+            head = (head + 1) % n;
+            let evicted_line = if self.lines[w] == INVALID_LINE {
+                None
+            } else {
+                self.stats.evictions += 1;
+                Some(self.lines[w])
+            };
+            self.lines[w] = line;
+            self.meta[w] = fill_meta;
+            let outcome = AccessOutcome {
+                hit: false,
+                latency: self.config.miss_latency,
+                evicted_line,
+            };
+            tally.note(&outcome, false);
+            sink(addr, outcome);
+        }
+        self.sweep_queue = queue;
+        addrs.len()
+    }
+
+    /// Flush+Reload's reload phase as one batched cycle: for each address,
+    /// access it (timing the reload), hand `sink` the address and whether
+    /// it hit, then flush the line again so the next observation starts
+    /// cold. Operation order per address is exactly the looped
+    /// access/flush sequence; telemetry is published once for the batch.
+    pub fn reload_and_flush_from(
+        &mut self,
+        addrs: &[u64],
+        domain: Domain,
+        mut sink: impl FnMut(u64, bool),
+    ) {
+        let mut tally = BatchTally::default();
+        for &addr in addrs {
+            let (outcome, remapped) = self.access_core(addr, domain);
+            tally.note(&outcome, remapped);
+            sink(addr, outcome.hit);
+            // The access just filled the line, so the flush normally finds
+            // it; counting through flush_core keeps the tally honest in
+            // edge geometries (e.g. duplicate same-line addresses).
+            if self.flush_core(addr, domain) {
+                tally.flushes += 1;
+            }
+        }
+        self.publish_tally(&tally);
+    }
+
+    /// Applies the per-batch metric tally under one registry borrow.
+    fn publish_tally(&mut self, tally: &BatchTally) {
+        if tally.is_empty() {
+            return;
+        }
+        if let Some(m) = &self.metrics {
+            if let Some(mut b) = self.telemetry.batch() {
+                if tally.remaps > 0 {
+                    b.add(m.remaps, tally.remaps);
+                }
+                if tally.hits > 0 {
+                    b.add(m.hits, tally.hits);
+                    b.record_n(m.access_cycles, self.config.hit_latency, tally.hits);
+                }
+                if tally.misses > 0 {
+                    b.add(m.misses, tally.misses);
+                    b.record_n(m.access_cycles, self.config.miss_latency, tally.misses);
+                }
+                if tally.evictions > 0 {
+                    b.add(m.evictions, tally.evictions);
+                }
+                if tally.flushes > 0 {
+                    b.add(m.flushes, tally.flushes);
+                }
+            }
         }
     }
 
@@ -292,11 +584,10 @@ impl Cache {
         self.flush_line_from(addr, Domain::Victim)
     }
 
-    /// Invalidates the line containing `addr` on behalf of `domain`. On a
-    /// partitioned cache only the domain's own ways are searched, so an
-    /// attacker cannot flush victim lines (DAWG-style flush confinement).
-    /// Returns whether a line was actually flushed.
-    pub fn flush_line_from(&mut self, addr: u64, domain: Domain) -> bool {
+    /// The telemetry-free flush core (see [`Cache::access_core`]): updates
+    /// residency and statistics, leaves metric publication to the caller.
+    #[inline]
+    fn flush_core(&mut self, addr: u64, domain: Domain) -> bool {
         let line = self.config.line_of(addr);
         let base = self.mapper.set_of(line, self.config.num_sets) * self.config.ways;
         let (lo, hi) = self.way_bounds(domain);
@@ -306,19 +597,49 @@ impl Cache {
         {
             *way = INVALID_LINE;
             self.stats.flushes += 1;
-            if let Some(m) = &self.metrics {
-                self.telemetry.inc(m.flushes);
-            }
             true
         } else {
             false
         }
     }
 
+    /// Invalidates the line containing `addr` on behalf of `domain`. On a
+    /// partitioned cache only the domain's own ways are searched, so an
+    /// attacker cannot flush victim lines (DAWG-style flush confinement).
+    /// Returns whether a line was actually flushed.
+    pub fn flush_line_from(&mut self, addr: u64, domain: Domain) -> bool {
+        let flushed = self.flush_core(addr, domain);
+        if flushed {
+            if let Some(m) = &self.metrics {
+                self.telemetry.inc(m.flushes);
+            }
+        }
+        flushed
+    }
+
+    /// Invalidates every listed line on behalf of `domain` (the batched
+    /// `clflush` sweep that opens a Flush+Reload cycle), publishing one
+    /// flush-counter update for the whole sweep. Returns how many lines
+    /// were actually resident and flushed.
+    pub fn flush_lines_from(&mut self, addrs: &[u64], domain: Domain) -> u64 {
+        let mut flushed = 0u64;
+        for &addr in addrs {
+            if self.flush_core(addr, domain) {
+                flushed += 1;
+            }
+        }
+        if flushed > 0 {
+            if let Some(m) = &self.metrics {
+                self.telemetry.add(m.flushes, flushed);
+            }
+        }
+        flushed
+    }
+
     /// Invalidates the entire cache (victim domain; on a partitioned cache
     /// this still clears everything — the victim owns the platform).
     pub fn flush_all(&mut self) {
-        self.lines.fill(INVALID_LINE);
+        self.invalidate_all();
         self.stats.full_flushes += 1;
         if let Some(m) = &self.metrics {
             self.telemetry.inc(m.full_flushes);
@@ -329,8 +650,27 @@ impl Cache {
     /// treat this as [`Cache::flush_all`].
     pub fn flush_all_from(&mut self, domain: Domain) {
         let (lo, hi) = self.way_bounds(domain);
-        for base in (0..self.lines.len()).step_by(self.config.ways) {
-            self.lines[base + lo..base + hi].fill(INVALID_LINE);
+        if (lo, hi) == (0, self.config.ways) {
+            // The domain owns every way: identical to a full invalidation,
+            // which also gets to clear the occupancy mask.
+            self.invalidate_all();
+        } else {
+            // Partitioned: only the domain's ways clear, so occupancy bits
+            // stay set (the other domain's lines survive) — but sets with
+            // no valid lines at all can be skipped outright.
+            let ways = self.config.ways;
+            let Self {
+                lines, occupied, ..
+            } = self;
+            for (word_idx, word) in occupied.iter().enumerate() {
+                let mut w = *word;
+                while w != 0 {
+                    let set = (word_idx << 6) | w.trailing_zeros() as usize;
+                    let base = set * ways;
+                    lines[base + lo..base + hi].fill(INVALID_LINE);
+                    w &= w - 1;
+                }
+            }
         }
         self.stats.full_flushes += 1;
         if let Some(m) = &self.metrics {
@@ -357,6 +697,41 @@ impl Cache {
 /// bounds pair is).
 fn range_bounds(r: core::ops::Range<usize>) -> (usize, usize) {
     (r.start, r.end)
+}
+
+/// Per-batch metric accumulator for the batched entry points: outcomes are
+/// tallied while the accesses run and published in one registry borrow at
+/// the end, so counter totals and histogram aggregates match the looped
+/// per-access publishes exactly.
+#[derive(Clone, Copy, Debug, Default)]
+struct BatchTally {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    remaps: u64,
+    flushes: u64,
+}
+
+impl BatchTally {
+    #[inline]
+    fn note(&mut self, outcome: &AccessOutcome, remapped: bool) {
+        if remapped {
+            self.remaps += 1;
+        }
+        if outcome.hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            if outcome.evicted_line.is_some() {
+                self.evictions += 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.hits == 0 && self.misses == 0 && self.flushes == 0 && self.remaps == 0
+    }
 }
 
 #[cfg(test)]
@@ -565,6 +940,59 @@ mod tests {
         }
         assert!(cache.access_from(0x0, Domain::Victim).is_hit());
         assert!(cache.access_from(0x4, Domain::Victim).is_hit());
+    }
+
+    #[test]
+    fn batched_entry_points_match_looped_calls_exactly() {
+        // Same ops through the batched and the looped entry points must
+        // leave identical residency, stats, telemetry counters and latency
+        // histograms — the invariant that makes batching safe to use on
+        // the oracle's probe path. Keyed remap with a short epoch makes
+        // sure mid-batch rekeys are tallied identically too.
+        let cfg = small_config().with_mapping(IndexMapping::KeyedRemap {
+            key: 0xfeed,
+            epoch_accesses: 7,
+        });
+        let addrs: Vec<u64> = (0..48u64).map(|i| (i.wrapping_mul(37)) % 0x80).collect();
+        let run = |batched: bool| {
+            let tel = Telemetry::new();
+            let mut cache = Cache::new(cfg);
+            cache.set_telemetry(tel.clone(), "cache.l1");
+            let mut seen = Vec::new();
+            if batched {
+                cache.access_batch_from(&addrs, Domain::Attacker, |a, o| seen.push((a, o.hit)));
+                cache.flush_lines_from(&addrs, Domain::Attacker);
+                cache.reload_and_flush_from(&addrs, Domain::Attacker, |a, h| seen.push((a, h)));
+            } else {
+                for &a in &addrs {
+                    seen.push((a, cache.access_from(a, Domain::Attacker).hit));
+                }
+                for &a in &addrs {
+                    cache.flush_line_from(a, Domain::Attacker);
+                }
+                for &a in &addrs {
+                    seen.push((a, cache.access_from(a, Domain::Attacker).hit));
+                    cache.flush_line_from(a, Domain::Attacker);
+                }
+            }
+            let snap = tel.snapshot();
+            let hist = snap.histogram("cache.l1.access_cycles").unwrap().clone();
+            let counters: Vec<u64> = [
+                "hits",
+                "misses",
+                "evictions",
+                "flushes",
+                "full_flushes",
+                "remaps",
+            ]
+            .iter()
+            .map(|c| tel.counter(&format!("cache.l1.{c}")))
+            .collect();
+            let mut resident = cache.resident_line_addrs();
+            resident.sort_unstable();
+            (seen, *cache.stats(), counters, hist, resident)
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

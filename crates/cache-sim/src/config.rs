@@ -157,9 +157,13 @@ impl CacheConfig {
     }
 
     /// Line-aligned base address of the line containing `addr`.
+    ///
+    /// `line_bytes` is a validated power of two, so the division compiles
+    /// to a shift — this runs on every access of every probe.
     #[inline]
     pub fn line_of(&self, addr: u64) -> u64 {
-        addr / self.line_bytes as u64
+        debug_assert!(self.line_bytes.is_power_of_two());
+        addr >> self.line_bytes.trailing_zeros()
     }
 
     /// Set index for `addr` under the **classical modulo placement**.
@@ -170,13 +174,15 @@ impl CacheConfig {
     /// the keyed-remap defense exploits.
     #[inline]
     pub fn set_of(&self, addr: u64) -> usize {
-        (self.line_of(addr) % self.num_sets as u64) as usize
+        debug_assert!(self.num_sets.is_power_of_two());
+        (self.line_of(addr) & (self.num_sets as u64 - 1)) as usize
     }
 
     /// Tag for `addr` (line address with the set bits stripped).
     #[inline]
     pub fn tag_of(&self, addr: u64) -> u64 {
-        self.line_of(addr) / self.num_sets as u64
+        debug_assert!(self.num_sets.is_power_of_two());
+        self.line_of(addr) >> self.num_sets.trailing_zeros()
     }
 }
 

@@ -156,6 +156,17 @@ impl Mapper {
         }
     }
 
+    /// Whether [`Mapper::note_access`] is a guaranteed no-op (never
+    /// mutates state, never re-keys). Batched sweeps use this to skip the
+    /// per-access note without changing any observable behaviour.
+    #[inline]
+    pub fn is_access_stateless(&self) -> bool {
+        match self {
+            Self::Modulo(_) => true,
+            Self::KeyedRemap(m) => m.epoch_accesses == 0,
+        }
+    }
+
     /// Stable mapper name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -170,10 +181,12 @@ impl Mapper {
 pub struct ModuloMapper;
 
 impl ModuloMapper {
-    /// `line % num_sets`.
+    /// `line % num_sets` (`num_sets` is a validated power of two, so the
+    /// modulo reduces to a mask on the per-access path).
     #[inline]
     pub fn set_of(&self, line: u64, num_sets: usize) -> usize {
-        (line % num_sets as u64) as usize
+        debug_assert!(num_sets.is_power_of_two());
+        (line & (num_sets as u64 - 1)) as usize
     }
 }
 

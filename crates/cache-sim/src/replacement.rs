@@ -38,6 +38,12 @@ impl ReplacementState {
         }
     }
 
+    /// The policy this state drives.
+    #[inline]
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
     /// Records a hit on a way, returning the metadata value to store.
     pub fn on_hit(&mut self, current: u64) -> u64 {
         match self.policy {

@@ -1,0 +1,373 @@
+//! Bitsliced GIFT-64: 64 independent blocks per encryption.
+//!
+//! The bitwise reference ([`crate::bitwise`]) already computes SubCells as a
+//! boolean circuit, but it still processes one block at a time and pays the
+//! bit permutation as 64 shift/or pairs per round. This module transposes the
+//! state instead: sliced word `j` holds **state bit `j` of all 64 lanes**
+//! (lane `l` lives at bit `l` of every word). In that representation
+//!
+//! * **SubCells** is the same boolean circuit, run once per nibble over the
+//!   four plane words `4i .. 4i+3` — every logic op now advances 64 blocks;
+//! * **PermBits** is pure wiring: `out[P64[j]] = s[j]` is a compile-time-known
+//!   word shuffle with no data-dependent work at all (the "free permutation"
+//!   of Simple SIMON / cryptagraph's table-free linear layer);
+//! * **AddRoundKey + constant** collapses into one precomputed XOR mask per
+//!   word per round, folded at construction time.
+//!
+//! Two mask layouts are supported: [`BitslicedGift64::new`] broadcasts one
+//! key to all lanes (64 plaintexts, one key — the oracle's batch shape), and
+//! [`BitslicedGift64::per_lane`] gives every lane its own key (one plaintext,
+//! up to 64 candidate keys — the attack's final-stage verification shape).
+//!
+//! Like everything in [`crate::bitwise`], the circuit performs no
+//! secret-indexed memory access; `grinch-ct check --target crates/gift`
+//! stays verdict-clean over this module.
+
+use crate::constants::ROUND_CONSTANTS;
+use crate::key_schedule::{expand_64, Key, RoundKey64};
+use crate::permutation::P64;
+use crate::GIFT64_ROUNDS;
+
+/// Number of independent blocks processed per sliced encryption.
+pub const LANES: usize = 64;
+
+/// A transposed batch: word `j` carries state bit `j` of all [`LANES`] lanes.
+pub type SlicedState = [u64; LANES];
+
+/// Transposes a 64×64 bit matrix in place (Hacker's-Delight butterfly).
+///
+/// With rows as lanes and bit `j` of row `l` as column `j`, this swaps rows
+/// and columns: afterwards word `j` bit `l` equals the old word `l` bit `j`
+/// — exactly the lane↔bit exchange between block order and sliced order.
+/// The transpose is an involution, so the same routine converts both ways.
+#[inline]
+pub fn transpose_in_place(m: &mut SlicedState) {
+    let mut j = 32usize;
+    let mut mask: u64 = 0x0000_0000_ffff_ffff;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < LANES {
+            if k & j == 0 {
+                let t = ((m[k] >> j) ^ m[k + j]) & mask;
+                m[k] ^= t << j;
+                m[k + j] ^= t;
+            }
+            k += 1;
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
+/// Packs 64 blocks (lane order) into sliced order.
+#[inline]
+pub fn slice_blocks(blocks: &[u64; LANES]) -> SlicedState {
+    let mut s = *blocks;
+    transpose_in_place(&mut s);
+    s
+}
+
+/// Unpacks a sliced state back into 64 blocks (lane order).
+#[inline]
+pub fn unslice_blocks(sliced: &SlicedState) -> [u64; LANES] {
+    let mut b = *sliced;
+    transpose_in_place(&mut b);
+    b
+}
+
+/// SubCells over a sliced state: the GIFT S-box circuit run per nibble on
+/// plane words `4i .. 4i+3`. Identical to
+/// [`crate::sbox::apply_bitsliced_nibbles`] with the plane-selecting masks
+/// replaced by whole words (the plane-wise NOT becomes a word NOT).
+#[inline]
+fn sub_cells_sliced(s: &mut SlicedState) {
+    for i in 0..16 {
+        let mut a = s[4 * i];
+        let mut b = s[4 * i + 1];
+        let mut c = s[4 * i + 2];
+        let mut d = s[4 * i + 3];
+
+        b ^= a & c;
+        a ^= b & d;
+        c ^= a | b;
+        d ^= c;
+        b ^= d;
+        d = !d;
+        c ^= a & b;
+        // Output planes are {S3, S1, S2, S0}, as in the scalar circuit.
+        s[4 * i] = d;
+        s[4 * i + 1] = b;
+        s[4 * i + 2] = c;
+        s[4 * i + 3] = a;
+    }
+}
+
+/// PermBits over a sliced state: pure word wiring, `out[P64[j]] = s[j]`.
+#[inline]
+fn perm_bits_sliced(s: &SlicedState) -> SlicedState {
+    let mut out = [0u64; LANES];
+    for j in 0..LANES {
+        out[P64[j] as usize] = s[j];
+    }
+    out
+}
+
+/// Builds the per-word XOR mask of one round: round key bits land on words
+/// `4i` (V) and `4i+1` (U) via `lane_bit` (all lanes for broadcast, one lane
+/// bit for per-lane keys); the round constant and the fixed `1` into bit 63
+/// are lane-independent and always cover all lanes.
+fn fold_round_key(mask: &mut SlicedState, rk: RoundKey64, lane_bits: u64) {
+    for i in 0..16 {
+        // Branchless bit-to-mask spread: the round key is secret, so no
+        // conditional may depend on it (grinch-ct keeps this module clean).
+        mask[4 * i] ^= lane_bits & 0u64.wrapping_sub(u64::from((rk.v >> i) & 1));
+        mask[4 * i + 1] ^= lane_bits & 0u64.wrapping_sub(u64::from((rk.u >> i) & 1));
+    }
+}
+
+fn fold_round_constant(mask: &mut SlicedState, rc: u8) {
+    mask[63] ^= u64::MAX;
+    for b in 0..6 {
+        mask[4 * b + 3] ^= 0u64.wrapping_sub(u64::from((rc >> b) & 1));
+    }
+}
+
+/// GIFT-64 with the state sliced across [`LANES`] lanes and the whole
+/// AddRoundKey layer precompiled into per-round XOR masks.
+///
+/// ```
+/// use gift_cipher::bitslice::{BitslicedGift64, LANES};
+/// use gift_cipher::{Gift64, Key};
+///
+/// let key = Key::from_u128(42);
+/// let sliced = BitslicedGift64::new(key);
+/// let scalar = Gift64::new(key);
+/// let mut blocks = [0u64; LANES];
+/// for (l, b) in blocks.iter_mut().enumerate() {
+///     *b = 0x1234_5678 * l as u64;
+/// }
+/// let expected: Vec<u64> = blocks.iter().map(|&b| scalar.encrypt(b)).collect();
+/// sliced.encrypt_blocks(&mut blocks);
+/// assert_eq!(blocks.to_vec(), expected);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BitslicedGift64 {
+    /// `round_masks[r][j]` is XORed into sliced word `j` after round `r`'s
+    /// permutation; key material, round constant and the fixed bit-63 `1`
+    /// are already folded together.
+    round_masks: Vec<SlicedState>,
+}
+
+impl BitslicedGift64 {
+    /// One key broadcast to all lanes: encrypts 64 plaintexts under `key`.
+    pub fn new(key: Key) -> Self {
+        Self::from_round_keys(&expand_64(key, GIFT64_ROUNDS))
+    }
+
+    /// Broadcast construction from pre-expanded round keys (round 1 first).
+    pub fn from_round_keys(round_keys: &[RoundKey64]) -> Self {
+        assert!(
+            round_keys.len() <= ROUND_CONSTANTS.len(),
+            "more round keys than round constants"
+        );
+        let round_masks = round_keys
+            .iter()
+            .zip(ROUND_CONSTANTS)
+            .map(|(&rk, rc)| {
+                let mut mask = [0u64; LANES];
+                fold_round_key(&mut mask, rk, u64::MAX);
+                fold_round_constant(&mut mask, rc);
+                mask
+            })
+            .collect();
+        Self { round_masks }
+    }
+
+    /// One key **per lane**: lane `l` encrypts under `keys[l]`. Lanes past
+    /// `keys.len()` repeat the first key (their outputs are ignorable
+    /// padding). This is the attack's final-stage shape: one known
+    /// plaintext, a batch of candidate keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty or longer than [`LANES`].
+    pub fn per_lane(keys: &[Key]) -> Self {
+        assert!(
+            !keys.is_empty() && keys.len() <= LANES,
+            "per-lane key batch must hold 1..=64 keys"
+        );
+        let schedules: Vec<Vec<RoundKey64>> = keys
+            .iter()
+            .map(|&k| expand_64(k, GIFT64_ROUNDS))
+            .collect();
+        let round_masks = (0..GIFT64_ROUNDS)
+            .map(|r| {
+                let mut mask = [0u64; LANES];
+                for lane in 0..LANES {
+                    let sched = &schedules[if lane < schedules.len() { lane } else { 0 }];
+                    fold_round_key(&mut mask, sched[r], 1u64 << lane);
+                }
+                fold_round_constant(&mut mask, ROUND_CONSTANTS[r]);
+                mask
+            })
+            .collect();
+        Self { round_masks }
+    }
+
+    /// Number of rounds the mask schedule covers (28 for both constructors).
+    pub fn rounds(&self) -> usize {
+        self.round_masks.len()
+    }
+
+    /// Runs the first `rounds` rounds over a sliced state in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds > self.rounds()`.
+    #[inline]
+    pub fn encrypt_rounds_sliced(&self, state: &mut SlicedState, rounds: usize) {
+        assert!(rounds <= self.round_masks.len(), "GIFT-64 has 28 rounds");
+        for mask in &self.round_masks[..rounds] {
+            sub_cells_sliced(state);
+            *state = perm_bits_sliced(state);
+            for (w, m) in state.iter_mut().zip(mask.iter()) {
+                *w ^= m;
+            }
+        }
+    }
+
+    /// Runs the full cipher over a sliced state in place.
+    #[inline]
+    pub fn encrypt_sliced(&self, state: &mut SlicedState) {
+        self.encrypt_rounds_sliced(state, self.round_masks.len());
+    }
+
+    /// Encrypts 64 blocks in lane order in place
+    /// (transpose → rounds → transpose).
+    #[inline]
+    pub fn encrypt_blocks(&self, blocks: &mut [u64; LANES]) {
+        transpose_in_place(blocks);
+        self.encrypt_sliced(blocks);
+        transpose_in_place(blocks);
+    }
+
+    /// Encrypts an arbitrary number of blocks in place, in chunks of
+    /// [`LANES`] (the tail chunk is padded with zero and the padding
+    /// discarded). Only meaningful for the broadcast constructors, where
+    /// every lane runs the same key.
+    pub fn encrypt_many(&self, blocks: &mut [u64]) {
+        let mut chunk = [0u64; LANES];
+        for group in blocks.chunks_mut(LANES) {
+            chunk[..group.len()].copy_from_slice(group);
+            chunk[group.len()..].fill(0);
+            self.encrypt_blocks(&mut chunk);
+            group.copy_from_slice(&chunk[..group.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitwise::Gift64;
+
+    fn mix(x: u64) -> u64 {
+        // splitmix64 step, inlined to keep the crate dependency-free.
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn blocks_from_seed(seed: u64) -> [u64; LANES] {
+        let mut blocks = [0u64; LANES];
+        for (l, b) in blocks.iter_mut().enumerate() {
+            *b = mix(seed ^ (l as u64).wrapping_mul(0x1234_5678_9abc_def1));
+        }
+        blocks
+    }
+
+    #[test]
+    fn transpose_matches_naive_and_round_trips() {
+        let blocks = blocks_from_seed(7);
+        let mut naive = [0u64; LANES];
+        for (l, &b) in blocks.iter().enumerate() {
+            for j in 0..64 {
+                naive[j] |= ((b >> j) & 1) << l;
+            }
+        }
+        let sliced = slice_blocks(&blocks);
+        assert_eq!(sliced, naive);
+        assert_eq!(unslice_blocks(&sliced), blocks);
+    }
+
+    #[test]
+    fn broadcast_matches_scalar_on_all_lanes() {
+        let key = Key::from_u128(0x0f1e_2d3c_4b5a_6978_8796_a5b4_c3d2_e1f0);
+        let scalar = Gift64::new(key);
+        let sliced = BitslicedGift64::new(key);
+        let mut blocks = blocks_from_seed(11);
+        let expected: Vec<u64> = blocks.iter().map(|&b| scalar.encrypt(b)).collect();
+        sliced.encrypt_blocks(&mut blocks);
+        assert_eq!(blocks.to_vec(), expected);
+    }
+
+    #[test]
+    fn partial_rounds_match_scalar() {
+        let key = Key::from_u128(0xfeed_face_0bad_cafe);
+        let scalar = Gift64::new(key);
+        let sliced = BitslicedGift64::new(key);
+        let blocks = blocks_from_seed(13);
+        for rounds in [0usize, 1, 2, 14, 27, 28] {
+            let mut state = slice_blocks(&blocks);
+            sliced.encrypt_rounds_sliced(&mut state, rounds);
+            let out = unslice_blocks(&state);
+            for (l, &b) in blocks.iter().enumerate() {
+                assert_eq!(out[l], scalar.encrypt_rounds(b, rounds), "lane {l} rounds {rounds}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_lane_keys_match_their_own_scalar_cipher() {
+        let keys: Vec<Key> = (0..LANES)
+            .map(|l| Key::from_u128(u128::from(mix(l as u64 ^ 0xabcd)) | (u128::from(mix(l as u64)) << 64)))
+            .collect();
+        let sliced = BitslicedGift64::per_lane(&keys);
+        let pt = 0x0123_4567_89ab_cdef;
+        let mut blocks = [pt; LANES];
+        sliced.encrypt_blocks(&mut blocks);
+        for (l, &key) in keys.iter().enumerate() {
+            assert_eq!(blocks[l], Gift64::new(key).encrypt(pt), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn per_lane_short_batch_pads_with_first_key() {
+        let keys = [Key::from_u128(1), Key::from_u128(2), Key::from_u128(3)];
+        let sliced = BitslicedGift64::per_lane(&keys);
+        let pt = 0xdead_beef_cafe_f00d;
+        let mut blocks = [pt; LANES];
+        sliced.encrypt_blocks(&mut blocks);
+        for (l, &key) in keys.iter().enumerate() {
+            assert_eq!(blocks[l], Gift64::new(key).encrypt(pt), "lane {l}");
+        }
+        let pad = Gift64::new(keys[0]).encrypt(pt);
+        for l in keys.len()..LANES {
+            assert_eq!(blocks[l], pad, "padding lane {l}");
+        }
+    }
+
+    #[test]
+    fn encrypt_many_handles_ragged_tails() {
+        let key = Key::from_u128(0x4242_4242);
+        let scalar = Gift64::new(key);
+        let sliced = BitslicedGift64::new(key);
+        for n in [0usize, 1, 63, 64, 65, 130] {
+            let mut blocks: Vec<u64> = (0..n as u64).map(|i| mix(i ^ 0x77)).collect();
+            let expected: Vec<u64> = blocks.iter().map(|&b| scalar.encrypt(b)).collect();
+            sliced.encrypt_many(&mut blocks);
+            assert_eq!(blocks, expected, "n = {n}");
+        }
+    }
+}

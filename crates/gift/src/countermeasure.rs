@@ -79,7 +79,7 @@ impl WideLineGift64 {
     /// Note the address stream: entry `x` produces a read of
     /// `sbox_base + (x >> 1)` — only eight distinct addresses, spanning
     /// 8 bytes.
-    pub fn encrypt_with(&self, plaintext: u64, obs: &mut dyn MemoryObserver) -> u64 {
+    pub fn encrypt_with<O: MemoryObserver + ?Sized>(&self, plaintext: u64, obs: &mut O) -> u64 {
         let mut state = plaintext;
         for round in 0..GIFT64_ROUNDS {
             state = self.run_single_round(state, round, obs);
@@ -93,7 +93,7 @@ impl WideLineGift64 {
     /// # Panics
     ///
     /// Panics if `round >= 28`.
-    pub fn run_single_round(&self, state: u64, round: usize, obs: &mut dyn MemoryObserver) -> u64 {
+    pub fn run_single_round<O: MemoryObserver + ?Sized>(&self, state: u64, round: usize, obs: &mut O) -> u64 {
         assert!(round < GIFT64_ROUNDS, "GIFT-64 has 28 rounds");
         let rk = self.round_keys[round];
         let mut subbed = 0u64;
@@ -146,7 +146,7 @@ impl FullScanGift64 {
     /// # Panics
     ///
     /// Panics if `round >= 28`.
-    pub fn run_single_round(&self, state: u64, round: usize, obs: &mut dyn MemoryObserver) -> u64 {
+    pub fn run_single_round<O: MemoryObserver + ?Sized>(&self, state: u64, round: usize, obs: &mut O) -> u64 {
         assert!(round < GIFT64_ROUNDS, "GIFT-64 has 28 rounds");
         let rk = self.round_keys[round];
         let mut subbed = 0u64;
@@ -173,7 +173,7 @@ impl FullScanGift64 {
     }
 
     /// Encrypts one block with the constant address stream.
-    pub fn encrypt_with(&self, plaintext: u64, obs: &mut dyn MemoryObserver) -> u64 {
+    pub fn encrypt_with<O: MemoryObserver + ?Sized>(&self, plaintext: u64, obs: &mut O) -> u64 {
         let mut state = plaintext;
         for round in 0..GIFT64_ROUNDS {
             state = self.run_single_round(state, round, obs);
@@ -206,7 +206,7 @@ impl PreloadGift64 {
     /// # Panics
     ///
     /// Panics if `round >= 28`.
-    pub fn run_single_round(&self, state: u64, round: usize, obs: &mut dyn MemoryObserver) -> u64 {
+    pub fn run_single_round<O: MemoryObserver + ?Sized>(&self, state: u64, round: usize, obs: &mut O) -> u64 {
         for entry in 0..16u8 {
             obs.on_read(Access {
                 addr: self.layout.sbox_entry_addr(entry),
@@ -217,7 +217,7 @@ impl PreloadGift64 {
     }
 
     /// Encrypts one block with per-round preloading.
-    pub fn encrypt_with(&self, plaintext: u64, obs: &mut dyn MemoryObserver) -> u64 {
+    pub fn encrypt_with<O: MemoryObserver + ?Sized>(&self, plaintext: u64, obs: &mut O) -> u64 {
         let mut state = plaintext;
         for round in 0..GIFT64_ROUNDS {
             state = self.run_single_round(state, round, obs);

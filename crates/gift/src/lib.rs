@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod aead;
+pub mod bitslice;
 pub mod bitwise;
 pub mod constants;
 pub mod countermeasure;

@@ -189,7 +189,7 @@ impl TablePresent {
     /// # Panics
     ///
     /// Panics if `round > 31`.
-    pub fn run_single_round(&self, state: u64, round: usize, obs: &mut dyn MemoryObserver) -> u64 {
+    pub fn run_single_round<O: MemoryObserver + ?Sized>(&self, state: u64, round: usize, obs: &mut O) -> u64 {
         assert!(round <= PRESENT_ROUNDS, "PRESENT has 31 rounds + whitening");
         if round == PRESENT_ROUNDS {
             return state ^ self.round_keys[PRESENT_ROUNDS];
@@ -208,7 +208,7 @@ impl TablePresent {
     }
 
     /// Encrypts one block, reporting every S-box read to `obs`.
-    pub fn encrypt_with(&self, plaintext: u64, obs: &mut dyn MemoryObserver) -> u64 {
+    pub fn encrypt_with<O: MemoryObserver + ?Sized>(&self, plaintext: u64, obs: &mut O) -> u64 {
         let mut state = plaintext;
         for round in 0..=PRESENT_ROUNDS {
             state = self.run_single_round(state, round, obs);

@@ -20,7 +20,7 @@ use crate::{GIFT128_ROUNDS, GIFT64_ROUNDS};
 
 /// Performs one observed S-box lookup.
 #[inline]
-fn sbox_lookup(layout: &TableLayout, index: u8, obs: &mut dyn MemoryObserver) -> u8 {
+fn sbox_lookup<O: MemoryObserver + ?Sized>(layout: &TableLayout, index: u8, obs: &mut O) -> u8 {
     obs.on_read(Access {
         addr: layout.sbox_entry_addr(index),
         kind: AccessKind::SboxRead,
@@ -30,7 +30,7 @@ fn sbox_lookup(layout: &TableLayout, index: u8, obs: &mut dyn MemoryObserver) ->
 
 /// Table-driven `SubCells` for GIFT-64: sixteen observed lookups, least
 /// significant segment first (program order of a simple C loop).
-fn sub_cells_64(state: u64, layout: &TableLayout, obs: &mut dyn MemoryObserver) -> u64 {
+fn sub_cells_64<O: MemoryObserver + ?Sized>(state: u64, layout: &TableLayout, obs: &mut O) -> u64 {
     let mut out = 0u64;
     for i in 0..16 {
         let nib = ((state >> (4 * i)) & 0xf) as u8;
@@ -48,7 +48,7 @@ fn sub_cells_64(state: u64, layout: &TableLayout, obs: &mut dyn MemoryObserver) 
 /// but every read goes through this helper so no lookup can bypass the
 /// accounting.
 #[inline]
-fn perm_lookup(table: &[u8], i: usize, layout: &TableLayout, obs: &mut dyn MemoryObserver) -> u8 {
+fn perm_lookup<O: MemoryObserver + ?Sized>(table: &[u8], i: usize, layout: &TableLayout, obs: &mut O) -> u8 {
     if layout.emit_perm_reads {
         obs.on_read(Access {
             addr: layout.perm_base + i as u64,
@@ -59,7 +59,7 @@ fn perm_lookup(table: &[u8], i: usize, layout: &TableLayout, obs: &mut dyn Memor
 }
 
 /// Table-driven `PermBits` for GIFT-64 using a position lookup table.
-fn perm_bits_64(state: u64, layout: &TableLayout, obs: &mut dyn MemoryObserver) -> u64 {
+fn perm_bits_64<O: MemoryObserver + ?Sized>(state: u64, layout: &TableLayout, obs: &mut O) -> u64 {
     let mut out = 0u64;
     for i in 0..P64.len() {
         let p = perm_lookup(&P64, i, layout, obs);
@@ -69,12 +69,12 @@ fn perm_bits_64(state: u64, layout: &TableLayout, obs: &mut dyn MemoryObserver) 
 }
 
 /// One full GIFT-64 round through the lookup tables.
-fn table_round_64(
+fn table_round_64<O: MemoryObserver + ?Sized>(
     state: u64,
     rk: RoundKey64,
     round: usize,
     layout: &TableLayout,
-    obs: &mut dyn MemoryObserver,
+    obs: &mut O,
 ) -> u64 {
     let state = sub_cells_64(state, layout, obs);
     let state = perm_bits_64(state, layout, obs);
@@ -133,7 +133,7 @@ impl TableGift64 {
     }
 
     /// Encrypts one block, reporting every table read to `obs`.
-    pub fn encrypt_with(&self, plaintext: u64, obs: &mut dyn MemoryObserver) -> u64 {
+    pub fn encrypt_with<O: MemoryObserver + ?Sized>(&self, plaintext: u64, obs: &mut O) -> u64 {
         let mut enc = self.start_encryption(plaintext);
         while !enc.is_done() {
             enc.step_round(obs);
@@ -152,7 +152,7 @@ impl TableGift64 {
     /// # Panics
     ///
     /// Panics if `round >= 28`.
-    pub fn run_single_round(&self, state: u64, round: usize, obs: &mut dyn MemoryObserver) -> u64 {
+    pub fn run_single_round<O: MemoryObserver + ?Sized>(&self, state: u64, round: usize, obs: &mut O) -> u64 {
         assert!(round < GIFT64_ROUNDS, "GIFT-64 has 28 rounds");
         table_round_64(state, self.round_keys[round], round, &self.layout, obs)
     }
@@ -199,7 +199,7 @@ impl Gift64Encryption<'_> {
     /// # Panics
     ///
     /// Panics if the encryption is already complete.
-    pub fn step_round(&mut self, obs: &mut dyn MemoryObserver) {
+    pub fn step_round<O: MemoryObserver + ?Sized>(&mut self, obs: &mut O) {
         assert!(!self.is_done(), "encryption already complete");
         self.state = table_round_64(
             self.state,
@@ -234,7 +234,7 @@ impl TableGift128 {
     }
 
     /// Encrypts one block, reporting every table read to `obs`.
-    pub fn encrypt_with(&self, plaintext: u128, obs: &mut dyn MemoryObserver) -> u128 {
+    pub fn encrypt_with<O: MemoryObserver + ?Sized>(&self, plaintext: u128, obs: &mut O) -> u128 {
         let mut state = plaintext;
         for round in 0..GIFT128_ROUNDS {
             state = self.run_single_round(state, round, obs);
@@ -249,11 +249,11 @@ impl TableGift128 {
     /// # Panics
     ///
     /// Panics if `round >= 40`.
-    pub fn run_single_round(
+    pub fn run_single_round<O: MemoryObserver + ?Sized>(
         &self,
         state: u128,
         round: usize,
-        obs: &mut dyn MemoryObserver,
+        obs: &mut O,
     ) -> u128 {
         assert!(round < GIFT128_ROUNDS, "GIFT-128 has 40 rounds");
         let rk = self.round_keys[round];

@@ -10,6 +10,7 @@
 
 use crate::oracle::VictimOracle;
 use crate::stage::{run_stage, StageConfig, StageResult};
+use gift_cipher::bitslice::{BitslicedGift64, LANES};
 use gift_cipher::bitwise::Gift64;
 use gift_cipher::key_schedule::{Key, RoundKey64};
 use rand::rngs::StdRng;
@@ -135,6 +136,14 @@ fn search(
     }
     *capped |= result.capped;
     let candidates = result.enumerate_round_keys(config.max_candidates_per_stage)?;
+    if stage_round == STAGES {
+        // Final stage: every candidate completes a full key, so instead of
+        // recursing once per candidate the whole set is verified against the
+        // known pair in bitsliced chunks — one sliced encryption checks up
+        // to 64 keys. DFS order is preserved (first verifying candidate
+        // wins), so the result is identical to the scalar search.
+        return verify_final_candidates(&known, &candidates, verify_pt, verify_ct);
+    }
     for rk in candidates {
         let mut next = known.clone();
         next.push(rk);
@@ -149,6 +158,42 @@ fn search(
             capped,
         ) {
             return Some(key);
+        }
+    }
+    None
+}
+
+/// Verifies the final-stage candidates against the known pair.
+///
+/// A single candidate (the common, fully-resolved case) takes the scalar
+/// reference path; residual ambiguity is ground through
+/// [`BitslicedGift64::per_lane`] in chunks of up to [`LANES`] keys, one
+/// sliced encryption per chunk.
+fn verify_final_candidates(
+    known: &[RoundKey64],
+    finals: &[RoundKey64],
+    verify_pt: u64,
+    verify_ct: u64,
+) -> Option<Key> {
+    debug_assert_eq!(known.len(), STAGES - 1);
+    let full_key =
+        |rk: RoundKey64| key_from_round_keys(&[known[0], known[1], known[2], rk]);
+    if let [only] = finals {
+        let candidate = full_key(*only);
+        return (Gift64::new(candidate).encrypt(verify_pt) == verify_ct).then_some(candidate);
+    }
+    let mut keys: Vec<Key> = Vec::with_capacity(LANES);
+    for chunk in finals.chunks(LANES) {
+        keys.clear();
+        keys.extend(chunk.iter().map(|&rk| full_key(rk)));
+        let sliced = BitslicedGift64::per_lane(&keys);
+        let mut blocks = [verify_pt; LANES];
+        sliced.encrypt_blocks(&mut blocks);
+        if let Some(i) = blocks[..chunk.len()]
+            .iter()
+            .position(|&ct| ct == verify_ct)
+        {
+            return Some(keys[i]);
         }
     }
     None

@@ -21,7 +21,7 @@
 
 use crate::noise::NoiseChannel;
 use crate::target::TargetSpec;
-use cache_sim::{Cache, CacheConfig, CacheObserver, Domain};
+use cache_sim::{Cache, CacheConfig, Domain};
 use gift_cipher::countermeasure::{
     masked_round_keys_64, FullScanGift64, PreloadGift64, WideLineGift64,
 };
@@ -126,7 +126,9 @@ impl ObservationConfig {
             VictimVariant::WideLine => self.layout.sbox_base + u64::from(index >> 1),
             _ => self.layout.sbox_entry_addr(index),
         };
-        (addr / lb) * lb
+        // line_bytes is a validated power of two: align with a mask, not a
+        // divide (this runs per candidate-elimination check).
+        addr & !(lb - 1)
     }
 
     /// Index of a monitored line within [`ObservationConfig::probe_line_addrs`]
@@ -170,17 +172,33 @@ enum VictimCipher {
     Preload(PreloadGift64),
 }
 
-fn run_one_round(
+fn run_one_round<O: MemoryObserver + ?Sized>(
     cipher: &VictimCipher,
     state: u64,
     round: usize,
-    obs: &mut dyn MemoryObserver,
+    obs: &mut O,
 ) -> u64 {
     match cipher {
         VictimCipher::Table(c) => c.run_single_round(state, round, obs),
         VictimCipher::WideLine(c) => c.run_single_round(state, round, obs),
         VictimCipher::FullScan(c) => c.run_single_round(state, round, obs),
         VictimCipher::Preload(c) => c.run_single_round(state, round, obs),
+    }
+}
+
+/// Records a round's table-read addresses so they can be replayed into the
+/// cache as one batch. The cipher's data flow never depends on the cache,
+/// and the attacker only acts *between* rounds, so replaying a single
+/// round's reads in program order at round end is state-identical to
+/// forwarding each read immediately — only the telemetry publication is
+/// amortized.
+struct RoundAddrRecorder<'a> {
+    addrs: &'a mut Vec<u64>,
+}
+
+impl MemoryObserver for RoundAddrRecorder<'_> {
+    fn on_read(&mut self, access: gift_cipher::observer::Access) {
+        self.addrs.push(access.addr);
     }
 }
 
@@ -217,6 +235,9 @@ pub struct VictimOracle {
     /// Scratch observation buffer backing
     /// [`VictimOracle::encrypt_and_probe_batch`]; reused across batches.
     batch: Vec<ObservedLines>,
+    /// Scratch address buffer for one victim round's table reads, replayed
+    /// into the cache as a batch (see [`VictimOracle::run_rounds_observed`]).
+    round_addrs: Vec<u64>,
 }
 
 /// Campaign-total counters, registered once at
@@ -335,6 +356,7 @@ impl VictimOracle {
             stage_metrics: Vec::new(),
             noise: None,
             batch: Vec::new(),
+            round_addrs: Vec::new(),
         }
     }
 
@@ -413,9 +435,8 @@ impl VictimOracle {
             ..
         } = self;
         for (_, addrs) in prime_groups.iter() {
-            for &a in addrs {
-                cache.access_from(a, Domain::Attacker);
-            }
+            // One batched fill (and one telemetry publish) per monitored set.
+            cache.access_batch_from(addrs, Domain::Attacker, |_, _| {});
         }
     }
 
@@ -477,25 +498,29 @@ impl VictimOracle {
         let flush_before = self.config.flush_after_round1.then_some(stage_round);
         match self.config.strategy {
             ProbeStrategy::FlushReload => {
-                // Flush phase: evict the monitored lines. All probe-side
+                // Flush phase: evict the monitored lines in one batched
+                // sweep (single telemetry publish). All probe-side
                 // operations run in the attacker domain: a way partition
                 // blocks both the flush and the reload-hit, blinding the
-                // mechanic entirely. (Indexed loops keep the borrow of the
-                // precomputed probe list disjoint from the cache.)
-                for i in 0..self.probe_addrs.len() {
-                    self.cache
-                        .flush_line_from(self.probe_addrs[i], Domain::Attacker);
+                // mechanic entirely.
+                {
+                    let Self {
+                        cache, probe_addrs, ..
+                    } = self;
+                    cache.flush_lines_from(probe_addrs, Domain::Attacker);
                 }
                 self.run_rounds_observed(plaintext, rounds, flush_before, false);
-                // Reload phase: a hit means the victim brought the line in.
-                for i in 0..self.probe_addrs.len() {
-                    let a = self.probe_addrs[i];
-                    if self.cache.access_from(a, Domain::Attacker).is_hit() {
+                // Reload phase: a hit means the victim brought the line in;
+                // each line is flushed again right after its reload so the
+                // next observation starts cold — one batched cycle.
+                let Self {
+                    cache, probe_addrs, ..
+                } = self;
+                cache.reload_and_flush_from(probe_addrs, Domain::Attacker, |a, hit| {
+                    if hit {
                         out.insert(a);
                     }
-                    // Leave the line flushed for the next observation.
-                    self.cache.flush_line_from(a, Domain::Attacker);
-                }
+                });
             }
             ProbeStrategy::PrimeProbe => {
                 // Prime phase: fill each monitored set with attacker lines.
@@ -510,11 +535,11 @@ impl VictimOracle {
                 } = self;
                 for (line_addr, addrs) in prime_groups.iter() {
                     let mut evicted = false;
-                    for &a in addrs {
-                        if cache.access_from(a, Domain::Attacker).is_miss() {
+                    cache.access_batch_from(addrs, Domain::Attacker, |_, o| {
+                        if o.is_miss() {
                             evicted = true;
                         }
-                    }
+                    });
                     if evicted {
                         out.insert(*line_addr);
                     }
@@ -589,6 +614,7 @@ impl VictimOracle {
         reprime: bool,
     ) -> u64 {
         let mut state = plaintext;
+        let mut round_addrs = std::mem::take(&mut self.round_addrs);
         for round in 0..rounds {
             if flush_before == Some(round) {
                 // The mid-encryption flush is the *attacker's* cleanup: on a
@@ -599,9 +625,15 @@ impl VictimOracle {
                     self.prime();
                 }
             }
-            let mut obs = CacheObserver::new(&mut self.cache);
+            round_addrs.clear();
+            let mut obs = RoundAddrRecorder {
+                addrs: &mut round_addrs,
+            };
             state = run_one_round(&self.cipher, state, round, &mut obs);
+            self.cache
+                .access_batch_from(&round_addrs, Domain::Victim, |_, _| {});
         }
+        self.round_addrs = round_addrs;
         state
     }
 

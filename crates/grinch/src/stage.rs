@@ -18,7 +18,7 @@
 
 use crate::craft::craft_plaintext;
 use crate::eliminate::CandidateSet;
-use crate::oracle::VictimOracle;
+use crate::oracle::{ObservedLines, VictimOracle};
 use crate::target::{disjoint_batches, TargetSpec};
 use gift_cipher::key_schedule::RoundKey64;
 use gift_cipher::GIFT64_SEGMENTS;
@@ -202,6 +202,12 @@ pub fn run_stage<R: Rng + ?Sized>(
     if let Some((gauge, _)) = entropy_gauge {
         telemetry.set(gauge, entropy_bits(&candidates));
     }
+    // Scratch reused across every observation of the stage: the spec list,
+    // the observed-line set and the resolved line indices are rewritten in
+    // place instead of reallocated per encryption.
+    let mut specs: Vec<TargetSpec> = Vec::with_capacity(4);
+    let mut observed = ObservedLines::new();
+    let mut observed_line_indices: Vec<usize> = Vec::new();
 
     'batches: for batch in disjoint_batches(stage_round) {
         let mut stall_limit = config.stall_limit.max(1);
@@ -217,17 +223,15 @@ pub fn run_stage<R: Rng + ?Sized>(
                 // lattice a rival hypothesis can be permanently shadowed by
                 // a signal that always lands on its predicted line.
                 // Randomisation makes every shadow transient.
-                let specs: Vec<TargetSpec> = batch
-                    .iter()
-                    .map(|&s| {
-                        let pattern = if pattern_rotation == 0 {
-                            0b1111
-                        } else {
-                            rng.gen_range(0..16u8)
-                        };
-                        TargetSpec::with_forced_pattern(stage_round, s, pattern)
-                    })
-                    .collect();
+                specs.clear();
+                specs.extend(batch.iter().map(|&s| {
+                    let pattern = if pattern_rotation == 0 {
+                        0b1111
+                    } else {
+                        rng.gen_range(0..16u8)
+                    };
+                    TargetSpec::with_forced_pattern(stage_round, s, pattern)
+                }));
                 let mut stall = 0u64;
                 while stall < stall_limit {
                     if oracle.encryptions() - start_encryptions >= config.max_encryptions {
@@ -239,22 +243,30 @@ pub fn run_stage<R: Rng + ?Sized>(
                     }
                     let pt = craft_plaintext(&specs, known_round_keys, rng)
                         .expect("batched targets have disjoint sources");
-                    let observed = oracle.observe_stage(pt, stage_round);
+                    oracle.observe_stage_into(pt, stage_round, &mut observed);
                     if let Some((joint, _, _)) = &obs_handles {
                         // Joint (pattern, line) counts: with a leaky victim
                         // the forced pattern determines the signal line, so
                         // the profiler's I(pattern; line) comes out high;
                         // pattern-independent footprints (preload, wide
-                        // lines) drive it towards zero.
-                        for spec in &specs {
-                            let p = spec
-                                .forced
+                        // lines) drive it towards zero. Line indices resolve
+                        // once per observation and the whole feed publishes
+                        // under a single registry lock.
+                        observed_line_indices.clear();
+                        observed_line_indices.extend(
+                            observed
                                 .iter()
-                                .enumerate()
-                                .fold(0usize, |acc, (b, &v)| acc | (usize::from(v) << b));
-                            for &addr in &observed {
-                                if let Some(l) = oracle.config().line_index_of_addr(addr) {
-                                    telemetry.inc(joint[p][l]);
+                                .filter_map(|&addr| oracle.config().line_index_of_addr(addr)),
+                        );
+                        if let Some(mut b) = telemetry.batch() {
+                            for spec in &specs {
+                                let p = spec
+                                    .forced
+                                    .iter()
+                                    .enumerate()
+                                    .fold(0usize, |acc, (b, &v)| acc | (usize::from(v) << b));
+                                for &l in &observed_line_indices {
+                                    b.inc(joint[p][l]);
                                 }
                             }
                         }
@@ -267,13 +279,16 @@ pub fn run_stage<R: Rng + ?Sized>(
                         stall += 1;
                     } else {
                         stall = 0;
-                        if let Some((gauge, eliminations)) = entropy_gauge {
-                            telemetry.add(eliminations, progressed as u64);
-                            telemetry.set(gauge, entropy_bits(&candidates));
-                        }
-                        if let Some((_, eliminations, trajectory)) = &obs_handles {
-                            telemetry.add(*eliminations, progressed as u64);
-                            telemetry.record(*trajectory, oracle.encryptions() - start_encryptions);
+                        // All four progress metrics publish under one guard.
+                        if let Some(mut b) = telemetry.batch() {
+                            if let Some((gauge, eliminations)) = entropy_gauge {
+                                b.add(eliminations, progressed as u64);
+                                b.set(gauge, entropy_bits(&candidates));
+                            }
+                            if let Some((_, eliminations, trajectory)) = &obs_handles {
+                                b.add(*eliminations, progressed as u64);
+                                b.record(*trajectory, oracle.encryptions() - start_encryptions);
+                            }
                         }
                     }
                     if batch.iter().any(|&s| candidates[s].is_empty()) {

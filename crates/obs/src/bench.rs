@@ -51,6 +51,15 @@ pub struct WallSection {
     /// Work units per second of wall time (units are section-specific:
     /// cells/s for the arena, cache accesses/s for the microbenches, ...).
     pub throughput: f64,
+    /// Human-readable unit of `throughput` (`"cells/sec"`,
+    /// `"recoveries/sec"`, ...). `None` for legacy sections — the JSON form
+    /// omits the field, so old reports parse unchanged.
+    pub rate: Option<String>,
+    /// Work items processed per inner iteration when the section ran a
+    /// batched pipeline (e.g. plaintexts per oracle batch). Wall times of
+    /// runs with different widths are not like-for-like; regression tooling
+    /// uses this to label (and refuse to cross-compare) wall series.
+    pub batch_width: Option<f64>,
 }
 
 impl WallSection {
@@ -66,6 +75,30 @@ impl WallSection {
             name: name.to_string(),
             wall_ns: wall_ns as f64,
             throughput,
+            rate: None,
+            batch_width: None,
+        }
+    }
+
+    /// Labels the throughput with its unit (`"cells/sec"`, ...).
+    pub fn with_rate(mut self, rate: &str) -> Self {
+        self.rate = Some(rate.to_string());
+        self
+    }
+
+    /// Records the batch width the section ran at.
+    pub fn with_batch_width(mut self, width: f64) -> Self {
+        self.batch_width = Some(width);
+        self
+    }
+
+    /// The wall-series key regression tooling compares under: the section
+    /// name, qualified by the batch width when one was recorded, so batched
+    /// and unbatched runs never land in the same series.
+    pub fn series_key(&self) -> String {
+        match self.batch_width {
+            Some(w) => format!("{}@b{}", self.name, w),
+            None => self.name.clone(),
         }
     }
 }
@@ -171,6 +204,11 @@ impl BenchReport {
         self.wall.push(WallSection::new(section, wall_ns, units));
     }
 
+    /// Appends a fully-built wall-clock section (rate label, batch width).
+    pub fn push_wall(&mut self, section: WallSection) {
+        self.wall.push(section);
+    }
+
     /// A copy with the machine-dependent wall sections removed — what a
     /// committed baseline should contain.
     pub fn without_wall(&self) -> Self {
@@ -221,6 +259,15 @@ impl BenchReport {
                 grinch_telemetry::json::write_f64(&mut wall_json, section.wall_ns);
                 wall_json.push_str(", \"throughput\": ");
                 grinch_telemetry::json::write_f64(&mut wall_json, section.throughput);
+                if let Some(rate) = &section.rate {
+                    let mut r = String::new();
+                    grinch_telemetry::json::escape_into(&mut r, rate);
+                    let _ = write!(wall_json, ", \"rate\": \"{r}\"");
+                }
+                if let Some(width) = section.batch_width {
+                    wall_json.push_str(", \"batch_width\": ");
+                    grinch_telemetry::json::write_f64(&mut wall_json, width);
+                }
                 wall_json.push('}');
             }
             wall_json.push_str("\n  }");
@@ -277,6 +324,11 @@ impl BenchReport {
                     name: section.clone(),
                     wall_ns,
                     throughput,
+                    rate: timing
+                        .get("rate")
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_string),
+                    batch_width: timing.get("batch_width").and_then(JsonValue::as_f64),
                 });
             }
         }
@@ -445,6 +497,35 @@ mod tests {
             .is_empty());
         // Zero elapsed time degrades to zero throughput, not a NaN.
         assert_eq!(WallSection::new("empty", 0, 10.0).throughput, 0.0);
+    }
+
+    #[test]
+    fn rated_wall_sections_round_trip_and_key_by_batch_width() {
+        let mut report = sample_report();
+        report.push_wall(
+            WallSection::new("cells", 1_000_000_000, 128.0)
+                .with_rate("cells/sec")
+                .with_batch_width(16.0),
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"rate\": \"cells/sec\""));
+        assert!(json.contains("\"batch_width\": 16"));
+        let back = BenchReport::from_json(&json).expect("parses");
+        assert_eq!(back, report);
+        assert_eq!(back.wall[0].rate.as_deref(), Some("cells/sec"));
+        assert_eq!(back.wall[0].batch_width, Some(16.0));
+        assert_eq!(back.wall[0].series_key(), "cells@b16");
+        // An unlabelled section keys by name alone, so a batched run never
+        // shares a series with an unbatched one.
+        let plain = WallSection::new("cells", 1_000_000_000, 128.0);
+        assert_eq!(plain.series_key(), "cells");
+        assert_ne!(plain.series_key(), back.wall[0].series_key());
+        // Legacy reports (no rate/batch_width) still parse to None fields.
+        let mut legacy = sample_report();
+        legacy.record_wall("run", 2_000_000_000, 500.0);
+        let back = BenchReport::from_json(&legacy.to_json()).expect("parses");
+        assert_eq!(back.wall[0].rate, None);
+        assert_eq!(back.wall[0].batch_width, None);
     }
 
     #[test]

@@ -147,6 +147,12 @@ impl RunRecord {
             let mut w = ObjWriter::new();
             w.f64("wall_ns", section.wall_ns)
                 .f64("throughput", section.throughput);
+            if let Some(rate) = &section.rate {
+                w.str("rate", rate);
+            }
+            if let Some(width) = section.batch_width {
+                w.f64("batch_width", width);
+            }
             wall.push_str(&w.finish());
         }
         wall.push('}');
@@ -234,6 +240,11 @@ impl RunRecord {
                         name: k.clone(),
                         wall_ns,
                         throughput,
+                        rate: v
+                            .get("rate")
+                            .and_then(JsonValue::as_str)
+                            .map(str::to_string),
+                        batch_width: v.get("batch_width").and_then(JsonValue::as_f64),
                     })
                 })
                 .collect::<Result<Vec<_>, _>>()?,
@@ -416,7 +427,10 @@ pub fn run_names(records: &[RunRecord]) -> Vec<String> {
 
 /// Per-metric series for one producer, in ledger (chronological) order.
 /// Wall sections contribute `wall.<section>.wall_ns` and
-/// `wall.<section>.throughput` keys next to the plain metric names.
+/// `wall.<section>.throughput` keys next to the plain metric names. A
+/// section that recorded a batch width keys as `wall.<section>@b<width>.*`
+/// ([`WallSection::series_key`]), so runs at different widths form separate
+/// series instead of being compared like-for-like.
 pub fn metric_series(records: &[RunRecord], name: &str) -> BTreeMap<String, Vec<f64>> {
     let mut series: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for record in records.iter().filter(|r| r.name == name) {
@@ -424,12 +438,13 @@ pub fn metric_series(records: &[RunRecord], name: &str) -> BTreeMap<String, Vec<
             series.entry(metric.clone()).or_default().push(*value);
         }
         for section in &record.wall {
+            let key = section.series_key();
             series
-                .entry(format!("wall.{}.wall_ns", section.name))
+                .entry(format!("wall.{key}.wall_ns"))
                 .or_default()
                 .push(section.wall_ns);
             series
-                .entry(format!("wall.{}.throughput", section.name))
+                .entry(format!("wall.{key}.throughput"))
                 .or_default()
                 .push(section.throughput);
         }
@@ -459,6 +474,8 @@ mod tests {
                 name: "recovery".to_string(),
                 wall_ns: 1.25e9,
                 throughput: 39321.6,
+                rate: None,
+                batch_width: None,
             }],
             profile: Some(ProfileDigest {
                 stacks: 7,
@@ -559,6 +576,27 @@ mod tests {
         assert_eq!(series["m"], vec![1.0, 2.0]);
         assert_eq!(series["wall.recovery.wall_ns"], vec![1.25e9, 2.5e9]);
         assert_eq!(series["wall.recovery.throughput"].len(), 2);
+    }
+
+    #[test]
+    fn rated_wall_sections_round_trip_and_split_series_by_width() {
+        // rate + batch_width survive the ledger round trip exactly.
+        let mut record = sample_record();
+        record.wall[0].rate = Some("recoveries/sec".to_string());
+        record.wall[0].batch_width = Some(64.0);
+        let json = record.to_json();
+        assert!(json.contains("\"rate\":\"recoveries/sec\""));
+        assert!(json.contains("\"batch_width\":64.0"));
+        let parsed = RunRecord::from_json(&json).expect("parses");
+        assert_eq!(parsed, record);
+        assert_eq!(parsed.to_json(), json);
+
+        // A batched and an unbatched run of the same section never share a
+        // wall series: the batched one keys as `recovery@b64`.
+        let unbatched = sample_record();
+        let series = metric_series(&[record, unbatched], "quickstart");
+        assert_eq!(series["wall.recovery@b64.wall_ns"].len(), 1);
+        assert_eq!(series["wall.recovery.wall_ns"].len(), 1);
     }
 
     #[test]

@@ -83,6 +83,22 @@ impl LogHistogram {
         self.max = self.max.max(value);
     }
 
+    /// Records `n` samples of the same `value` in one step —
+    /// aggregate-identical to calling [`LogHistogram::record`] `n` times
+    /// (the histogram stores only bucket counts and count/sum/min/max, so
+    /// repetition collapses exactly). Used by batched cache telemetry,
+    /// where a probe sweep records many identical hit/miss latencies.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_of(value)] += n;
+        self.count += n;
+        self.sum += u128::from(value) * u128::from(n);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count

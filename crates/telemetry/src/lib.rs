@@ -441,6 +441,21 @@ impl Batch<'_> {
                 .flight_record(flight::RawKind::Histogram { slot: h.0, value });
         }
     }
+
+    /// Records `n` samples of `value` into the histogram behind `h` —
+    /// aggregate-identical to `n` [`Batch::record`] calls (one flight-ring
+    /// entry stands in for the repetition; the crash dump notes the value,
+    /// not the multiplicity).
+    #[inline]
+    pub fn record_n(&mut self, h: HistogramHandle, value: u64, n: u64) {
+        if h.0 != NOOP_SLOT && n > 0 {
+            let slot = &mut self.inner.histograms[h.0 as usize];
+            slot.hist.record_n(value, n);
+            slot.touched = true;
+            self.inner
+                .flight_record(flight::RawKind::Histogram { slot: h.0, value });
+        }
+    }
 }
 
 impl Telemetry {
